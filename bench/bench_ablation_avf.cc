@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation study of the AVF-model refinements DESIGN.md calls out:
+ *
+ *  1. deferred dynamic dead-code analysis (off => dead results ACE)
+ *  2. wrong-path modelling (off => no junk occupancy past mispredicts)
+ *  3. per-byte DL1 data liveness (off => whole-line granularity)
+ *  4. register allocate-to-writeback un-ACE window (off => ACE)
+ *
+ * Each row shows the AVF change when one refinement is removed from the
+ * full model, on the 4-context MIX workload.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    using namespace smtavf::bench;
+
+    banner("Ablation: AVF-model refinements (4-context MIX workload)");
+
+    const auto &mix = findMix("4ctx-mix-A");
+    const std::uint64_t budget = defaultBudget(4);
+
+    struct Variant
+    {
+        const char *name;
+        void (*tweak)(AvfOptions &);
+    };
+    const Variant variants[] = {
+        {"full model", [](AvfOptions &) {}},
+        {"no dead-code analysis",
+         [](AvfOptions &o) { o.deadCodeAnalysis = false; }},
+        {"no wrong-path model",
+         [](AvfOptions &o) { o.wrongPathModel = false; }},
+        {"per-line DL1 tracking",
+         [](AvfOptions &o) { o.perByteCacheAvf = false; }},
+        {"alloc window counts ACE",
+         [](AvfOptions &o) { o.regAllocWindowUnace = false; }},
+    };
+
+    TextTable t(structHeader("variant"));
+    for (const auto &v : variants) {
+        auto cfg = table1Config(4);
+        v.tweak(cfg.avf);
+        auto r = runMix(cfg, mix, budget);
+        std::vector<std::string> row = {v.name};
+        for (auto s : AvfReport::figureStructs())
+            row.push_back(TextTable::pct(r.avf.avf(s), 1));
+        t.addRow(std::move(row));
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}

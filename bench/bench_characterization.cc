@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The paper's Section-3 workload-construction step: characterize each
+ * benchmark alone (IPC, cache miss rates, branch prediction) and derive
+ * its CPU-intensive / memory-intensive classification — the basis of the
+ * Table-2 mixes. Each row also shows the class the profile database
+ * declares, so drift between calibration and classification is visible.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    using namespace smtavf::bench;
+
+    banner("Benchmark characterization (single-thread, Table-1 machine)");
+
+    TextTable t({"benchmark", "class", "IPC", "DL1 miss", "L2 miss",
+                 "DTLB miss", "bpred miss", "dead"});
+    for (const auto &p : allProfiles()) {
+        WorkloadMix solo{"char-" + p.name, 1,
+                         p.category == BenchClass::Cpu ? MixType::Cpu
+                                                       : MixType::Mem,
+                         'A',
+                         {p.name}};
+        auto r = runMix(solo, FetchPolicyKind::Icount, defaultBudget(1));
+        t.addRow({p.name, p.category == BenchClass::Cpu ? "CPU" : "MEM",
+                  TextTable::num(r.ipc, 2),
+                  TextTable::pct(r.stats.get("dl1.missRate"), 1),
+                  TextTable::pct(r.stats.get("l2.missRate"), 1),
+                  TextTable::pct(r.stats.get("dtlb.missRate"), 1),
+                  TextTable::pct(r.stats.get("branch.mispredictRate"), 1),
+                  TextTable::pct(r.stats.get("deadCode.fraction"), 1)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}

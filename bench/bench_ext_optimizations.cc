@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension study: the paper's Section-5 thread-aware reliability
+ * optimization proposals, implemented and evaluated against the studied
+ * policies on the 4-context workloads:
+ *
+ *  - PSTALL: STALL driven by an L2-miss predictor at fetch;
+ *  - RAT: reliability-aware fetch throttling on the in-flight
+ *    correct-path (ACE) population;
+ *  - static IQ partitioning (ICOUNT + a per-thread IQ cap).
+ *
+ * Reported per policy: IQ/ROB AVF, throughput, harmonic weighted IPC
+ * (fairness) and the IQ reliability-efficiency ratio vs ICOUNT.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "metrics/metrics.hh"
+
+namespace
+{
+
+using namespace smtavf;
+using namespace smtavf::bench;
+
+struct Variant
+{
+    const char *name;
+    FetchPolicyKind policy;
+    bool iqPartitioned;
+};
+
+const Variant variants[] = {
+    {"ICOUNT", FetchPolicyKind::Icount, false},
+    {"STALL", FetchPolicyKind::Stall, false},
+    {"FLUSH", FetchPolicyKind::Flush, false},
+    {"PSTALL (S5)", FetchPolicyKind::PStall, false},
+    {"RAT (S5)", FetchPolicyKind::Rat, false},
+    {"ICOUNT+IQpart (S5)", FetchPolicyKind::Icount, true},
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Section-5 extensions: thread-aware reliability optimizations "
+           "(4 contexts)");
+
+    for (auto type : mixTypes()) {
+        std::printf("-- %s workloads --\n", mixTypeName(type));
+        TextTable t({"policy", "IQ AVF", "ROB AVF", "IPC", "harmonicWIPC",
+                     "IQ (IPC/AVF) vs ICOUNT"});
+
+        double base_eff = 0.0;
+        for (const auto &v : variants) {
+            auto mixes = mixesOf(4, type);
+            double iq = 0, rob = 0, ipc = 0, hw = 0;
+            for (const auto &mix : mixes) {
+                auto cfg = table1Config(4);
+                cfg.fetchPolicy = v.policy;
+                cfg.iqPartitioned = v.iqPartitioned;
+                auto r = runMix(cfg, mix, 0);
+                iq += r.avf.avf(HwStruct::IQ) / mixes.size();
+                rob += r.avf.avf(HwStruct::ROB) / mixes.size();
+                ipc += r.ipc / mixes.size();
+                hw += harmonicWeightedIpc(r, singleThreadBaselines(r)) /
+                      mixes.size();
+            }
+            double eff = iq > 0 ? ipc / iq : 0;
+            if (base_eff == 0.0)
+                base_eff = eff;
+            t.addRow({v.name, TextTable::pct(iq, 1),
+                      TextTable::pct(rob, 1), TextTable::num(ipc, 2),
+                      TextTable::num(hw, 3),
+                      TextTable::num(base_eff > 0 ? eff / base_eff : 0,
+                                     2)});
+        }
+        std::fputs(t.str().c_str(), stdout);
+        std::puts("");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 4: per-thread reliability efficiency (IPC/AVF), SMT vs
+ * single-thread execution.
+ *
+ * Expected shape (paper Section 4.1): FU efficiency is essentially equal
+ * between modes (the metric cancels execution time); the IQ favours ST on
+ * CPU mixes and SMT on MEM mixes; overall SMT wins everywhere except the
+ * IQ on CPU workloads.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    using namespace smtavf::bench;
+
+    banner("Figure 4: Reliability Efficiency IPC/AVF, SMT vs "
+           "Single-Thread");
+
+    const std::uint64_t budget = defaultBudget(4);
+    auto cfg = table1Config(4);
+
+    auto ratio = [](double ipc, double avf) {
+        return avf > 0 ? TextTable::num(ipc / avf, 1) : std::string("-");
+    };
+
+    for (auto type : mixTypes()) {
+        const auto &mix = fig3Mix(type);
+        auto smt = runMix(cfg, mix, budget);
+
+        std::printf("-- %s workload (%s) --\n", mixTypeName(type),
+                    mix.name.c_str());
+        TextTable t({"thread", "IQ_ST", "FU_ST", "ROB_ST", "IQ_SMT",
+                     "FU_SMT", "ROB_SMT"});
+        double st_ipc_w = 0, st_iq_w = 0, st_fu_w = 0, st_rob_w = 0;
+        for (ThreadId tid = 0; tid < 4; ++tid) {
+            auto st = runSingleThreadBaseline(cfg, mix, tid,
+                                              smt.threads[tid].committed);
+            double share =
+                static_cast<double>(smt.threads[tid].committed) /
+                smt.totalCommitted;
+            st_ipc_w += st.ipc * share;
+            st_iq_w += st.avf.avf(HwStruct::IQ) * share;
+            st_fu_w += st.avf.avf(HwStruct::FU) * share;
+            st_rob_w += st.avf.avf(HwStruct::ROB) * share;
+            t.addRow({mix.benchmarks[tid],
+                      ratio(st.ipc, st.avf.avf(HwStruct::IQ)),
+                      ratio(st.ipc, st.avf.avf(HwStruct::FU)),
+                      ratio(st.ipc, st.avf.avf(HwStruct::ROB)),
+                      ratio(smt.threads[tid].ipc,
+                            smt.avf.threadAvf(HwStruct::IQ, tid)),
+                      ratio(smt.threads[tid].ipc,
+                            smt.avf.threadAvf(HwStruct::FU, tid)),
+                      ratio(smt.threads[tid].ipc,
+                            smt.avf.threadAvf(HwStruct::ROB, tid))});
+        }
+        t.addRow({"all(weighted ST / SMT)", ratio(st_ipc_w, st_iq_w),
+                  ratio(st_ipc_w, st_fu_w), ratio(st_ipc_w, st_rob_w),
+                  ratio(smt.ipc, smt.avf.avf(HwStruct::IQ)),
+                  ratio(smt.ipc, smt.avf.avf(HwStruct::FU)),
+                  ratio(smt.ipc, smt.avf.avf(HwStruct::ROB))});
+        std::fputs(t.str().c_str(), stdout);
+        std::puts("");
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 7: reliability efficiency (throughput-IPC / AVF) of the five
+ * advanced fetch policies, normalized to the ICOUNT baseline, averaged
+ * over the 4- and 8-context workloads.
+ *
+ * Expected shape: FLUSH best overall, DWarn second; the advantage shrinks
+ * on CPU-bound mixes where cache misses are rare.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    using namespace smtavf::bench;
+
+    banner("Figure 7: IPC/AVF of Advanced Fetch Policies (normalized to "
+           "ICOUNT)");
+
+    const FetchPolicyKind advanced[] = {
+        FetchPolicyKind::Flush, FetchPolicyKind::Stall,
+        FetchPolicyKind::Dg, FetchPolicyKind::Pdg, FetchPolicyKind::DWarn};
+    const unsigned context_counts[] = {4, 8};
+
+    for (unsigned ctx : context_counts) {
+        std::printf("-- %u contexts --\n", ctx);
+        TextTable t(structHeader("workload/policy"));
+        for (auto type : mixTypes()) {
+            auto base = runType(ctx, type, FetchPolicyKind::Icount);
+            for (auto policy : advanced) {
+                auto res = runType(ctx, type, policy);
+                std::vector<std::string> row = {
+                    std::string(mixTypeName(type)) + "/" +
+                    fetchPolicyName(policy)};
+                for (auto s : AvfReport::figureStructs()) {
+                    double base_eff =
+                        base.avf[s] > 0 ? base.ipc / base.avf[s] : 0;
+                    double eff =
+                        res.avf[s] > 0 ? res.ipc / res.avf[s] : 0;
+                    row.push_back(base_eff > 0
+                                      ? TextTable::num(eff / base_eff, 2)
+                                      : "-");
+                }
+                t.addRow(std::move(row));
+            }
+        }
+        std::fputs(t.str().c_str(), stdout);
+        std::puts("");
+    }
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrate itself:
+ * stream generation, cache access, predictor throughput, and end-to-end
+ * simulated instructions per second at each context count.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "mem/cache.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace smtavf;
+
+void
+BM_StreamGeneration(benchmark::State &state)
+{
+    StreamGenerator gen(findProfile("gcc"), 1, 0);
+    std::uint64_t idx = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.at(idx));
+        gen.retireBelow(idx);
+        ++idx;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(idx));
+}
+BENCHMARK(BM_StreamGeneration);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({"dl1", 64 * 1024, 4, 64, 1, 2});
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        addr = (addr + 64) % (128 * 1024);
+        if (!cache.access(addr, 4, false, 0, now))
+            cache.fill(addr, 0, now);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPrediction(benchmark::State &state)
+{
+    ThreadPredictor pred(BranchConfig{});
+    StreamGenerator gen(findProfile("gcc"), 1, 0);
+    std::uint64_t idx = 0;
+    std::int64_t branches = 0;
+    for (auto _ : state) {
+        DynInstr in = gen.at(idx);
+        gen.retireBelow(idx);
+        ++idx;
+        if (in.isBranch()) {
+            pred.predict(in);
+            pred.train(in);
+            ++branches;
+        }
+    }
+    state.SetItemsProcessed(branches);
+}
+BENCHMARK(BM_BranchPrediction);
+
+void
+BM_SimulatedInstructions(benchmark::State &state)
+{
+    auto contexts = static_cast<unsigned>(state.range(0));
+    std::int64_t total = 0;
+    for (auto _ : state) {
+        WorkloadMix mix;
+        mix.name = "bench";
+        mix.contexts = contexts;
+        mix.type = MixType::Mix;
+        mix.group = 'A';
+        const char *names[] = {"eon", "twolf", "mesa", "vpr",
+                               "gcc", "swim", "bzip2", "mcf"};
+        for (unsigned i = 0; i < contexts; ++i)
+            mix.benchmarks.push_back(names[i]);
+        MachineConfig cfg;
+        cfg.contexts = contexts;
+        Simulator sim(cfg, mix);
+        auto r = sim.run(5000 * contexts);
+        total += static_cast<std::int64_t>(r.totalCommitted);
+    }
+    state.SetItemsProcessed(total);
+    state.SetLabel("committed instructions");
+}
+BENCHMARK(BM_SimulatedInstructions)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Table 1: the simulated machine configuration.
+ */
+
+#include <cstdio>
+
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    std::puts("== Table 1: Simulated Machine Configuration ==");
+    std::fputs(table1String(table1Config(4)).c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 2: the studied SMT workloads, with the behavioural profile each
+ * synthetic benchmark substitutes for the proprietary SPEC CPU 2000 runs.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "sim/config.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    std::puts("== Table 2: The Studied SMT Workloads ==");
+    std::fputs(table2String().c_str(), stdout);
+
+    std::puts("\n-- synthetic benchmark profiles (SPEC CPU 2000 "
+              "substitutes) --");
+    TextTable t({"benchmark", "suite", "class", "load%", "store%",
+                 "branch%", "fp%", "hot", "hot+warm", "chains"});
+    for (const auto &p : allProfiles()) {
+        t.addRow({p.name, p.suite == BenchSuite::Int ? "INT" : "FP",
+                  p.category == BenchClass::Cpu ? "CPU" : "MEM",
+                  TextTable::pct(p.loadFrac, 0),
+                  TextTable::pct(p.storeFrac, 0),
+                  TextTable::pct(p.branchFrac, 0),
+                  TextTable::pct(p.fpAluFrac + p.fpMulFrac + p.fpDivFrac,
+                                 0),
+                  TextTable::pct(p.hotAccessFrac, 0),
+                  TextTable::pct(p.hotAccessFrac + p.warmAccessFrac, 0),
+                  std::to_string(p.parallelChains)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}

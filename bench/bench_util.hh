@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench harnesses: run a workload
+ * type averaged over its Table-2 groups, the structure ordering of the
+ * paper's figures, and single-thread IPC baselines for the fairness
+ * metrics.
+ */
+
+#ifndef SMTAVF_BENCH_BENCH_UTIL_HH
+#define SMTAVF_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/env.hh"
+#include "base/table.hh"
+#include "sim/experiment.hh"
+
+namespace smtavf::bench
+{
+
+/** The three workload types in figure order. */
+inline const std::vector<MixType> &
+mixTypes()
+{
+    static const std::vector<MixType> types = {MixType::Cpu, MixType::Mix,
+                                               MixType::Mem};
+    return types;
+}
+
+/** Per-structure AVF and performance averaged over a type's groups. */
+struct TypeResult
+{
+    std::map<HwStruct, double> avf;
+    double ipc = 0.0;
+    std::vector<SimResult> runs;
+};
+
+/**
+ * Run every Table-2 mix of (contexts, type) under @p policy and average.
+ */
+inline TypeResult
+runType(unsigned contexts, MixType type, FetchPolicyKind policy,
+        std::uint64_t budget = 0)
+{
+    TypeResult out;
+    auto mixes = mixesOf(contexts, type);
+    for (const auto &mix : mixes)
+        out.runs.push_back(runMix(mix, policy, budget));
+    for (auto s : AvfReport::figureStructs())
+        out.avf[s] = meanAvf(out.runs, s);
+    out.ipc = meanIpc(out.runs);
+    return out;
+}
+
+/** Column header row for the paper's eight figure structures. */
+inline std::vector<std::string>
+structHeader(const std::string &first)
+{
+    std::vector<std::string> header = {first};
+    for (auto s : AvfReport::figureStructs())
+        header.push_back(hwStructName(s));
+    return header;
+}
+
+/**
+ * Stand-alone IPC of each benchmark at the default single-thread budget,
+ * memoized (the fairness metrics normalize against these).
+ */
+inline double
+singleThreadIpc(const std::string &benchmark)
+{
+    static std::map<std::string, double> cache;
+    auto it = cache.find(benchmark);
+    if (it != cache.end())
+        return it->second;
+    WorkloadMix solo{"st-" + benchmark, 1, MixType::Cpu, 'A', {benchmark}};
+    auto r = runMix(solo, FetchPolicyKind::Icount, defaultBudget(1));
+    cache[benchmark] = r.ipc;
+    return r.ipc;
+}
+
+/** Stand-alone IPCs for every thread of a finished run. */
+inline std::vector<double>
+singleThreadBaselines(const SimResult &r)
+{
+    std::vector<double> out;
+    for (const auto &t : r.threads)
+        out.push_back(singleThreadIpc(t.benchmark));
+    return out;
+}
+
+/** Print the SMTAVF_SCALE banner every harness emits. */
+inline void
+banner(const char *what)
+{
+    std::printf("== %s ==\n", what);
+    std::printf("(scale %llu; set SMTAVF_SCALE to grow the simulated "
+                "instruction budgets)\n\n",
+                static_cast<unsigned long long>(benchScale()));
+}
+
+} // namespace smtavf::bench
+
+#endif // SMTAVF_BENCH_BENCH_UTIL_HH

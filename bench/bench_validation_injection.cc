@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Validation: statistical fault injection vs. ACE analysis (the
+ * complementary methodology of the paper's Sections 2 and 6).
+ *
+ * For each 4-context workload type: the first-level dynamic dead fraction
+ * the AVF model uses, and the masked/corruption rates an architectural
+ * taint-propagation injection campaign measures over the same run's
+ * commit trace. Injection masking must upper-bound FDD deadness (it also
+ * catches transitively dead chains); the gap quantifies the conservatism
+ * of first-level-only analysis.
+ */
+
+#include <cstdio>
+
+#include "avf/injection.hh"
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    using namespace smtavf::bench;
+
+    banner("Validation: fault injection vs. ACE/dead-code analysis "
+           "(4 contexts)");
+
+    const std::uint64_t trials = 4000 * benchScale();
+
+    TextTable t({"workload", "FDD dead", "injection masked",
+                 "injection corrupted", "transitive gap"});
+    for (auto type : mixTypes()) {
+        auto mixes = mixesOf(4, type);
+        double fdd = 0, masked = 0, corrupted = 0;
+        for (const auto &mix : mixes) {
+            auto cfg = table1Config(4);
+            cfg.recordCommitTrace = true;
+            auto r = runMix(cfg, mix, 0);
+            InjectionCampaign campaign(*r.commitTrace);
+            auto res = campaign.run(trials, cfg.seed);
+            fdd += r.stats.get("deadCode.fraction") / mixes.size();
+            masked += res.maskedRate() / mixes.size();
+            corrupted += res.corruptionRate() / mixes.size();
+        }
+        t.addRow({mixTypeName(type), TextTable::pct(fdd, 1),
+                  TextTable::pct(masked, 1), TextTable::pct(corrupted, 1),
+                  TextTable::pct(masked - fdd, 1)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    std::puts("\n(masked >= FDD dead by construction; the gap is the "
+              "transitively-dead work first-level analysis cannot see)");
+    return 0;
+}

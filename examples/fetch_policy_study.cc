@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Example: compare the reliability and performance of all six fetch
+ * policies on one workload mix.
+ *
+ * Usage: fetch_policy_study [mix-name] [instruction-budget]
+ *   e.g.  fetch_policy_study 4ctx-mem-A 200000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/table.hh"
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace smtavf;
+
+    const char *mix_name = argc > 1 ? argv[1] : "4ctx-mem-A";
+    std::uint64_t budget = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                    : 0;
+
+    const auto &mix = findMix(mix_name);
+    std::printf("fetch-policy study on %s (%u contexts)\n\n",
+                mix.name.c_str(), mix.contexts);
+
+    TextTable t({"policy", "IPC", "IQ AVF", "ROB AVF", "DL1_tag AVF",
+                 "IQ IPC/AVF", "flushes+squashes"});
+    for (auto kind : {FetchPolicyKind::Icount, FetchPolicyKind::Flush,
+                      FetchPolicyKind::Stall, FetchPolicyKind::Dg,
+                      FetchPolicyKind::Pdg, FetchPolicyKind::DWarn}) {
+        auto r = runMix(mix, kind, budget);
+        t.addRow({fetchPolicyName(kind), TextTable::num(r.ipc, 2),
+                  TextTable::pct(r.avf.avf(HwStruct::IQ), 1),
+                  TextTable::pct(r.avf.avf(HwStruct::ROB), 1),
+                  TextTable::pct(r.avf.avf(HwStruct::Dl1Tag), 1),
+                  TextTable::num(r.mitf(HwStruct::IQ), 1),
+                  TextTable::num(r.stats.get("squashed"), 0)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Quickstart: run one 4-context SMT workload under the Table-1 machine and
+ * print IPC plus the per-structure AVF profile.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+
+    const auto &mix = findMix("4ctx-mix-A");
+    SimResult r = runMix(mix, FetchPolicyKind::Icount, 50000);
+
+    std::printf("mix %s under %s: IPC %.3f over %llu cycles\n",
+                r.mixName.c_str(), r.policyName.c_str(), r.ipc,
+                static_cast<unsigned long long>(r.cycles));
+    std::fputs(r.avf.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Example: survey every Table-2 workload mix under the baseline ICOUNT
+ * policy — throughput, cache behaviour and the AVF of the two hotspot
+ * structures the paper tells architects to protect first (IQ, RegFile).
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+
+    std::puts("Table-2 workload survey under ICOUNT");
+    TextTable t({"mix", "IPC", "DL1 miss", "L2 miss", "bpred miss",
+                 "IQ AVF", "Reg AVF", "dead%"});
+    for (const auto &mix : allMixes()) {
+        if (mix.name.rfind("fig3", 0) == 0)
+            continue;
+        auto r = runMix(mix, FetchPolicyKind::Icount);
+        t.addRow({mix.name, TextTable::num(r.ipc, 2),
+                  TextTable::pct(r.stats.get("dl1.missRate"), 1),
+                  TextTable::pct(r.stats.get("l2.missRate"), 1),
+                  TextTable::pct(r.stats.get("branch.mispredictRate"), 1),
+                  TextTable::pct(r.avf.avf(HwStruct::IQ), 1),
+                  TextTable::pct(r.avf.avf(HwStruct::RegFile), 1),
+                  TextTable::pct(r.stats.get("deadCode.fraction"), 1)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,94 @@
+#include "avf/dead_code.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+DeadCodeAnalyzer::DeadCodeAnalyzer(unsigned num_threads, AvfLedger &ledger,
+                                   bool enabled)
+    : ledger_(ledger), enabled_(enabled), pending_(num_threads)
+{
+}
+
+void
+DeadCodeAnalyzer::resolve(const InstPtr &in, bool dead)
+{
+    bool ace = !dead && !in->neverAce();
+    in->destDead = dead;
+    for (const auto &iv : in->pending)
+        ledger_.addInterval(iv.structure, in->tid, iv.bitCount, iv.start,
+                            iv.end, ace);
+    in->pending.clear();
+    if (in->writesReg() && !in->neverAce()) {
+        ++resolvedCount_;
+        if (dead)
+            ++deadCount_;
+    }
+}
+
+bool
+DeadCodeAnalyzer::onCommit(const InstPtr &in)
+{
+    auto &slots = pending_.at(in->tid);
+
+    // Reads first: a committed consumer proves its producer live. An
+    // instruction that reads and rewrites the same register (common) must
+    // count the read before displacing the producer.
+    for (RegIndex src : {in->srcReg1, in->srcReg2}) {
+        if (src == invalidReg)
+            continue;
+        if (auto &producer = slots[src]) {
+            resolve(producer, false);
+            producer = nullptr;
+        }
+    }
+
+    if (!in->writesReg()) {
+        resolve(in, false);
+        return false;
+    }
+
+    if (!enabled_) {
+        resolve(in, false);
+        return false;
+    }
+
+    bool exposed_dead = false;
+    if (auto &prev = slots[in->destReg]) {
+        resolve(prev, true);
+        prev = nullptr;
+        exposed_dead = true;
+    }
+    slots[in->destReg] = in;
+    return exposed_dead;
+}
+
+void
+DeadCodeAnalyzer::onSquash(const InstPtr &in)
+{
+    if (!in->squashed && !in->wrongPath)
+        SMTAVF_PANIC("onSquash() for a non-squashed instruction");
+    resolve(in, false); // neverAce() forces the intervals un-ACE
+}
+
+void
+DeadCodeAnalyzer::resolveLive(const InstPtr &in)
+{
+    resolve(in, false);
+}
+
+void
+DeadCodeAnalyzer::finish()
+{
+    for (auto &slots : pending_) {
+        for (auto &producer : slots) {
+            if (producer) {
+                resolve(producer, false);
+                producer = nullptr;
+            }
+        }
+    }
+}
+
+} // namespace smtavf

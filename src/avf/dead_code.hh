@@ -1,0 +1,96 @@
+/**
+ * @file
+ * First-level dynamic dead-code analysis with deferred classification.
+ *
+ * An instruction is first-level dynamically dead (FDD) when its destination
+ * register is overwritten before any later instruction reads it: a soft
+ * error in any of its pipeline residency is architecturally masked, so its
+ * bits are un-ACE everywhere (Mukherjee et al.). Deadness is only knowable
+ * at the *next writer's* commit, so instructions park their closed
+ * residency intervals (DynInstr::pending) here until resolution; the
+ * analyzer then classifies them and forwards the bit-cycles to the ledger.
+ *
+ * Committed readers, not speculative ones, decide liveness: a consumer
+ * that was squashed never architecturally read the value.
+ */
+
+#ifndef SMTAVF_AVF_DEAD_CODE_HH
+#define SMTAVF_AVF_DEAD_CODE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "avf/ledger.hh"
+#include "base/types.hh"
+#include "isa/instr.hh"
+
+namespace smtavf
+{
+
+/** Tracks pending producers per (thread, architectural register). */
+class DeadCodeAnalyzer
+{
+  public:
+    /**
+     * @param num_threads hardware contexts
+     * @param ledger      destination of resolved intervals
+     * @param enabled     when false, every committed instruction resolves
+     *                    live immediately (the "no dead-code analysis"
+     *                    ablation of DESIGN.md)
+     */
+    DeadCodeAnalyzer(unsigned num_threads, AvfLedger &ledger, bool enabled);
+
+    /**
+     * Process one committing instruction: its register reads make pending
+     * producers live; its register write (if any) resolves — and reports —
+     * the previous unread producer of the same register as dead, then
+     * parks this instruction as the new pending producer.
+     *
+     * @return true if this commit exposed a dead previous producer of the
+     *         destination register (callers use this to classify the
+     *         freed physical register's value interval).
+     */
+    bool onCommit(const InstPtr &in);
+
+    /**
+     * Resolve and forward the intervals of a squashed or wrong-path
+     * instruction (always un-ACE; no deadness involved).
+     */
+    void onSquash(const InstPtr &in);
+
+    /**
+     * Resolve a still-in-flight instruction at end of run (conservatively
+     * live; wrong-path instructions stay un-ACE via neverAce()).
+     */
+    void resolveLive(const InstPtr &in);
+
+    /** End of run: every still-pending producer is conservatively live. */
+    void finish();
+
+    std::uint64_t deadInstructions() const { return deadCount_; }
+    std::uint64_t resolvedInstructions() const { return resolvedCount_; }
+
+    /** Fraction of resolved register-writing instructions found dead. */
+    double
+    deadFraction() const
+    {
+        return resolvedCount_
+                   ? static_cast<double>(deadCount_) / resolvedCount_
+                   : 0.0;
+    }
+
+  private:
+    void resolve(const InstPtr &in, bool dead);
+
+    AvfLedger &ledger_;
+    bool enabled_;
+    // pending unread producer per (thread, architectural register)
+    std::vector<std::array<InstPtr, numArchRegs>> pending_;
+    std::uint64_t deadCount_ = 0;
+    std::uint64_t resolvedCount_ = 0;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_AVF_DEAD_CODE_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Statistical fault injection — the validation methodology the paper's
+ * Sections 2 and 6 contrast with ACE analysis (Czeck & Siewiorek; Wang et
+ * al.). A bit flip is injected into the destination value of a random
+ * *committed* instruction and propagated through architectural dataflow
+ * (registers and memory) over the recorded commit trace:
+ *
+ *  - an overwrite kills the taint in that location;
+ *  - a consumer spreads it to its destination;
+ *  - a tainted store taints memory; a load from tainted memory re-taints;
+ *  - a tainted conditional branch or a tainted address is an immediate
+ *    architectural corruption (control/address divergence);
+ *  - if all taint dies out, the fault was masked.
+ *
+ * This adjudicates *transitive* deadness, which upper-bounds the
+ * first-level dead-code analysis the AVF model uses: every FDD-dead
+ * instruction is masked here, but chains that only feed dead work are
+ * masked too. The gap between the two is exactly the conservatism of
+ * first-level-only analysis, which bench_validation_injection quantifies.
+ */
+
+#ifndef SMTAVF_AVF_INJECTION_HH
+#define SMTAVF_AVF_INJECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "isa/instr.hh"
+
+namespace smtavf
+{
+
+/** Architectural facts of one committed instruction. */
+struct CommitRecord
+{
+    ThreadId tid;
+    OpClass op;
+    RegIndex destReg;
+    RegIndex srcReg1;
+    RegIndex srcReg2;
+    Addr memAddr;
+    std::uint8_t memSize;
+    bool destDead; ///< the FDD verdict, for cross-checking
+};
+
+/**
+ * Commit-order trace of a run (recorded when the config asks for it).
+ * Instructions are retained as handles until finalize() because the FDD
+ * verdict (destDead) only resolves after the next writer commits.
+ */
+class CommitTrace
+{
+  public:
+    /** Record a committing instruction (verdicts may still be pending). */
+    void append(const InstPtr &in) { pending_.push_back(in); }
+
+    /** Materialize records once every deadness verdict is resolved. */
+    void finalize();
+
+    /** Finalized records in commit order. */
+    const std::vector<CommitRecord> &records() const;
+
+    std::size_t size() const
+    {
+        return finalized_ ? records_.size() : pending_.size();
+    }
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<InstPtr> pending_;
+    std::vector<CommitRecord> records_;
+    bool finalized_ = false;
+};
+
+/** Outcome of one injection trial. */
+enum class InjectionOutcome
+{
+    Masked,    ///< all taint overwritten before any architectural effect
+    Corrupted, ///< reached a branch/store/address or survived to the end
+    Skipped    ///< origin had no injectable destination
+};
+
+/** Aggregate results of a campaign. */
+struct InjectionResult
+{
+    std::uint64_t trials = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t skipped = 0;
+
+    double
+    corruptionRate() const
+    {
+        auto judged = corrupted + masked;
+        return judged ? static_cast<double>(corrupted) / judged : 0.0;
+    }
+
+    double
+    maskedRate() const
+    {
+        auto judged = corrupted + masked;
+        return judged ? static_cast<double>(masked) / judged : 0.0;
+    }
+};
+
+/** Runs injection trials over a commit trace. */
+class InjectionCampaign
+{
+  public:
+    /**
+     * @param trace     commit trace to inject into (not owned)
+     * @param max_depth propagation window per trial (records of the same
+     *                  thread examined after the origin); taint alive at
+     *                  the window's end counts as corruption
+     */
+    explicit InjectionCampaign(const CommitTrace &trace,
+                               std::size_t max_depth = 50000);
+
+    /** Adjudicate a fault in the destination value of record @p origin. */
+    InjectionOutcome injectAt(std::size_t origin) const;
+
+    /** Run @p trials with random origins drawn from @p seed. */
+    InjectionResult run(std::uint64_t trials, std::uint64_t seed) const;
+
+  private:
+    const CommitTrace &trace_;
+    std::size_t maxDepth_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_AVF_INJECTION_HH

@@ -1,0 +1,128 @@
+#include "avf/ledger.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+AvfLedger::AvfLedger(unsigned num_threads)
+    : numThreads_(num_threads)
+{
+    if (num_threads == 0 || num_threads > maxContexts)
+        SMTAVF_FATAL("ledger thread count out of range: ", num_threads);
+    for (std::size_t s = 0; s < numHwStructs; ++s) {
+        ace_[s].assign(num_threads, 0);
+        unAce_[s].assign(num_threads, 0);
+    }
+}
+
+void
+AvfLedger::setStructureBits(HwStruct s, std::uint64_t total_bits,
+                            std::uint64_t per_thread_bits)
+{
+    if (total_bits == 0)
+        SMTAVF_FATAL("structure ", hwStructName(s), " with zero bits");
+    structBits_[idx(s)] = total_bits;
+    perThreadBits_[idx(s)] = per_thread_bits ? per_thread_bits : total_bits;
+}
+
+void
+AvfLedger::addInterval(HwStruct s, ThreadId tid, std::uint32_t bits,
+                       Cycle start, Cycle end, bool ace)
+{
+    if (end < start)
+        SMTAVF_PANIC("interval ends before it starts: ", start, " .. ", end,
+                     " in ", hwStructName(s));
+    if (tid >= numThreads_)
+        SMTAVF_PANIC("interval from unknown thread ", tid);
+    std::uint64_t bit_cycles = static_cast<std::uint64_t>(bits) *
+                               (end - start);
+    if (ace)
+        ace_[idx(s)][tid] += bit_cycles;
+    else
+        unAce_[idx(s)][tid] += bit_cycles;
+}
+
+void
+AvfLedger::finalize(Cycle total_cycles)
+{
+    if (total_cycles == 0)
+        SMTAVF_FATAL("finalize with zero cycles");
+    totalCycles_ = total_cycles;
+    finalized_ = true;
+}
+
+std::uint64_t
+AvfLedger::aceBitCycles(HwStruct s) const
+{
+    std::uint64_t sum = 0;
+    for (auto v : ace_[idx(s)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+AvfLedger::aceBitCycles(HwStruct s, ThreadId tid) const
+{
+    return ace_[idx(s)].at(tid);
+}
+
+std::uint64_t
+AvfLedger::unAceBitCycles(HwStruct s) const
+{
+    std::uint64_t sum = 0;
+    for (auto v : unAce_[idx(s)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+AvfLedger::structureBits(HwStruct s) const
+{
+    return structBits_[idx(s)];
+}
+
+double
+AvfLedger::avf(HwStruct s) const
+{
+    if (!finalized_)
+        SMTAVF_PANIC("avf() before finalize()");
+    auto bits = structBits_[idx(s)];
+    if (bits == 0)
+        return 0.0;
+    return static_cast<double>(aceBitCycles(s)) /
+           (static_cast<double>(bits) * static_cast<double>(totalCycles_));
+}
+
+double
+AvfLedger::threadAvf(HwStruct s, ThreadId tid) const
+{
+    if (!finalized_)
+        SMTAVF_PANIC("threadAvf() before finalize()");
+    auto bits = perThreadBits_[idx(s)];
+    if (bits == 0)
+        return 0.0;
+    return static_cast<double>(aceBitCycles(s, tid)) /
+           (static_cast<double>(bits) * static_cast<double>(totalCycles_));
+}
+
+double
+AvfLedger::occupancy(HwStruct s) const
+{
+    if (!finalized_)
+        SMTAVF_PANIC("occupancy() before finalize()");
+    auto bits = structBits_[idx(s)];
+    if (bits == 0)
+        return 0.0;
+    return static_cast<double>(aceBitCycles(s) + unAceBitCycles(s)) /
+           (static_cast<double>(bits) * static_cast<double>(totalCycles_));
+}
+
+double
+AvfLedger::aceShare(HwStruct s) const
+{
+    auto total = aceBitCycles(s) + unAceBitCycles(s);
+    return total ? static_cast<double>(aceBitCycles(s)) / total : 0.0;
+}
+
+} // namespace smtavf

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The AVF ledger: central accumulator of ACE / un-ACE bit-residency.
+ *
+ * Following Mukherjee et al. (MICRO-36), a structure's AVF is the average
+ * fraction of its bits that hold ACE state:
+ *
+ *   AVF(s) = sum over intervals of (ACE bits x residency cycles)
+ *            -------------------------------------------------------
+ *                      bits(s) x total execution cycles
+ *
+ * Components report *closed* intervals with a final classification; the
+ * deferred pieces (dynamic deadness) are resolved by DeadCodeAnalyzer
+ * before reaching the ledger. Every interval carries the contributing
+ * thread so per-thread AVF (the paper's Figures 3-4) falls out directly.
+ */
+
+#ifndef SMTAVF_AVF_LEDGER_HH
+#define SMTAVF_AVF_LEDGER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "avf/structures.hh"
+#include "base/types.hh"
+
+namespace smtavf
+{
+
+/** Accumulates classified bit-residency per structure and thread. */
+class AvfLedger
+{
+  public:
+    explicit AvfLedger(unsigned num_threads);
+
+    /**
+     * Declare the total bit capacity of a structure. For per-thread
+     * private structures (ROB, LSQ), @p per_thread_bits is the capacity of
+     * one thread's instance — the denominator of that thread's AVF
+     * contribution (Figure 3). Zero (default) means the structure is
+     * shared and per-thread AVF uses the full capacity.
+     */
+    void setStructureBits(HwStruct s, std::uint64_t total_bits,
+                          std::uint64_t per_thread_bits = 0);
+
+    /**
+     * Record a closed residency interval [start, end) of @p bits bits
+     * belonging to thread @p tid in structure @p s, already classified.
+     */
+    void addInterval(HwStruct s, ThreadId tid, std::uint32_t bits,
+                     Cycle start, Cycle end, bool ace);
+
+    /** Fix the run length; AVFs are undefined before this is called. */
+    void finalize(Cycle total_cycles);
+
+    /** Aggregate AVF of a structure over the whole run. */
+    double avf(HwStruct s) const;
+
+    /** The AVF contribution of one thread to a structure. */
+    double threadAvf(HwStruct s, ThreadId tid) const;
+
+    /** Fraction of bit-cycles occupied at all (ACE + un-ACE). */
+    double occupancy(HwStruct s) const;
+
+    /** Fraction of occupied bit-cycles that are ACE. */
+    double aceShare(HwStruct s) const;
+
+    std::uint64_t structureBits(HwStruct s) const;
+    Cycle totalCycles() const { return totalCycles_; }
+    unsigned numThreads() const { return numThreads_; }
+    bool finalized() const { return finalized_; }
+
+    /** Raw ACE bit-cycles (for tests and MITF computations). */
+    std::uint64_t aceBitCycles(HwStruct s) const;
+    std::uint64_t aceBitCycles(HwStruct s, ThreadId tid) const;
+    std::uint64_t unAceBitCycles(HwStruct s) const;
+
+  private:
+    std::size_t idx(HwStruct s) const
+    {
+        return static_cast<std::size_t>(s);
+    }
+
+    unsigned numThreads_;
+    std::array<std::uint64_t, numHwStructs> structBits_{};
+    std::array<std::uint64_t, numHwStructs> perThreadBits_{};
+    // [structure][thread]
+    std::array<std::vector<std::uint64_t>, numHwStructs> ace_;
+    std::array<std::vector<std::uint64_t>, numHwStructs> unAce_;
+    Cycle totalCycles_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_AVF_LEDGER_HH

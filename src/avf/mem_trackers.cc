@@ -1,0 +1,148 @@
+#include "avf/mem_trackers.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+CacheVulnTracker::CacheVulnTracker(Cache &cache, AvfLedger &ledger,
+                                   HwStruct data_struct, HwStruct tag_struct,
+                                   bool per_byte)
+    : ledger_(ledger), dataStruct_(data_struct), tagStruct_(tag_struct),
+      lineBytes_(cache.config().lineBytes),
+      granBytes_(per_byte ? 1 : cache.config().lineBytes),
+      unitsPerLine_(lineBytes_ / granBytes_)
+{
+    auto lines = cache.numLines();
+    lines_.resize(lines);
+    units_.resize(static_cast<std::size_t>(lines) * unitsPerLine_);
+
+    // 48-bit physical tag minus index/offset bits, plus valid/dirty/LRU.
+    std::uint32_t offset_bits = std::countr_zero(lineBytes_);
+    std::uint32_t index_bits = std::countr_zero(cache.numSets());
+    tagBits_ = 48 - offset_bits - index_bits + 4;
+
+    ledger_.setStructureBits(dataStruct_,
+                             static_cast<std::uint64_t>(lines) * lineBytes_ *
+                                 bits::cacheByte);
+    ledger_.setStructureBits(tagStruct_,
+                             static_cast<std::uint64_t>(lines) * tagBits_);
+    cache.setObserver(this);
+}
+
+void
+CacheVulnTracker::onFill(std::uint32_t slot, Addr line_addr, ThreadId tid,
+                         Cycle now)
+{
+    (void)line_addr;
+    auto &line = lines_.at(slot);
+    if (line.valid)
+        SMTAVF_PANIC("fill into a live tracked line (missing eviction)");
+    line = {true, tid, now, now, false};
+    auto base = static_cast<std::size_t>(slot) * unitsPerLine_;
+    for (std::uint32_t b = 0; b < unitsPerLine_; ++b)
+        units_[base + b] = {now, false};
+}
+
+void
+CacheVulnTracker::onAccess(std::uint32_t slot, Addr addr, std::uint32_t size,
+                           bool is_write, ThreadId tid, Cycle now)
+{
+    (void)tid;
+    auto &line = lines_.at(slot);
+    if (!line.valid)
+        SMTAVF_PANIC("access to an invalid tracked line");
+    line.lastAccess = now;
+    if (is_write)
+        line.dirty = true;
+
+    std::uint32_t off = static_cast<std::uint32_t>(addr) &
+                        (lineBytes_ - 1);
+    std::uint32_t first = off / granBytes_;
+    std::uint32_t last = (off + size + granBytes_ - 1) / granBytes_;
+    if (last > unitsPerLine_)
+        last = unitsPerLine_;
+
+    auto base = static_cast<std::size_t>(slot) * unitsPerLine_;
+    for (std::uint32_t b = first; b < last; ++b) {
+        auto &unit = units_[base + b];
+        // An interval ending in a read carried a consumed value: ACE.
+        // One ending in an overwrite was never needed again: un-ACE.
+        ledger_.addInterval(dataStruct_, line.tid,
+                            granBytes_ * bits::cacheByte, unit.since, now,
+                            !is_write);
+        unit.since = now;
+        if (is_write)
+            unit.dirty = true;
+    }
+}
+
+void
+CacheVulnTracker::onEvict(std::uint32_t slot, bool dirty, Cycle now)
+{
+    auto &line = lines_.at(slot);
+    if (!line.valid)
+        SMTAVF_PANIC("evicting an invalid tracked line");
+
+    auto base = static_cast<std::size_t>(slot) * unitsPerLine_;
+    for (std::uint32_t b = 0; b < unitsPerLine_; ++b) {
+        auto &unit = units_[base + b];
+        // Dirty bytes must survive to the writeback; clean tails are dead.
+        ledger_.addInterval(dataStruct_, line.tid,
+                            granBytes_ * bits::cacheByte, unit.since, now,
+                            unit.dirty);
+    }
+
+    if (dirty || line.dirty) {
+        ledger_.addInterval(tagStruct_, line.tid, tagBits_, line.fillCycle,
+                            now, true);
+    } else {
+        ledger_.addInterval(tagStruct_, line.tid, tagBits_, line.fillCycle,
+                            line.lastAccess, true);
+        ledger_.addInterval(tagStruct_, line.tid, tagBits_, line.lastAccess,
+                            now, false);
+    }
+    line.valid = false;
+}
+
+TlbVulnTracker::TlbVulnTracker(Tlb &tlb, AvfLedger &ledger,
+                               HwStruct structure)
+    : ledger_(ledger), struct_(structure)
+{
+    entries_.resize(tlb.config().entries);
+    ledger_.setStructureBits(structure,
+                             static_cast<std::uint64_t>(
+                                 tlb.config().entries) * bits::tlbEntry);
+    tlb.setObserver(this);
+}
+
+void
+TlbVulnTracker::onFill(std::uint32_t slot, ThreadId tid, Cycle now)
+{
+    entries_.at(slot) = {true, tid, now};
+}
+
+void
+TlbVulnTracker::onHit(std::uint32_t slot, ThreadId tid, Cycle now)
+{
+    (void)tid;
+    auto &e = entries_.at(slot);
+    if (!e.valid)
+        SMTAVF_PANIC("TLB hit on invalid tracked entry");
+    ledger_.addInterval(struct_, e.tid, bits::tlbEntry, e.last, now, true);
+    e.last = now;
+}
+
+void
+TlbVulnTracker::onEvict(std::uint32_t slot, Cycle now)
+{
+    auto &e = entries_.at(slot);
+    if (!e.valid)
+        SMTAVF_PANIC("TLB eviction of invalid tracked entry");
+    ledger_.addInterval(struct_, e.tid, bits::tlbEntry, e.last, now, false);
+    e.valid = false;
+}
+
+} // namespace smtavf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * AVF trackers for address-based structures (Biswas et al., ISCA-32):
+ * the DL1 data array at per-byte granularity, the DL1 tag array, and the
+ * TLBs. They observe the cache/TLB models through the observer interfaces
+ * and emit classified residency intervals straight to the ledger.
+ *
+ * Classification rules:
+ *  - data byte: an interval that *ends in a read* is ACE (the value was
+ *    consumed); one that ends in an overwrite or clean eviction is un-ACE;
+ *    a dirty byte's final interval is ACE through eviction (the value must
+ *    survive writeback).
+ *  - tag: live tag bits participate in every lookup of the set, so a dirty
+ *    line's tag is ACE for its entire residency and a clean line's tag is
+ *    ACE up to its last access (the tail until eviction is un-ACE). This
+ *    is what makes DL1-tag AVF exceed DL1-data AVF in the paper: only the
+ *    referenced bytes of a block are ACE, but all its tag bits are.
+ *  - TLB entry: ACE between uses, un-ACE from last use to eviction.
+ */
+
+#ifndef SMTAVF_AVF_MEM_TRACKERS_HH
+#define SMTAVF_AVF_MEM_TRACKERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "avf/ledger.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+
+namespace smtavf
+{
+
+/** Per-byte data-array plus tag-array AVF tracking for one cache. */
+class CacheVulnTracker : public CacheObserver
+{
+  public:
+    /**
+     * @param cache       the cache to observe (registers itself)
+     * @param ledger      interval destination
+     * @param data_struct ledger id for the data array
+     * @param tag_struct  ledger id for the tag array
+     * @param per_byte    track data liveness per byte (true, the paper's
+     *                    model) or per whole line (the DESIGN.md ablation)
+     */
+    CacheVulnTracker(Cache &cache, AvfLedger &ledger, HwStruct data_struct,
+                     HwStruct tag_struct, bool per_byte = true);
+
+    void onFill(std::uint32_t slot, Addr line_addr, ThreadId tid,
+                Cycle now) override;
+    void onAccess(std::uint32_t slot, Addr addr, std::uint32_t size,
+                  bool is_write, ThreadId tid, Cycle now) override;
+    void onEvict(std::uint32_t slot, bool dirty, Cycle now) override;
+
+    /** Tag bits modelled per line (address tag + valid/dirty/LRU state). */
+    std::uint32_t tagBitsPerLine() const { return tagBits_; }
+
+  private:
+    struct ByteState
+    {
+        Cycle since = 0;
+        bool dirty = false;
+    };
+
+    struct LineState
+    {
+        bool valid = false;
+        ThreadId tid = 0;
+        Cycle fillCycle = 0;
+        Cycle lastAccess = 0;
+        bool dirty = false;
+    };
+
+    AvfLedger &ledger_;
+    HwStruct dataStruct_;
+    HwStruct tagStruct_;
+    std::uint32_t lineBytes_;
+    /** Tracking granule: 1 byte (per-byte mode) or the whole line. */
+    std::uint32_t granBytes_;
+    std::uint32_t unitsPerLine_;
+    std::uint32_t tagBits_;
+    std::vector<LineState> lines_;
+    std::vector<ByteState> units_; ///< lines x unitsPerLine, flattened
+};
+
+/** TLB entry residency AVF tracking. */
+class TlbVulnTracker : public TlbObserver
+{
+  public:
+    TlbVulnTracker(Tlb &tlb, AvfLedger &ledger, HwStruct structure);
+
+    void onFill(std::uint32_t slot, ThreadId tid, Cycle now) override;
+    void onHit(std::uint32_t slot, ThreadId tid, Cycle now) override;
+    void onEvict(std::uint32_t slot, Cycle now) override;
+
+  private:
+    struct EntryState
+    {
+        bool valid = false;
+        ThreadId tid = 0;
+        Cycle last = 0;
+    };
+
+    AvfLedger &ledger_;
+    HwStruct struct_;
+    std::vector<EntryState> entries_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_AVF_MEM_TRACKERS_HH

@@ -1,0 +1,83 @@
+#include "avf/report.hh"
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace smtavf
+{
+
+AvfReport
+AvfReport::fromLedger(const AvfLedger &ledger)
+{
+    if (!ledger.finalized())
+        SMTAVF_PANIC("report from unfinalized ledger");
+
+    AvfReport r;
+    r.numThreads_ = ledger.numThreads();
+    r.cycles_ = ledger.totalCycles();
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        if (ledger.structureBits(s) == 0)
+            continue;
+        r.avf_[i] = ledger.avf(s);
+        r.occupancy_[i] = ledger.occupancy(s);
+        for (ThreadId t = 0; t < r.numThreads_; ++t)
+            r.threadAvf_[i][t] = ledger.threadAvf(s, t);
+    }
+    return r;
+}
+
+double
+AvfReport::avf(HwStruct s) const
+{
+    return avf_[static_cast<std::size_t>(s)];
+}
+
+double
+AvfReport::threadAvf(HwStruct s, ThreadId tid) const
+{
+    if (tid >= numThreads_)
+        SMTAVF_PANIC("threadAvf for unknown thread ", tid);
+    return threadAvf_[static_cast<std::size_t>(s)][tid];
+}
+
+double
+AvfReport::occupancy(HwStruct s) const
+{
+    return occupancy_[static_cast<std::size_t>(s)];
+}
+
+const std::vector<HwStruct> &
+AvfReport::figureStructs()
+{
+    static const std::vector<HwStruct> order = {
+        HwStruct::IQ, HwStruct::FU, HwStruct::RegFile,
+        HwStruct::Dl1Data, HwStruct::Dl1Tag, HwStruct::ROB,
+        HwStruct::LsqData, HwStruct::LsqTag,
+    };
+    return order;
+}
+
+std::string
+AvfReport::str() const
+{
+    std::vector<std::string> header = {"structure", "AVF", "occupancy"};
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        header.push_back("T" + std::to_string(t));
+    TextTable table(std::move(header));
+
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        if (occupancy_[i] == 0.0 && avf_[i] == 0.0)
+            continue;
+        std::vector<std::string> row = {hwStructName(s),
+                                        TextTable::pct(avf_[i], 2),
+                                        TextTable::pct(occupancy_[i], 2)};
+        for (ThreadId t = 0; t < numThreads_; ++t)
+            row.push_back(TextTable::pct(threadAvf_[i][t], 2));
+        table.addRow(std::move(row));
+    }
+    return table.str();
+}
+
+} // namespace smtavf

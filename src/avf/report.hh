@@ -1,0 +1,60 @@
+/**
+ * @file
+ * End-of-run AVF report: a value object extracted from the ledger that
+ * experiments, tests and bench harnesses consume without holding the
+ * simulator alive.
+ */
+
+#ifndef SMTAVF_AVF_REPORT_HH
+#define SMTAVF_AVF_REPORT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "avf/ledger.hh"
+
+namespace smtavf
+{
+
+/** Immutable per-run AVF summary. */
+class AvfReport
+{
+  public:
+    AvfReport() = default;
+
+    /** Snapshot a finalized ledger. */
+    static AvfReport fromLedger(const AvfLedger &ledger);
+
+    /** Aggregate AVF of a structure. */
+    double avf(HwStruct s) const;
+
+    /** One thread's AVF contribution to a structure. */
+    double threadAvf(HwStruct s, ThreadId tid) const;
+
+    /** Occupancy (ACE + un-ACE share of bit-cycles). */
+    double occupancy(HwStruct s) const;
+
+    unsigned numThreads() const { return numThreads_; }
+    Cycle cycles() const { return cycles_; }
+
+    /** Human-readable dump of all tracked structures. */
+    std::string str() const;
+
+    /**
+     * The structures the paper's figures plot, in figure order:
+     * IQ, FU, Reg, DL1_data, DL1_tag, ROB, LSQ_data, LSQ_tag.
+     */
+    static const std::vector<HwStruct> &figureStructs();
+
+  private:
+    unsigned numThreads_ = 0;
+    Cycle cycles_ = 0;
+    std::array<double, numHwStructs> avf_{};
+    std::array<double, numHwStructs> occupancy_{};
+    std::array<std::array<double, maxContexts>, numHwStructs> threadAvf_{};
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_AVF_REPORT_HH

@@ -1,0 +1,85 @@
+#include "avf/timeline.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+AvfTimeline::AvfTimeline(const AvfLedger &ledger, Cycle interval)
+    : ledger_(ledger), interval_(interval), nextBoundary_(interval)
+{
+    if (interval == 0)
+        SMTAVF_FATAL("timeline interval must be positive");
+    // Snapshot capacities so window queries survive the ledger.
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        bits_[i] = ledger_.structureBits(s);
+    }
+}
+
+void
+AvfTimeline::closeWindow(Cycle end)
+{
+    if (end <= windowStart_)
+        return;
+    Window w;
+    w.length = end - windowStart_;
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        std::uint64_t ace = ledger_.aceBitCycles(s);
+        w.aceDelta[i] = ace - lastAce_[i];
+        lastAce_[i] = ace;
+    }
+    windows_.push_back(w);
+    windowStart_ = end;
+}
+
+void
+AvfTimeline::tick(Cycle now)
+{
+    while (now >= nextBoundary_) {
+        closeWindow(nextBoundary_);
+        nextBoundary_ += interval_;
+    }
+}
+
+void
+AvfTimeline::finish(Cycle now)
+{
+    closeWindow(now);
+}
+
+double
+AvfTimeline::windowAvf(HwStruct s, std::size_t w) const
+{
+    const auto &win = windows_.at(w);
+    auto bits = bits_[static_cast<std::size_t>(s)];
+    if (bits == 0 || win.length == 0)
+        return 0.0;
+    return static_cast<double>(
+               win.aceDelta[static_cast<std::size_t>(s)]) /
+           (static_cast<double>(bits) * static_cast<double>(win.length));
+}
+
+double
+AvfTimeline::variability(HwStruct s) const
+{
+    if (windows_.size() < 2)
+        return 0.0;
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+        double v = windowAvf(s, w);
+        sum += v;
+        sq += v * v;
+    }
+    double n = static_cast<double>(windows_.size());
+    double mean = sum / n;
+    if (mean <= 0.0)
+        return 0.0;
+    double var = sq / n - mean * mean;
+    return std::sqrt(var < 0 ? 0 : var) / mean;
+}
+
+} // namespace smtavf

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Windowed AVF tracking: samples the ledger's ACE accumulators at a fixed
+ * cycle interval so the per-window AVF of each structure can be plotted
+ * over execution — the microarchitecture vulnerability *phase behaviour*
+ * the authors study in their companion paper (Fu, Poe, Li & Fortes,
+ * MASCOTS 2006; reference [8] of the reproduced paper).
+ *
+ * Granularity note: the ledger books an interval's bit-cycles when the
+ * interval *closes* (commit/squash/evict), so a long-latency residency
+ * lands in the window where it resolves. Windows of a few thousand cycles
+ * smooth this; per-window values can legitimately exceed 1 right after a
+ * long stall drains.
+ */
+
+#ifndef SMTAVF_AVF_TIMELINE_HH
+#define SMTAVF_AVF_TIMELINE_HH
+
+#include <array>
+#include <vector>
+
+#include "avf/ledger.hh"
+
+namespace smtavf
+{
+
+/** Periodic AVF samples over a run. */
+class AvfTimeline
+{
+  public:
+    /**
+     * @param ledger   the ledger to sample (must outlive the timeline)
+     * @param interval window length in cycles (> 0)
+     */
+    AvfTimeline(const AvfLedger &ledger, Cycle interval);
+
+    /**
+     * Close the current window if @p now crossed a boundary. Call once
+     * per cycle (cheap: one comparison off the boundary).
+     */
+    void tick(Cycle now);
+
+    /** Close the final (possibly partial) window. */
+    void finish(Cycle now);
+
+    Cycle interval() const { return interval_; }
+    std::size_t windows() const { return windows_.size(); }
+
+    /** Per-window AVF of @p s (window w covers [w*interval, ...)). */
+    double windowAvf(HwStruct s, std::size_t w) const;
+
+    /** Coefficient-of-variation-like spread of a structure's phases. */
+    double variability(HwStruct s) const;
+
+  private:
+    struct Window
+    {
+        Cycle length = 0;
+        std::array<std::uint64_t, numHwStructs> aceDelta{};
+    };
+
+    void closeWindow(Cycle end);
+
+    const AvfLedger &ledger_; ///< only read until finish()
+    std::array<std::uint64_t, numHwStructs> bits_{}; ///< snapshot at ctor
+    Cycle interval_;
+    Cycle windowStart_ = 0;
+    Cycle nextBoundary_;
+    std::array<std::uint64_t, numHwStructs> lastAce_{};
+    std::vector<Window> windows_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_AVF_TIMELINE_HH

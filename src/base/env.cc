@@ -1,0 +1,23 @@
+#include "base/env.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace smtavf
+{
+
+std::uint64_t
+benchScale()
+{
+    const char *raw = std::getenv("SMTAVF_SCALE");
+    if (!raw)
+        return 1;
+    try {
+        long long v = std::stoll(raw);
+        return v < 1 ? 1 : static_cast<std::uint64_t>(v);
+    } catch (...) {
+        return 1;
+    }
+}
+
+} // namespace smtavf

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Environment knobs shared by the bench harnesses (e.g. SMTAVF_SCALE).
+ */
+
+#ifndef SMTAVF_BASE_ENV_HH
+#define SMTAVF_BASE_ENV_HH
+
+#include <cstdint>
+
+namespace smtavf
+{
+
+/**
+ * Read SMTAVF_SCALE from the environment (default 1). Bench harnesses
+ * multiply their simulated-instruction budgets by this to trade accuracy
+ * for wall-clock time; the paper's scale corresponds to roughly 500.
+ */
+std::uint64_t benchScale();
+
+} // namespace smtavf
+
+#endif // SMTAVF_BASE_ENV_HH

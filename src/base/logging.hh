@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn() and
+ * inform() for non-fatal notices.
+ */
+
+#ifndef SMTAVF_BASE_LOGGING_HH
+#define SMTAVF_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace smtavf
+{
+
+namespace detail
+{
+
+/** Terminate with an internal-error message (calls std::abort). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error message (calls std::exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stdout. */
+void informImpl(const std::string &msg);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** True while unit tests redirect fatal/panic into exceptions. */
+void setLoggingThrows(bool throws);
+
+/** Exception thrown instead of terminating when setLoggingThrows(true). */
+struct SimError
+{
+    std::string message;
+};
+
+} // namespace smtavf
+
+/** Internal invariant violated: a bug in the simulator itself. */
+#define SMTAVF_PANIC(...) \
+    ::smtavf::detail::panicImpl(__FILE__, __LINE__, \
+                                ::smtavf::detail::concat(__VA_ARGS__))
+
+/** The simulation cannot continue because of a user/config error. */
+#define SMTAVF_FATAL(...) \
+    ::smtavf::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::smtavf::detail::concat(__VA_ARGS__))
+
+/** Non-fatal suspicious condition. */
+#define SMTAVF_WARN(...) \
+    ::smtavf::detail::warnImpl(__FILE__, __LINE__, \
+                               ::smtavf::detail::concat(__VA_ARGS__))
+
+/** Status message for the user. */
+#define SMTAVF_INFORM(...) \
+    ::smtavf::detail::informImpl(::smtavf::detail::concat(__VA_ARGS__))
+
+#endif // SMTAVF_BASE_LOGGING_HH

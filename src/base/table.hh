@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table formatting used by the bench harnesses so every figure
+ * and table of the paper prints as aligned rows/series.
+ */
+
+#ifndef SMTAVF_BASE_TABLE_HH
+#define SMTAVF_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace smtavf
+{
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the whole table. */
+    std::string str() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_BASE_TABLE_HH

@@ -1,0 +1,62 @@
+#include "branch/btb.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+Btb::Btb(std::uint32_t entries, std::uint32_t ways)
+    : entries_(entries), sets_(entries / ways), ways_(ways)
+{
+    if (entries == 0 || ways == 0 || entries % ways != 0)
+        SMTAVF_FATAL("BTB geometry invalid: ", entries, " entries / ", ways,
+                     " ways");
+    if ((sets_ & (sets_ - 1)) != 0)
+        SMTAVF_FATAL("BTB set count must be a power of two");
+}
+
+std::uint32_t
+Btb::setIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2) & (sets_ - 1);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    auto set = setIndex(pc);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        auto &e = entries_[set * ways_ + w];
+        if (e.valid && e.tag == pc) {
+            e.lastUse = ++useClock_;
+            ++hits_;
+            return e.target;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    auto set = setIndex(pc);
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        auto &e = entries_[set * ways_ + w];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lastUse = ++useClock_;
+            return;
+        }
+        if (!victim || !e.valid ||
+            (victim->valid && e.lastUse < victim->lastUse))
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = ++useClock_;
+}
+
+} // namespace smtavf

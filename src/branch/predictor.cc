@@ -1,0 +1,92 @@
+#include "branch/predictor.hh"
+
+namespace smtavf
+{
+
+ThreadPredictor::ThreadPredictor(const BranchConfig &cfg)
+    : gshare_(cfg.gshareEntries, cfg.historyBits),
+      btb_(cfg.btbEntries, cfg.btbWays),
+      ras_(cfg.rasEntries)
+{
+}
+
+void
+ThreadPredictor::predict(DynInstr &in)
+{
+    if (!in.isBranch())
+        return;
+
+    ++branches_;
+    in.predHistory = gshare_.history();
+    auto ras_state = ras_.save();
+    in.rasTop = ras_state.top;
+    in.rasDepth = ras_state.depth;
+
+    switch (in.op) {
+      case OpClass::BranchCond: {
+        in.predTaken = gshare_.predict(in.pc);
+        bool dir_wrong = in.predTaken != in.branchTaken;
+        bool target_wrong = false;
+        if (in.predTaken) {
+            auto target = btb_.lookup(in.pc);
+            target_wrong = !target || *target != in.branchTarget;
+        }
+        in.mispredicted = dir_wrong || (in.predTaken && target_wrong);
+        // Repair history with the actual outcome: post-recovery state.
+        gshare_.speculate(in.branchTaken);
+        break;
+      }
+
+      case OpClass::BranchUncond: {
+        in.predTaken = true;
+        auto target = btb_.lookup(in.pc);
+        in.mispredicted = !target || *target != in.branchTarget;
+        break;
+      }
+
+      case OpClass::Call: {
+        in.predTaken = true;
+        auto target = btb_.lookup(in.pc);
+        in.mispredicted = !target || *target != in.branchTarget;
+        ras_.push(in.pc + 4);
+        break;
+      }
+
+      case OpClass::Return: {
+        in.predTaken = true;
+        Addr predicted = ras_.pop();
+        in.mispredicted = predicted != in.branchTarget;
+        break;
+      }
+
+      default:
+        return;
+    }
+
+    if (in.mispredicted)
+        ++mispredicts_;
+}
+
+void
+ThreadPredictor::squashRecover(const DynInstr &in)
+{
+    if (!in.isBranch())
+        return;
+    if (in.op == OpClass::BranchCond)
+        gshare_.restoreHistory(in.predHistory);
+    if (in.op == OpClass::Call || in.op == OpClass::Return)
+        ras_.restore({in.rasTop, in.rasDepth});
+}
+
+void
+ThreadPredictor::train(const DynInstr &in)
+{
+    if (!in.isBranch())
+        return;
+    if (in.op == OpClass::BranchCond)
+        gshare_.update(in.pc, in.branchTaken, in.predHistory);
+    if (in.branchTaken && in.op != OpClass::Return)
+        btb_.update(in.pc, in.branchTarget);
+}
+
+} // namespace smtavf

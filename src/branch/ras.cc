@@ -1,0 +1,41 @@
+#include "branch/ras.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+Ras::Ras(std::uint32_t entries)
+    : stack_(entries, 0)
+{
+    if (entries == 0)
+        SMTAVF_FATAL("RAS needs at least one entry");
+}
+
+void
+Ras::push(Addr return_addr)
+{
+    top_ = (top_ + 1) % stack_.size();
+    stack_[top_] = return_addr;
+    if (depth_ < stack_.size())
+        ++depth_;
+}
+
+Addr
+Ras::pop()
+{
+    Addr predicted = stack_[top_];
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    if (depth_ > 0)
+        --depth_;
+    return predicted;
+}
+
+void
+Ras::restore(State s)
+{
+    top_ = s.top % stack_.size();
+    depth_ = s.depth;
+}
+
+} // namespace smtavf

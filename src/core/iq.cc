@@ -1,0 +1,52 @@
+#include "core/iq.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+IssueQueue::IssueQueue(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        SMTAVF_FATAL("IQ capacity must be positive");
+}
+
+void
+IssueQueue::insert(const InstPtr &in)
+{
+    if (full())
+        SMTAVF_PANIC("insert into a full IQ");
+    if (!entries_.empty() && entries_.back()->globalSeq >= in->globalSeq)
+        SMTAVF_PANIC("IQ insert out of global dispatch order");
+    entries_.push_back(in);
+    in->inIq = true;
+}
+
+void
+IssueQueue::remove(const InstPtr &in)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (*it == in) {
+            (*it)->inIq = false;
+            entries_.erase(it);
+            return;
+        }
+    }
+    SMTAVF_PANIC("removing an instruction not in the IQ");
+}
+
+void
+IssueQueue::removeSquashed(ThreadId tid, SeqNum seq)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if ((*it)->tid == tid && (*it)->seq > seq) {
+            (*it)->inIq = false;
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace smtavf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The shared issue/instruction queue (Table 1: 96 entries shared by all
+ * contexts). Instructions wait here from dispatch until their operands are
+ * ready and a function unit is available; oldest-first (global dispatch
+ * order) selection.
+ *
+ * Its AVF is the paper's headline hotspot: multithreading keeps the queue
+ * full of ACE bits waiting on operands, and memory-bound threads stretch
+ * that residency across L2-miss latencies.
+ */
+
+#ifndef SMTAVF_CORE_IQ_HH
+#define SMTAVF_CORE_IQ_HH
+
+#include <list>
+
+#include "base/types.hh"
+#include "isa/instr.hh"
+
+namespace smtavf
+{
+
+/** Shared issue queue ordered by global dispatch age. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(std::uint32_t capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t freeSlots() const
+    {
+        return capacity_ - static_cast<std::uint32_t>(entries_.size());
+    }
+
+    /** Insert at the tail (callers dispatch in global age order). */
+    void insert(const InstPtr &in);
+
+    /** Remove an issued instruction. */
+    void remove(const InstPtr &in);
+
+    /** Remove every entry of @p tid with seq > @p seq (squash). */
+    void removeSquashed(ThreadId tid, SeqNum seq);
+
+    /** Oldest-first iteration for the select stage. */
+    auto begin() { return entries_.begin(); }
+    auto end() { return entries_.end(); }
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+  private:
+    std::uint32_t capacity_;
+    std::list<InstPtr> entries_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_CORE_IQ_HH

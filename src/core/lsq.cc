@@ -1,0 +1,73 @@
+#include "core/lsq.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+Lsq::Lsq(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        SMTAVF_FATAL("LSQ capacity must be positive");
+}
+
+void
+Lsq::push(const InstPtr &in)
+{
+    if (full())
+        SMTAVF_PANIC("push into a full LSQ");
+    if (!in->isMem())
+        SMTAVF_PANIC("non-memory instruction pushed into the LSQ");
+    entries_.push_back(in);
+}
+
+void
+Lsq::popCommitted(const InstPtr &in)
+{
+    if (entries_.empty() || entries_.front() != in)
+        SMTAVF_PANIC("LSQ commit out of order");
+    entries_.pop_front();
+}
+
+void
+Lsq::squashAfter(SeqNum seq)
+{
+    while (!entries_.empty() && entries_.back()->seq > seq)
+        entries_.pop_back();
+}
+
+bool
+Lsq::overlaps(const DynInstr &a, const DynInstr &b)
+{
+    Addr a_end = a.memAddr + a.memSize;
+    Addr b_end = b.memAddr + b.memSize;
+    return a.memAddr < b_end && b.memAddr < a_end;
+}
+
+bool
+Lsq::loadMayIssue(const InstPtr &load) const
+{
+    for (const auto &e : entries_) {
+        if (e->seq >= load->seq)
+            break;
+        if (e->op == OpClass::Store && !e->issued)
+            return false;
+    }
+    return true;
+}
+
+bool
+Lsq::canForward(const InstPtr &load) const
+{
+    bool forward = false;
+    for (const auto &e : entries_) {
+        if (e->seq >= load->seq)
+            break;
+        if (e->op == OpClass::Store && e->issued && overlaps(*e, *load))
+            forward = true; // youngest older overlapping store wins
+    }
+    return forward;
+}
+
+} // namespace smtavf

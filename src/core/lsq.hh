@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-thread load/store queue (Table 1: 48 entries per thread). Provides
+ * conservative memory disambiguation (a load may issue only once every
+ * older store of its thread has executed its address/data) and
+ * store-to-load forwarding.
+ */
+
+#ifndef SMTAVF_CORE_LSQ_HH
+#define SMTAVF_CORE_LSQ_HH
+
+#include <deque>
+
+#include "base/types.hh"
+#include "isa/instr.hh"
+
+namespace smtavf
+{
+
+/** One thread's combined load/store queue. */
+class Lsq
+{
+  public:
+    explicit Lsq(std::uint32_t capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Append at dispatch (program order). */
+    void push(const InstPtr &in);
+
+    /** Remove the committing instruction (must be the oldest). */
+    void popCommitted(const InstPtr &in);
+
+    /** Remove squashed entries with seq > @p seq. */
+    void squashAfter(SeqNum seq);
+
+    /**
+     * Disambiguation test: true when every store older than @p load has
+     * issued (addresses and data known).
+     */
+    bool loadMayIssue(const InstPtr &load) const;
+
+    /**
+     * Forwarding test: true when the youngest older store overlapping the
+     * load's bytes can supply the data directly (no cache access needed).
+     */
+    bool canForward(const InstPtr &load) const;
+
+  private:
+    static bool overlaps(const DynInstr &a, const DynInstr &b);
+
+    std::uint32_t capacity_;
+    std::deque<InstPtr> entries_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_CORE_LSQ_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Full machine configuration. Defaults reproduce the paper's Table 1:
+ * 8-wide fetch/issue/commit, 7-stage pipeline, 96-entry shared IQ,
+ * 96-entry per-thread ROB, 48-entry per-thread LSQ, the Table-1 cache/TLB
+ * hierarchy, per-thread gshare/BTB/RAS, and the ICOUNT baseline fetch
+ * policy. The physical register pool (not listed in Table 1) is sized at
+ * 448+448 so that a lone thread renames freely while 4-8 contexts contend
+ * for it — the contention the paper's Section 4.1/4.2 analyses.
+ */
+
+#ifndef SMTAVF_CORE_MACHINE_CONFIG_HH
+#define SMTAVF_CORE_MACHINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "branch/predictor.hh"
+#include "core/fu_pool.hh"
+#include "mem/hierarchy.hh"
+#include "policy/fetch_policy.hh"
+
+namespace smtavf
+{
+
+/** AVF-model switches (the DESIGN.md ablations). */
+struct AvfOptions
+{
+    /** Classify first-level dynamically dead results un-ACE. */
+    bool deadCodeAnalysis = true;
+    /** Fetch and execute wrong-path instructions past mispredicts. */
+    bool wrongPathModel = true;
+    /** Track DL1 data liveness per byte (false: per line). */
+    bool perByteCacheAvf = true;
+    /** Registers are un-ACE from allocation to writeback. */
+    bool regAllocWindowUnace = true;
+    /**
+     * Also track the unified L2's AVF (extension; the paper stops at the
+     * DL1). Tracked at line granularity — per-byte state for a 2MB cache
+     * costs ~32MB per simulator and adds little: L2 "reads" are whole-line
+     * refills anyway.
+     */
+    bool trackL2Avf = false;
+};
+
+/** Everything needed to build a Simulator. */
+struct MachineConfig
+{
+    unsigned contexts = 4;
+
+    // widths (Table 1: 8-wide fetch/issue/commit)
+    std::uint32_t fetchWidth = 8;
+    std::uint32_t decodeWidth = 8;
+    std::uint32_t issueWidth = 8;
+    std::uint32_t commitWidth = 8;
+    std::uint32_t fetchThreadsPerCycle = 2; ///< ICOUNT.2.8-style front end
+
+    /** Fetch-to-dispatch stages (7-stage pipe: F D R DI IS EX WB). */
+    std::uint32_t frontLatency = 3;
+    std::uint32_t fetchQueueSize = 16; ///< per-thread fetch/decode buffer
+
+    std::uint32_t iqSize = 96;   ///< shared
+    std::uint32_t robSize = 96;  ///< per thread
+    std::uint32_t lsqSize = 48;  ///< per thread
+
+    /**
+     * Reliability-aware static IQ partitioning (the paper's Section-5
+     * proposal): when true, no thread may occupy more than
+     * iqSize / contexts issue-queue entries, preventing one clogged
+     * dependence chain from filling the shared queue with ACE bits.
+     */
+    bool iqPartitioned = false;
+
+    std::uint32_t intPhysRegs = 448; ///< shared pool
+    std::uint32_t fpPhysRegs = 448;  ///< shared pool
+
+    FuConfig fu{};
+    BranchConfig branch{};
+    MemConfig mem{};
+
+    FetchPolicyKind fetchPolicy = FetchPolicyKind::Icount;
+
+    /**
+     * Pre-install each thread's code/hot/warm footprints into IL1/DL1/L2
+     * and the TLBs before cycle 0. The paper's SimPoint regions are
+     * effectively warmed by 100M+ instructions; short simulations need
+     * this to avoid a compulsory-miss regime the paper never measured.
+     */
+    bool prewarmCaches = true;
+
+    AvfOptions avf{};
+
+    /**
+     * Sample the per-structure AVF every this many cycles into a timeline
+     * (vulnerability phase behaviour). 0 disables sampling.
+     */
+    Cycle avfSampleCycles = 0;
+
+    /**
+     * Record the architectural commit trace so fault-injection campaigns
+     * (avf/injection.hh) can cross-validate the ACE classification.
+     */
+    bool recordCommitTrace = false;
+
+    std::uint64_t seed = 1;
+
+    /** Fatal on inconsistent parameters. */
+    void
+    validate() const
+    {
+        if (contexts == 0 || contexts > maxContexts)
+            SMTAVF_FATAL("contexts out of range: ", contexts);
+        if (fetchWidth == 0 || issueWidth == 0 || commitWidth == 0)
+            SMTAVF_FATAL("pipeline widths must be positive");
+        if (fetchThreadsPerCycle == 0)
+            SMTAVF_FATAL("fetchThreadsPerCycle must be positive");
+        if (iqSize == 0 || robSize == 0 || lsqSize == 0)
+            SMTAVF_FATAL("queue sizes must be positive");
+        if (intPhysRegs < contexts * 32u || fpPhysRegs < contexts * 32u)
+            SMTAVF_FATAL("register pool too small to hold committed state: ",
+                         intPhysRegs, "/", fpPhysRegs, " for ", contexts,
+                         " contexts");
+    }
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_CORE_MACHINE_CONFIG_HH

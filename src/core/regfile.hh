@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared physical register file pool (integer + floating point).
+ *
+ * The pool is the contended resource that produces the paper's Section 4.2
+ * observations: with more contexts, fewer registers are available per
+ * thread for renaming (limiting ROB utilization), and a register's
+ * residency splits into
+ *
+ *   [allocate, writeback)  un-ACE: no valid data yet; a strike is
+ *                          overwritten at writeback
+ *   [writeback, last read] ACE: the value will be consumed
+ *   (last read, release]   un-ACE: dead tail
+ *
+ * with the whole value interval un-ACE when the producing instruction is
+ * dynamically dead. Release happens when the next writer of the same
+ * architectural register commits, which is exactly when deadness resolves.
+ */
+
+#ifndef SMTAVF_CORE_REGFILE_HH
+#define SMTAVF_CORE_REGFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "avf/ledger.hh"
+#include "base/types.hh"
+
+namespace smtavf
+{
+
+/** The shared physical register pool. */
+class PhysRegFile
+{
+  public:
+    /**
+     * @param num_int         integer physical registers
+     * @param num_fp          floating-point physical registers
+     * @param ledger          AVF interval destination
+     * @param alloc_unace     model the allocate-to-writeback window as
+     *                        un-ACE (true; setting false is the DESIGN.md
+     *                        "register allocation window" ablation, which
+     *                        counts allocated-but-unwritten bits ACE)
+     * @param dead_aware      end a value's ACE window at its last
+     *                        committed read (knowing the tail is dead
+     *                        requires the deferred dead-code analysis);
+     *                        false = conservative: committed values are
+     *                        ACE until overwritten (the "no dead-code
+     *                        analysis" ablation)
+     */
+    PhysRegFile(std::uint32_t num_int, std::uint32_t num_fp,
+                AvfLedger &ledger, bool alloc_unace = true,
+                bool dead_aware = true);
+
+    /** Allocate a register; invalidReg when the pool is exhausted. */
+    RegIndex alloc(bool fp, ThreadId tid, Cycle now);
+
+    /** Value written at writeback: becomes ready for consumers. */
+    void markWritten(RegIndex phys, Cycle now);
+
+    /** True once the value has been written (wakeup test). */
+    bool isReady(RegIndex phys) const;
+
+    /** A committed consumer read the value (read time = its issue). */
+    void noteRead(RegIndex phys, Cycle read_cycle);
+
+    /**
+     * Release at the next writer's commit; emits the classified residency
+     * intervals. @p producer_dead marks the whole value window un-ACE.
+     */
+    void release(RegIndex phys, Cycle now, bool producer_dead);
+
+    /** Release on squash: the whole residency is un-ACE. */
+    void releaseSquashed(RegIndex phys, Cycle now);
+
+    /** Close intervals of still-allocated registers at end of run. */
+    void finalizeAll(Cycle now);
+
+    std::uint32_t freeInt() const { return freeInt_; }
+    std::uint32_t freeFp() const { return freeFp_; }
+    std::uint32_t numInt() const { return numInt_; }
+    std::uint32_t numFp() const { return numFp_; }
+    std::uint64_t totalBits() const;
+
+  private:
+    struct Reg
+    {
+        bool allocated = false;
+        bool written = false;
+        ThreadId tid = 0;
+        Cycle allocCycle = 0;
+        Cycle wbCycle = 0;
+        Cycle lastRead = 0;
+    };
+
+    void emitIntervals(Reg &r, Cycle now, bool producer_dead, bool squashed);
+
+    std::uint32_t numInt_;
+    std::uint32_t numFp_;
+    std::uint32_t freeInt_;
+    std::uint32_t freeFp_;
+    std::vector<Reg> regs_;
+    std::vector<RegIndex> freeIntList_;
+    std::vector<RegIndex> freeFpList_;
+    AvfLedger &ledger_;
+    bool allocUnace_;
+    bool deadAware_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_CORE_REGFILE_HH

@@ -1,0 +1,33 @@
+#include "core/rename.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+RenameMap::RenameMap()
+{
+    map_.fill(invalidReg);
+}
+
+RegIndex
+RenameMap::lookup(RegIndex arch_reg) const
+{
+    if (arch_reg == invalidReg || isZeroReg(arch_reg))
+        return invalidReg;
+    if (arch_reg < 0 || arch_reg >= numArchRegs)
+        SMTAVF_PANIC("rename lookup of bad register ", arch_reg);
+    return map_[arch_reg];
+}
+
+RegIndex
+RenameMap::set(RegIndex arch_reg, RegIndex phys)
+{
+    if (arch_reg < 0 || arch_reg >= numArchRegs)
+        SMTAVF_PANIC("rename set of bad register ", arch_reg);
+    RegIndex old = map_[arch_reg];
+    map_[arch_reg] = phys;
+    return old;
+}
+
+} // namespace smtavf

@@ -1,0 +1,40 @@
+#include "core/rob.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+Rob::Rob(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        SMTAVF_FATAL("ROB capacity must be positive");
+}
+
+void
+Rob::push(const InstPtr &in)
+{
+    if (full())
+        SMTAVF_PANIC("push into a full ROB");
+    if (!entries_.empty() && entries_.back()->seq >= in->seq)
+        SMTAVF_PANIC("ROB push out of program order");
+    entries_.push_back(in);
+}
+
+const InstPtr &
+Rob::front() const
+{
+    static const InstPtr null_inst;
+    return entries_.empty() ? null_inst : entries_.front();
+}
+
+void
+Rob::popFront()
+{
+    if (entries_.empty())
+        SMTAVF_PANIC("pop from an empty ROB");
+    entries_.pop_front();
+}
+
+} // namespace smtavf

@@ -1,0 +1,588 @@
+#include "core/smt_core.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+SmtCore::ThreadContext::ThreadContext(const MachineConfig &cfg,
+                                      StreamGenerator *g)
+    : gen(g), rob(cfg.robSize), lsq(cfg.lsqSize), predictor(cfg.branch)
+{
+}
+
+SmtCore::SmtCore(const MachineConfig &cfg,
+                 std::vector<StreamGenerator *> streams, MemHierarchy &hier,
+                 AvfLedger &ledger)
+    : cfg_(cfg), hier_(hier), ledger_(ledger),
+      analyzer_(cfg.contexts, ledger, cfg.avf.deadCodeAnalysis),
+      regfile_(cfg.intPhysRegs, cfg.fpPhysRegs, ledger,
+               cfg.avf.regAllocWindowUnace, cfg.avf.deadCodeAnalysis),
+      iq_(cfg.iqSize), fuPool_(cfg.fu)
+{
+    cfg_.validate();
+    if (streams.size() != cfg_.contexts)
+        SMTAVF_FATAL("need ", cfg_.contexts, " streams, got ",
+                     streams.size());
+
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        if (!streams[t])
+            SMTAVF_FATAL("null stream for context ", t);
+        threads_.push_back(
+            std::make_unique<ThreadContext>(cfg_, streams[t]));
+    }
+
+    policy_ = makeFetchPolicy(cfg_.fetchPolicy, *this);
+
+    ledger_.setStructureBits(HwStruct::IQ,
+                             std::uint64_t{cfg_.iqSize} * bits::iqEntry);
+    ledger_.setStructureBits(
+        HwStruct::ROB,
+        std::uint64_t{cfg_.contexts} * cfg_.robSize * bits::robEntry,
+        std::uint64_t{cfg_.robSize} * bits::robEntry);
+    ledger_.setStructureBits(
+        HwStruct::LsqData,
+        std::uint64_t{cfg_.contexts} * cfg_.lsqSize * bits::lsqData,
+        std::uint64_t{cfg_.lsqSize} * bits::lsqData);
+    ledger_.setStructureBits(
+        HwStruct::LsqTag,
+        std::uint64_t{cfg_.contexts} * cfg_.lsqSize * bits::lsqTag,
+        std::uint64_t{cfg_.lsqSize} * bits::lsqTag);
+    ledger_.setStructureBits(HwStruct::FU, fuPool_.totalBits());
+}
+
+SmtCore::~SmtCore() = default;
+
+unsigned
+SmtCore::numThreads() const
+{
+    return cfg_.contexts;
+}
+
+unsigned
+SmtCore::inFlightCount(ThreadId tid) const
+{
+    const auto &th = *threads_.at(tid);
+    return static_cast<unsigned>(th.frontQueue.size()) + th.iqCount;
+}
+
+unsigned
+SmtCore::iqOccupancy(ThreadId tid) const
+{
+    return threads_.at(tid)->iqCount;
+}
+
+unsigned
+SmtCore::inFlightCorrectPath(ThreadId tid) const
+{
+    const auto &th = *threads_.at(tid);
+    unsigned total = static_cast<unsigned>(th.frontQueue.size()) +
+                     th.iqCount;
+    return total > th.wrongPathFrontIq ? total - th.wrongPathFrontIq : 0;
+}
+
+unsigned
+SmtCore::outstandingL1D(ThreadId tid) const
+{
+    return threads_.at(tid)->outL1D;
+}
+
+unsigned
+SmtCore::outstandingL2D(ThreadId tid) const
+{
+    return threads_.at(tid)->outL2D;
+}
+
+void
+SmtCore::flushAfter(ThreadId tid, SeqNum seq)
+{
+    squashAfter(tid, seq);
+}
+
+std::uint64_t
+SmtCore::committed(ThreadId tid) const
+{
+    return threads_.at(tid)->committedCount;
+}
+
+std::uint64_t
+SmtCore::totalCommitted() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &th : threads_)
+        sum += th->committedCount;
+    return sum;
+}
+
+const ThreadPredictor &
+SmtCore::predictor(ThreadId tid) const
+{
+    return threads_.at(tid)->predictor;
+}
+
+void
+SmtCore::tick()
+{
+    ++now_;
+    hier_.tick(now_);
+    processCompletions();
+    commitStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+}
+
+void
+SmtCore::scheduleCompletion(const InstPtr &in, Cycle when)
+{
+    if (when <= now_)
+        SMTAVF_PANIC("completion scheduled in the past");
+    completions_[when].push_back(in);
+}
+
+void
+SmtCore::processCompletions()
+{
+    while (!completions_.empty() && completions_.begin()->first <= now_) {
+        auto batch = std::move(completions_.begin()->second);
+        completions_.erase(completions_.begin());
+        for (const auto &in : batch) {
+            if (in->squashed)
+                continue;
+            complete(in);
+        }
+    }
+}
+
+void
+SmtCore::complete(const InstPtr &in)
+{
+    in->completed = true;
+    in->completeCycle = now_;
+    auto &th = *threads_.at(in->tid);
+
+    if (in->destPhys != invalidReg)
+        regfile_.markWritten(in->destPhys, now_);
+
+    if (in->op == OpClass::Load) {
+        if (in->dl1Miss) {
+            --th.outL1D;
+            if (in->l2Miss)
+                --th.outL2D;
+        }
+        policy_->onLoadDone(in, in->dl1Miss, in->l2Miss);
+    }
+
+    if (in->isBranch()) {
+        th.predictor.train(*in);
+        if (in->mispredicted && !in->wrongPath)
+            squashAfter(in->tid, in->seq);
+    }
+}
+
+void
+SmtCore::commitStage()
+{
+    unsigned count = 0;
+    unsigned n = cfg_.contexts;
+    for (unsigned i = 0; i < n && count < cfg_.commitWidth; ++i) {
+        ThreadId tid = static_cast<ThreadId>((commitRR_ + i) % n);
+        auto &th = *threads_[tid];
+        while (count < cfg_.commitWidth) {
+            const InstPtr head = th.rob.front();
+            if (!head || !head->completed || head->completeCycle >= now_)
+                break;
+
+            th.rob.popFront();
+
+            head->pending.push_back({HwStruct::ROB, bits::robEntry,
+                                     head->dispatchCycle, now_});
+            if (head->isMem()) {
+                th.lsq.popCommitted(head);
+                head->pending.push_back({HwStruct::LsqTag, bits::lsqTag,
+                                         head->dispatchCycle, now_});
+                Cycle data_start = head->op == OpClass::Load
+                                       ? head->completeCycle
+                                       : head->issueCycle;
+                head->pending.push_back({HwStruct::LsqData, bits::lsqData,
+                                         data_start, now_});
+            }
+            if (head->op == OpClass::Store)
+                hier_.storeCommit(tid, head->memAddr, head->memSize, now_);
+
+            regfile_.noteRead(head->srcPhys1, head->issueCycle);
+            regfile_.noteRead(head->srcPhys2, head->issueCycle);
+
+            bool exposed_dead = analyzer_.onCommit(head);
+            if (head->oldDestPhys != invalidReg)
+                regfile_.release(head->oldDestPhys, now_, exposed_dead);
+            if (commitTrace_)
+                commitTrace_->append(head);
+
+            th.gen->retireBelow(head->streamIdx + 1);
+            th.nextCommitStreamIdx = head->streamIdx + 1;
+            ++th.committedCount;
+            ++count;
+        }
+    }
+    commitRR_ = (commitRR_ + 1) % n;
+}
+
+bool
+SmtCore::tryIssue(const InstPtr &in, unsigned &mem_ports_used)
+{
+    // Stores issue (generate their address) once the address operand is
+    // ready; the data operand only has to arrive by commit, which in-order
+    // commit of the older producer guarantees.
+    if (!regfile_.isReady(in->srcPhys1))
+        return false;
+    if (in->op != OpClass::Store && !regfile_.isReady(in->srcPhys2))
+        return false;
+
+    auto &th = *threads_[in->tid];
+    bool forwarded = false;
+    if (in->op == OpClass::Load) {
+        if (mem_ports_used >= cfg_.mem.dl1.ports)
+            return false;
+        if (!th.lsq.loadMayIssue(in))
+            return false;
+        forwarded = th.lsq.canForward(in);
+    }
+
+    FuType type = fuTypeFor(in->op);
+    if (!fuPool_.acquire(type, now_, fuOccupancy(in->op)))
+        return false;
+
+    in->issued = true;
+    in->issueCycle = now_;
+    in->pending.push_back({HwStruct::IQ, bits::iqEntry, in->dispatchCycle,
+                           now_});
+
+    std::uint32_t lat = execLatency(in->op);
+    Cycle done;
+    if (in->op == OpClass::Load) {
+        ++mem_ports_used;
+        if (forwarded) {
+            done = now_ + 1;
+            pendingNotices_.push_back({in, false, false});
+        } else {
+            MemOutcome out = hier_.load(in->tid, in->memAddr, in->memSize,
+                                        now_);
+            in->dl1Miss = out.l1Miss;
+            in->l2Miss = out.l2Miss;
+            done = out.ready;
+            if (out.l1Miss) {
+                ++th.outL1D;
+                if (out.l2Miss)
+                    ++th.outL2D;
+            }
+            pendingNotices_.push_back({in, out.l1Miss, out.l2Miss});
+        }
+    } else if (in->op == OpClass::Store) {
+        std::uint32_t penalty = hier_.translateData(in->tid, in->memAddr,
+                                                    now_);
+        done = now_ + lat + penalty;
+    } else {
+        done = now_ + lat;
+    }
+
+    if (type != FuType::None) {
+        Cycle fu_end = in->isMem() ? now_ + 1 : now_ + lat;
+        in->pending.push_back({HwStruct::FU, bits::fuLatch, now_, fu_end});
+    }
+
+    scheduleCompletion(in, done);
+    return true;
+}
+
+void
+SmtCore::issueStage()
+{
+    unsigned issued = 0;
+    unsigned mem_ports_used = 0;
+    std::vector<InstPtr> to_remove;
+    for (const auto &in : iq_) {
+        if (issued >= cfg_.issueWidth)
+            break;
+        if (in->dispatchCycle >= now_)
+            continue; // dispatched this very cycle
+        if (tryIssue(in, mem_ports_used)) {
+            to_remove.push_back(in);
+            ++issued;
+        }
+    }
+    for (const auto &in : to_remove) {
+        iq_.remove(in);
+        auto &th = *threads_[in->tid];
+        --th.iqCount;
+        if (in->wrongPath)
+            --th.wrongPathFrontIq;
+    }
+
+    // Deliver policy notifications now that the IQ scan is over (FLUSH may
+    // squash, which mutates the IQ).
+    auto notices = std::move(pendingNotices_);
+    pendingNotices_.clear();
+    for (const auto &n : notices) {
+        if (!n.load->squashed)
+            policy_->onLoadIssued(n.load, n.l1Miss, n.l2Miss);
+    }
+}
+
+void
+SmtCore::dispatchStage()
+{
+    unsigned dispatched = 0;
+    unsigned n = cfg_.contexts;
+    for (unsigned i = 0; i < n && dispatched < cfg_.decodeWidth; ++i) {
+        ThreadId tid = static_cast<ThreadId>((dispatchRR_ + i) % n);
+        auto &th = *threads_[tid];
+        while (dispatched < cfg_.decodeWidth && !th.frontQueue.empty()) {
+            auto &fe = th.frontQueue.front();
+            if (fe.readyAt > now_)
+                break;
+            const InstPtr in = fe.in;
+            if (th.rob.full() || iq_.full())
+                break;
+            if (in->isMem() && th.lsq.full())
+                break;
+            if (cfg_.iqPartitioned &&
+                th.iqCount >= cfg_.iqSize / cfg_.contexts)
+                break; // static per-thread IQ partition (Section 5)
+
+            RegIndex dest = invalidReg;
+            if (in->writesReg()) {
+                dest = regfile_.alloc(isFpReg(in->destReg), tid, now_);
+                if (dest == invalidReg)
+                    break; // register-pool pressure stalls the thread
+            }
+
+            in->srcPhys1 = th.rename.lookup(in->srcReg1);
+            in->srcPhys2 = th.rename.lookup(in->srcReg2);
+            if (dest != invalidReg) {
+                in->destPhys = dest;
+                in->oldDestPhys = th.rename.set(in->destReg, dest);
+            }
+
+            in->globalSeq = ++globalDispatchSeq_;
+            in->dispatchCycle = now_;
+            th.rob.push(in);
+            iq_.insert(in);
+            ++th.iqCount;
+            if (in->isMem())
+                th.lsq.push(in);
+            th.frontQueue.pop_front();
+            ++dispatched;
+        }
+    }
+    dispatchRR_ = (dispatchRR_ + 1) % n;
+}
+
+void
+SmtCore::fetchStage()
+{
+    auto order = policy_->fetchOrder(now_);
+    unsigned threads_fetched = 0;
+    unsigned remaining = cfg_.fetchWidth;
+    for (ThreadId tid : order) {
+        if (threads_fetched >= cfg_.fetchThreadsPerCycle || remaining == 0)
+            break;
+        unsigned got = fetchThread(tid, remaining);
+        if (got > 0) {
+            ++threads_fetched;
+            remaining -= got;
+        }
+    }
+}
+
+unsigned
+SmtCore::fetchThread(ThreadId tid, unsigned budget)
+{
+    auto &th = *threads_[tid];
+    if (th.icacheStallUntil > now_)
+        return 0;
+
+    unsigned fetched = 0;
+    while (fetched < budget && th.frontQueue.size() < cfg_.fetchQueueSize) {
+        InstPtr in;
+        if (th.wrongPathMode) {
+            if (!cfg_.avf.wrongPathModel)
+                break; // ablation: front end idles out mispredictions
+            in = std::make_shared<DynInstr>(
+                th.gen->makeWrongPath(th.wrongPathPc));
+            th.wrongPathPc = th.gen->clampToCode(th.wrongPathPc + 4);
+        } else {
+            in = std::make_shared<DynInstr>(th.gen->at(th.fetchStreamIdx));
+        }
+
+        if (fetched == 0) {
+            MemOutcome out = hier_.fetch(tid, in->pc, now_);
+            if (out.l1Miss || out.tlbMiss) {
+                th.icacheStallUntil = out.ready;
+                break;
+            }
+        }
+
+        in->seq = ++th.seqCounter;
+        in->fetchCycle = now_;
+        if (th.wrongPathMode) {
+            ++wrongPathFetched_;
+            ++th.wrongPathFrontIq;
+        } else {
+            ++th.fetchStreamIdx;
+        }
+
+        th.predictor.predict(*in);
+        th.frontQueue.push_back({in, now_ + cfg_.frontLatency});
+        policy_->onFetch(in);
+        ++fetched;
+        ++fetchedInstrs_;
+
+        if (in->isBranch()) {
+            if (in->mispredicted) {
+                th.wrongPathMode = true;
+                th.wrongPathPc = th.gen->clampToCode(in->pc + 4);
+                break;
+            }
+            if (in->predTaken)
+                break; // redirect ends the fetch group
+        }
+    }
+    return fetched;
+}
+
+void
+SmtCore::squashAfter(ThreadId tid, SeqNum seq)
+{
+    auto &th = *threads_.at(tid);
+
+    while (!th.frontQueue.empty() && th.frontQueue.back().in->seq > seq) {
+        const InstPtr in = th.frontQueue.back().in;
+        in->squashed = true;
+        if (in->wrongPath)
+            --th.wrongPathFrontIq;
+        th.predictor.squashRecover(*in);
+        if (in->op == OpClass::Load)
+            policy_->onLoadDone(in, false, false);
+        th.frontQueue.pop_back();
+        ++squashedInstrs_;
+    }
+
+    th.rob.squashAfter(seq, [&](const InstPtr &in) {
+        in->squashed = true;
+        ++squashedInstrs_;
+        th.predictor.squashRecover(*in);
+
+        if (in->destPhys != invalidReg) {
+            th.rename.set(in->destReg, in->oldDestPhys);
+            regfile_.releaseSquashed(in->destPhys, now_);
+        }
+        if (in->inIq) {
+            in->pending.push_back({HwStruct::IQ, bits::iqEntry,
+                                   in->dispatchCycle, now_});
+            iq_.remove(in);
+            --th.iqCount;
+            if (in->wrongPath)
+                --th.wrongPathFrontIq;
+        }
+        in->pending.push_back({HwStruct::ROB, bits::robEntry,
+                               in->dispatchCycle, now_});
+        if (in->isMem()) {
+            in->pending.push_back({HwStruct::LsqTag, bits::lsqTag,
+                                   in->dispatchCycle, now_});
+            in->pending.push_back({HwStruct::LsqData, bits::lsqData,
+                                   in->dispatchCycle, now_});
+        }
+        if (in->op == OpClass::Load) {
+            if (in->issued && !in->completed && in->dl1Miss) {
+                --th.outL1D;
+                if (in->l2Miss)
+                    --th.outL2D;
+            }
+            policy_->onLoadDone(in, in->dl1Miss, in->l2Miss);
+        }
+        analyzer_.onSquash(in);
+    });
+    th.lsq.squashAfter(seq);
+
+    recomputeFetchState(th);
+}
+
+void
+SmtCore::recomputeFetchState(ThreadContext &th)
+{
+    bool wrong = false;
+    std::uint64_t next_idx = th.nextCommitStreamIdx;
+    auto scan = [&](const InstPtr &in) {
+        if (in->isBranch() && in->mispredicted && !in->completed)
+            wrong = true;
+        if (!in->wrongPath && in->streamIdx + 1 > next_idx)
+            next_idx = in->streamIdx + 1;
+    };
+    for (const auto &in : th.rob)
+        scan(in);
+    for (const auto &fe : th.frontQueue)
+        scan(fe.in);
+
+    th.wrongPathMode = wrong;
+    if (!wrong)
+        th.fetchStreamIdx = next_idx;
+}
+
+std::string
+SmtCore::stateDump() const
+{
+    std::ostringstream os;
+    os << "cycle " << now_ << " freeInt " << regfile_.freeInt()
+       << " freeFp " << regfile_.freeFp() << " iq " << iq_.size() << "/"
+       << iq_.capacity() << "\n";
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        const auto &th = *threads_[t];
+        os << "  T" << t << " rob " << th.rob.size() << " front "
+           << th.frontQueue.size() << " iq " << th.iqCount << " outL1 "
+           << th.outL1D << " outL2 " << th.outL2D << " wrongPath "
+           << th.wrongPathMode;
+        if (const auto &head = th.rob.front()) {
+            os << " | head seq " << head->seq << " op "
+               << opClassName(head->op) << " inIq " << head->inIq
+               << " issued " << head->issued << " completed "
+               << head->completed << " src1 " << head->srcPhys1 << "("
+               << regfile_.isReady(head->srcPhys1) << ") src2 "
+               << head->srcPhys2 << "(" << regfile_.isReady(head->srcPhys2)
+               << ")";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+SmtCore::finalizeAvf()
+{
+    // Close the residency of still-in-flight instructions, then resolve
+    // every deferred classification conservatively live.
+    for (auto &thp : threads_) {
+        auto &th = *thp;
+        for (const auto &in : th.rob) {
+            if (in->inIq)
+                in->pending.push_back({HwStruct::IQ, bits::iqEntry,
+                                       in->dispatchCycle, now_});
+            in->pending.push_back({HwStruct::ROB, bits::robEntry,
+                                   in->dispatchCycle, now_});
+            if (in->isMem()) {
+                in->pending.push_back({HwStruct::LsqTag, bits::lsqTag,
+                                       in->dispatchCycle, now_});
+                in->pending.push_back({HwStruct::LsqData, bits::lsqData,
+                                       in->dispatchCycle, now_});
+            }
+            analyzer_.resolveLive(in);
+        }
+    }
+    analyzer_.finish();
+    regfile_.finalizeAll(now_);
+}
+
+} // namespace smtavf

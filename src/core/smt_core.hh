@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The SMT processor core: a cycle-level, execution-driven model of the
+ * paper's Table-1 machine. Shared resources (issue queue, physical
+ * register pool, function units, caches) are contended by up to eight
+ * hardware contexts with private ROBs, LSQs, rename maps and branch
+ * predictors — the structural sharing whose reliability consequences the
+ * paper characterizes.
+ *
+ * Pipeline (7 stages): fetch -> decode -> rename -> dispatch -> issue ->
+ * execute -> writeback, with in-order per-thread commit behind it. The
+ * stages are evaluated back-to-front each cycle so same-cycle structural
+ * hazards resolve naturally.
+ *
+ * AVF accounting: every stage closes bit-residency intervals on the
+ * instructions flowing through it (DynInstr::pending); classification is
+ * deferred to the DeadCodeAnalyzer, while the cache/TLB observers write to
+ * the ledger directly.
+ */
+
+#ifndef SMTAVF_CORE_SMT_CORE_HH
+#define SMTAVF_CORE_SMT_CORE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "avf/dead_code.hh"
+#include "avf/injection.hh"
+#include "avf/ledger.hh"
+#include "branch/predictor.hh"
+#include "core/fu_pool.hh"
+#include "core/iq.hh"
+#include "core/lsq.hh"
+#include "core/machine_config.hh"
+#include "core/regfile.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "mem/hierarchy.hh"
+#include "policy/fetch_policy.hh"
+#include "workload/generator.hh"
+
+namespace smtavf
+{
+
+/** The SMT pipeline. */
+class SmtCore : public PolicyContext
+{
+  public:
+    /**
+     * @param cfg      machine parameters (validated)
+     * @param streams  one instruction stream per context (size must equal
+     *                 cfg.contexts); not owned
+     * @param hier     memory hierarchy (shared with the AVF trackers)
+     * @param ledger   AVF interval destination
+     */
+    SmtCore(const MachineConfig &cfg,
+            std::vector<StreamGenerator *> streams, MemHierarchy &hier,
+            AvfLedger &ledger);
+
+    ~SmtCore() override;
+
+    SmtCore(const SmtCore &) = delete;
+    SmtCore &operator=(const SmtCore &) = delete;
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Close residual AVF intervals (registers, pending deadness). */
+    void finalizeAvf();
+
+    Cycle now() const { return now_; }
+    std::uint64_t committed(ThreadId tid) const;
+    std::uint64_t totalCommitted() const;
+
+    /** Per-thread branch predictor (stats access). */
+    const ThreadPredictor &predictor(ThreadId tid) const;
+
+    /** The active fetch policy. */
+    FetchPolicy &policy() { return *policy_; }
+
+    /** The dead-code analyzer (stats access). */
+    const DeadCodeAnalyzer &deadCode() const { return analyzer_; }
+
+    std::uint64_t wrongPathFetched() const { return wrongPathFetched_; }
+    std::uint64_t squashedInstrs() const { return squashedInstrs_; }
+    std::uint64_t fetchedInstrs() const { return fetchedInstrs_; }
+
+    /** One-line-per-thread pipeline snapshot for stall diagnostics. */
+    std::string stateDump() const;
+
+    /** Current issue-queue occupancy of one thread (tests, diagnostics). */
+    unsigned iqOccupancy(ThreadId tid) const;
+
+    /** Append committing instructions to @p trace (nullptr disables). */
+    void recordCommits(CommitTrace *trace) { commitTrace_ = trace; }
+
+    // ---- PolicyContext -------------------------------------------------
+    unsigned numThreads() const override;
+    unsigned inFlightCount(ThreadId tid) const override;
+    unsigned inFlightCorrectPath(ThreadId tid) const override;
+    unsigned outstandingL1D(ThreadId tid) const override;
+    unsigned outstandingL2D(ThreadId tid) const override;
+    void flushAfter(ThreadId tid, SeqNum seq) override;
+
+  private:
+    /** Fetched-but-not-dispatched instruction. */
+    struct FrontEntry
+    {
+        InstPtr in;
+        Cycle readyAt; ///< earliest dispatch cycle (front-end latency)
+    };
+
+    /** Per-context pipeline state. */
+    struct ThreadContext
+    {
+        ThreadContext(const MachineConfig &cfg, StreamGenerator *g);
+
+        StreamGenerator *gen;
+        std::deque<FrontEntry> frontQueue;
+        std::uint64_t fetchStreamIdx = 0;
+        bool wrongPathMode = false;
+        Addr wrongPathPc = 0;
+        SeqNum seqCounter = 0;
+        Cycle icacheStallUntil = 0;
+        unsigned iqCount = 0;
+        /** Wrong-path instructions currently in frontQueue or IQ. */
+        unsigned wrongPathFrontIq = 0;
+        unsigned outL1D = 0;
+        unsigned outL2D = 0;
+        std::uint64_t committedCount = 0;
+        std::uint64_t nextCommitStreamIdx = 0;
+        RenameMap rename;
+        Rob rob;
+        Lsq lsq;
+        ThreadPredictor predictor;
+    };
+
+    void processCompletions();
+    void commitStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+    unsigned fetchThread(ThreadId tid, unsigned budget);
+
+    /** Try to issue one IQ entry; true on success. */
+    bool tryIssue(const InstPtr &in, unsigned &mem_ports_used);
+
+    /** Complete one instruction at the current cycle. */
+    void complete(const InstPtr &in);
+
+    /**
+     * Squash all instructions of @p tid with seq > @p seq: ROB walk-back
+     * rename recovery, resource release, un-ACE classification, front-end
+     * reset.
+     */
+    void squashAfter(ThreadId tid, SeqNum seq);
+
+    /** Recompute wrong-path mode and the fetch cursor after a squash. */
+    void recomputeFetchState(ThreadContext &th);
+
+    void scheduleCompletion(const InstPtr &in, Cycle when);
+
+    MachineConfig cfg_;
+    MemHierarchy &hier_;
+    AvfLedger &ledger_;
+    DeadCodeAnalyzer analyzer_;
+
+    PhysRegFile regfile_;
+    IssueQueue iq_;
+    FuPool fuPool_;
+    std::vector<std::unique_ptr<ThreadContext>> threads_;
+    std::unique_ptr<FetchPolicy> policy_;
+
+    Cycle now_ = 0;
+    SeqNum globalDispatchSeq_ = 0;
+    unsigned commitRR_ = 0;
+    unsigned dispatchRR_ = 0;
+
+    std::map<Cycle, std::vector<InstPtr>> completions_;
+
+    /** Deferred policy notifications (no IQ mutation mid-issue-scan). */
+    struct LoadNotice
+    {
+        InstPtr load;
+        bool l1Miss;
+        bool l2Miss;
+    };
+    std::vector<LoadNotice> pendingNotices_;
+
+    std::uint64_t wrongPathFetched_ = 0;
+    std::uint64_t squashedInstrs_ = 0;
+    std::uint64_t fetchedInstrs_ = 0;
+
+    CommitTrace *commitTrace_ = nullptr;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_CORE_SMT_CORE_HH

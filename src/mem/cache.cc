@@ -1,0 +1,131 @@
+#include "mem/cache.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+namespace
+{
+
+bool
+powerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.sizeBytes == 0 || cfg_.ways == 0 || cfg_.lineBytes == 0)
+        SMTAVF_FATAL(cfg_.name, ": zero geometry parameter");
+    if (!powerOfTwo(cfg_.lineBytes))
+        SMTAVF_FATAL(cfg_.name, ": line size must be a power of two");
+    std::uint64_t lines = cfg_.sizeBytes / cfg_.lineBytes;
+    if (lines % cfg_.ways != 0)
+        SMTAVF_FATAL(cfg_.name, ": lines not divisible by ways");
+    sets_ = static_cast<std::uint32_t>(lines / cfg_.ways);
+    if (!powerOfTwo(sets_))
+        SMTAVF_FATAL(cfg_.name, ": set count must be a power of two");
+    lines_.resize(lines);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(addr / cfg_.lineBytes) & (sets_ - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr line_addr = lineAddr(addr);
+    auto set = setIndex(addr);
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        auto &line = lines_[set * cfg_.ways + w];
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::access(Addr addr, std::uint32_t size, bool is_write, ThreadId tid,
+              Cycle now)
+{
+    Line *line = findLine(addr);
+    if (!line) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    line->lastUse = ++useClock_;
+    if (is_write)
+        line->dirty = true;
+    if (observer_) {
+        auto slot = static_cast<std::uint32_t>(line - lines_.data());
+        observer_->onAccess(slot, addr, size, is_write, tid, now);
+    }
+    return true;
+}
+
+void
+Cache::fill(Addr addr, ThreadId tid, Cycle now)
+{
+    if (findLine(addr))
+        return;
+
+    Addr line_addr = lineAddr(addr);
+    auto set = setIndex(addr);
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        auto &line = lines_[set * cfg_.ways + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    auto slot = static_cast<std::uint32_t>(victim - lines_.data());
+    if (victim->valid && observer_)
+        observer_->onEvict(slot, victim->dirty, now);
+
+    victim->valid = true;
+    victim->dirty = false;
+    victim->tag = line_addr;
+    victim->lastUse = ++useClock_;
+    if (observer_)
+        observer_->onFill(slot, line_addr, tid, now);
+}
+
+void
+Cache::flushAll(Cycle now)
+{
+    for (std::uint32_t slot = 0; slot < lines_.size(); ++slot) {
+        auto &line = lines_[slot];
+        if (!line.valid)
+            continue;
+        if (observer_)
+            observer_->onEvict(slot, line.dirty, now);
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace smtavf

@@ -1,0 +1,97 @@
+#include "mem/tlb.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+Tlb::Tlb(const TlbConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.entries == 0 || cfg_.ways == 0 ||
+        cfg_.entries % cfg_.ways != 0)
+        SMTAVF_FATAL(cfg_.name, ": bad geometry");
+    sets_ = cfg_.entries / cfg_.ways;
+    if ((sets_ & (sets_ - 1)) != 0)
+        SMTAVF_FATAL(cfg_.name, ": set count must be a power of two");
+    if ((cfg_.pageBytes & (cfg_.pageBytes - 1)) != 0)
+        SMTAVF_FATAL(cfg_.name, ": page size must be a power of two");
+    entries_.resize(cfg_.entries);
+}
+
+std::uint32_t
+Tlb::access(Addr addr, ThreadId tid, Cycle now)
+{
+    Addr vpn = addr / cfg_.pageBytes;
+    auto set = static_cast<std::uint32_t>(vpn) & (sets_ - 1);
+
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        auto &e = entries_[set * cfg_.ways + w];
+        if (e.valid && e.vpn == vpn && e.tid == tid) {
+            e.lastUse = ++useClock_;
+            ++hits_;
+            if (observer_) {
+                auto slot = static_cast<std::uint32_t>(&e - entries_.data());
+                observer_->onHit(slot, tid, now);
+            }
+            return 0;
+        }
+        if (!victim || !e.valid ||
+            (victim->valid && e.lastUse < victim->lastUse))
+            victim = &e;
+    }
+
+    ++misses_;
+    auto slot = static_cast<std::uint32_t>(victim - entries_.data());
+    if (victim->valid && observer_)
+        observer_->onEvict(slot, now);
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->tid = tid;
+    victim->lastUse = ++useClock_;
+    if (observer_)
+        observer_->onFill(slot, tid, now);
+    return cfg_.missPenalty;
+}
+
+void
+Tlb::prefill(Addr addr, ThreadId tid)
+{
+    Addr vpn = addr / cfg_.pageBytes;
+    auto set = static_cast<std::uint32_t>(vpn) & (sets_ - 1);
+
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        auto &e = entries_[set * cfg_.ways + w];
+        if (e.valid && e.vpn == vpn && e.tid == tid)
+            return;
+        if (!victim || !e.valid ||
+            (victim->valid && e.lastUse < victim->lastUse))
+            victim = &e;
+    }
+    auto slot = static_cast<std::uint32_t>(victim - entries_.data());
+    if (victim->valid && observer_)
+        observer_->onEvict(slot, 0);
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->tid = tid;
+    victim->lastUse = ++useClock_;
+    if (observer_)
+        observer_->onFill(slot, tid, 0);
+}
+
+void
+Tlb::flushAll(Cycle now)
+{
+    for (std::uint32_t slot = 0; slot < entries_.size(); ++slot) {
+        auto &e = entries_[slot];
+        if (!e.valid)
+            continue;
+        if (observer_)
+            observer_->onEvict(slot, now);
+        e.valid = false;
+    }
+}
+
+} // namespace smtavf

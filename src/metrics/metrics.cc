@@ -1,0 +1,66 @@
+#include "metrics/metrics.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+double
+SimResult::mitf(HwStruct s) const
+{
+    double a = avf.avf(s);
+    return a > 0.0 ? ipc / a : 0.0;
+}
+
+double
+SimResult::threadMitf(HwStruct s, ThreadId tid) const
+{
+    if (tid >= threads.size())
+        SMTAVF_FATAL("threadMitf for unknown thread ", tid);
+    double a = avf.threadAvf(s, tid);
+    return a > 0.0 ? threads[tid].ipc / a : 0.0;
+}
+
+double
+weightedSpeedup(const SimResult &smt, const std::vector<double> &st_ipc)
+{
+    if (st_ipc.size() != smt.threads.size())
+        SMTAVF_FATAL("weightedSpeedup: ", st_ipc.size(),
+                     " baselines for ", smt.threads.size(), " threads");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < st_ipc.size(); ++i) {
+        if (st_ipc[i] <= 0.0)
+            SMTAVF_FATAL("weightedSpeedup: non-positive baseline IPC");
+        sum += smt.threads[i].ipc / st_ipc[i];
+    }
+    return sum;
+}
+
+double
+harmonicWeightedIpc(const SimResult &smt, const std::vector<double> &st_ipc)
+{
+    if (st_ipc.size() != smt.threads.size())
+        SMTAVF_FATAL("harmonicWeightedIpc: baseline count mismatch");
+    double denom = 0.0;
+    for (std::size_t i = 0; i < st_ipc.size(); ++i) {
+        double w = smt.threads[i].ipc / st_ipc[i];
+        if (w <= 0.0)
+            return 0.0;
+        denom += 1.0 / w;
+    }
+    return static_cast<double>(st_ipc.size()) / denom;
+}
+
+double
+harmonicMeanIpc(const SimResult &smt)
+{
+    double denom = 0.0;
+    for (const auto &t : smt.threads) {
+        if (t.ipc <= 0.0)
+            return 0.0;
+        denom += 1.0 / t.ipc;
+    }
+    return static_cast<double>(smt.threads.size()) / denom;
+}
+
+} // namespace smtavf

@@ -1,0 +1,25 @@
+#include "policy/dg.hh"
+
+namespace smtavf
+{
+
+DgPolicy::DgPolicy(PolicyContext &ctx, unsigned threshold)
+    : FetchPolicy(ctx), threshold_(threshold)
+{
+}
+
+std::vector<ThreadId>
+DgPolicy::fetchOrder(Cycle now)
+{
+    (void)now;
+    auto order = icountOrder();
+    std::vector<ThreadId> allowed;
+    for (ThreadId tid : order)
+        if (ctx_.outstandingL1D(tid) < threshold_)
+            allowed.push_back(tid);
+    if (allowed.empty())
+        return order; // keep the pipeline fed
+    return allowed;
+}
+
+} // namespace smtavf

@@ -1,0 +1,23 @@
+#include "policy/dwarn.hh"
+
+namespace smtavf
+{
+
+std::vector<ThreadId>
+DWarnPolicy::fetchOrder(Cycle now)
+{
+    (void)now;
+    auto order = icountOrder();
+    std::vector<ThreadId> clean;
+    std::vector<ThreadId> warned;
+    for (ThreadId tid : order) {
+        if (ctx_.outstandingL1D(tid) == 0 && ctx_.outstandingL2D(tid) == 0)
+            clean.push_back(tid);
+        else
+            warned.push_back(tid);
+    }
+    clean.insert(clean.end(), warned.begin(), warned.end());
+    return clean;
+}
+
+} // namespace smtavf

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * DWarn fetch policy (Cazorla et al., IPDPS'04): never gate; instead,
+ * threads with outstanding data-cache misses are demoted to the lowest
+ * fetch-priority group. The paper finds DWarn the best fairness-preserving
+ * policy for FU/DL1/register-file reliability efficiency.
+ */
+
+#ifndef SMTAVF_POLICY_DWARN_HH
+#define SMTAVF_POLICY_DWARN_HH
+
+#include "policy/fetch_policy.hh"
+
+namespace smtavf
+{
+
+/** Deprioritize (never gate) missing threads. */
+class DWarnPolicy : public FetchPolicy
+{
+  public:
+    using FetchPolicy::FetchPolicy;
+    const char *name() const override { return "DWarn"; }
+    std::vector<ThreadId> fetchOrder(Cycle now) override;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_POLICY_DWARN_HH

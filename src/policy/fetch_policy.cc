@@ -1,0 +1,110 @@
+#include "policy/fetch_policy.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/logging.hh"
+#include "policy/dg.hh"
+#include "policy/dwarn.hh"
+#include "policy/flush.hh"
+#include "policy/icount.hh"
+#include "policy/pdg.hh"
+#include "policy/pstall.hh"
+#include "policy/rat.hh"
+#include "policy/round_robin.hh"
+#include "policy/stall.hh"
+
+namespace smtavf
+{
+
+const char *
+fetchPolicyName(FetchPolicyKind kind)
+{
+    switch (kind) {
+      case FetchPolicyKind::RoundRobin: return "RR";
+      case FetchPolicyKind::Icount: return "ICOUNT";
+      case FetchPolicyKind::Flush: return "FLUSH";
+      case FetchPolicyKind::Stall: return "STALL";
+      case FetchPolicyKind::Dg: return "DG";
+      case FetchPolicyKind::Pdg: return "PDG";
+      case FetchPolicyKind::DWarn: return "DWarn";
+      case FetchPolicyKind::PStall: return "PSTALL";
+      case FetchPolicyKind::Rat: return "RAT";
+      default: return "?";
+    }
+}
+
+const std::vector<FetchPolicyKind> &
+allFetchPolicies()
+{
+    static const std::vector<FetchPolicyKind> kinds = {
+        FetchPolicyKind::RoundRobin, FetchPolicyKind::Icount,
+        FetchPolicyKind::Flush,      FetchPolicyKind::Stall,
+        FetchPolicyKind::Dg,         FetchPolicyKind::Pdg,
+        FetchPolicyKind::DWarn,      FetchPolicyKind::PStall,
+        FetchPolicyKind::Rat,
+    };
+    return kinds;
+}
+
+bool
+parseFetchPolicy(const std::string &name, FetchPolicyKind &out)
+{
+    auto lower = [](std::string s) {
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+            return static_cast<char>(std::tolower(c));
+        });
+        return s;
+    };
+    std::string want = lower(name);
+    for (auto kind : allFetchPolicies()) {
+        if (lower(fetchPolicyName(kind)) == want) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<ThreadId>
+FetchPolicy::icountOrder() const
+{
+    unsigned n = ctx_.numThreads();
+    std::vector<ThreadId> order(n);
+    for (unsigned i = 0; i < n; ++i)
+        order[i] = static_cast<ThreadId>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](ThreadId a, ThreadId b) {
+                         return ctx_.inFlightCount(a) < ctx_.inFlightCount(b);
+                     });
+    return order;
+}
+
+std::unique_ptr<FetchPolicy>
+makeFetchPolicy(FetchPolicyKind kind, PolicyContext &ctx)
+{
+    switch (kind) {
+      case FetchPolicyKind::RoundRobin:
+        return std::make_unique<RoundRobinPolicy>(ctx);
+      case FetchPolicyKind::Icount:
+        return std::make_unique<IcountPolicy>(ctx);
+      case FetchPolicyKind::Flush:
+        return std::make_unique<FlushPolicy>(ctx);
+      case FetchPolicyKind::Stall:
+        return std::make_unique<StallPolicy>(ctx);
+      case FetchPolicyKind::Dg:
+        return std::make_unique<DgPolicy>(ctx);
+      case FetchPolicyKind::Pdg:
+        return std::make_unique<PdgPolicy>(ctx);
+      case FetchPolicyKind::DWarn:
+        return std::make_unique<DWarnPolicy>(ctx);
+      case FetchPolicyKind::PStall:
+        return std::make_unique<PStallPolicy>(ctx);
+      case FetchPolicyKind::Rat:
+        return std::make_unique<RatPolicy>(ctx);
+      default:
+        SMTAVF_FATAL("unknown fetch policy kind");
+    }
+}
+
+} // namespace smtavf

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SMT instruction-fetch policies (the paper's Section 4.3).
+ *
+ * A fetch policy decides, each cycle, which threads may fetch and in what
+ * priority order. The six studied policies:
+ *
+ *  - ICOUNT (Tullsen et al., ISCA'96): priority to the thread with the
+ *    fewest in-flight front-end + IQ instructions. The baseline.
+ *  - FLUSH (Tullsen & Brown, MICRO'01): on an L2 data miss, squash the
+ *    offending thread's instructions younger than the missing load and
+ *    gate its fetch until the miss returns.
+ *  - STALL (Tullsen & Brown, MICRO'01): gate threads with an outstanding
+ *    L2 data miss, but always leave at least one thread fetching.
+ *  - DG (El-Moursy & Albonesi, HPCA'03): gate a thread once it has
+ *    several outstanding L1 data misses.
+ *  - PDG (El-Moursy & Albonesi, HPCA'03): like DG but counts *predicted*
+ *    L1 misses at fetch so gating starts before the misses resolve.
+ *  - DWarn (Cazorla et al., IPDPS'04): never gates; threads with
+ *    outstanding data-cache misses simply get the lowest fetch priority.
+ *
+ * The policy sees the core through the PolicyContext interface (no
+ * circular dependency) and receives load-execution callbacks to maintain
+ * its own state.
+ */
+
+#ifndef SMTAVF_POLICY_FETCH_POLICY_HH
+#define SMTAVF_POLICY_FETCH_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/instr.hh"
+
+namespace smtavf
+{
+
+/**
+ * Selector for building a policy by name/config. Beyond the paper's six
+ * studied policies, two extensions implement its Section-5 proposals:
+ *
+ *  - PStall: STALL enhanced with an L2-miss predictor so fetch is gated
+ *    the moment a predicted-missing load *enters* the pipeline, before
+ *    any of its ACE bits accumulate ("If the L2 cache misses can be
+ *    predicted when the offending instruction enters the pipeline, fetch
+ *    can be stalled immediately").
+ *  - Rat: reliability-aware throttling — prioritize by (and cap) each
+ *    thread's in-flight *correct-path* (ACE-candidate) population rather
+ *    than its raw instruction count.
+ */
+enum class FetchPolicyKind
+{
+    RoundRobin,
+    Icount,
+    Flush,
+    Stall,
+    Dg,
+    Pdg,
+    DWarn,
+    PStall,
+    Rat
+};
+
+const char *fetchPolicyName(FetchPolicyKind kind);
+
+/**
+ * Parse a policy name (case-insensitive, e.g. "flush", "ICOUNT").
+ * @retval true and sets @p out on success.
+ */
+bool parseFetchPolicy(const std::string &name, FetchPolicyKind &out);
+
+/** All selectable policy kinds, in display order. */
+const std::vector<FetchPolicyKind> &allFetchPolicies();
+
+/** The slice of core state fetch policies may observe and act on. */
+class PolicyContext
+{
+  public:
+    virtual ~PolicyContext() = default;
+
+    virtual unsigned numThreads() const = 0;
+
+    /** ICOUNT metric: front-end + issue-queue occupancy of a thread. */
+    virtual unsigned inFlightCount(ThreadId tid) const = 0;
+
+    /**
+     * Like inFlightCount but excluding known wrong-path instructions —
+     * an estimate of the thread's in-flight ACE population (used by the
+     * reliability-aware throttling extension).
+     */
+    virtual unsigned inFlightCorrectPath(ThreadId tid) const = 0;
+
+    /** Outstanding L1 data misses issued by a thread. */
+    virtual unsigned outstandingL1D(ThreadId tid) const = 0;
+
+    /** Outstanding L2 data misses issued by a thread. */
+    virtual unsigned outstandingL2D(ThreadId tid) const = 0;
+
+    /**
+     * FLUSH's action: squash thread @p tid's instructions with
+     * seq > @p seq and rewind fetch.
+     */
+    virtual void flushAfter(ThreadId tid, SeqNum seq) = 0;
+};
+
+/** Base class of all fetch policies. */
+class FetchPolicy
+{
+  public:
+    explicit FetchPolicy(PolicyContext &ctx) : ctx_(ctx) {}
+    virtual ~FetchPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Threads allowed to fetch this cycle, highest priority first.
+     * Gated threads are omitted.
+     */
+    virtual std::vector<ThreadId> fetchOrder(Cycle now) = 0;
+
+    /** A load executed; @p l1_miss / @p l2_miss classify its outcome. */
+    virtual void
+    onLoadIssued(const InstPtr &load, bool l1_miss, bool l2_miss)
+    {
+        (void)load; (void)l1_miss; (void)l2_miss;
+    }
+
+    /** A previously missing load finished (data returned) or squashed. */
+    virtual void
+    onLoadDone(const InstPtr &load, bool l1_miss, bool l2_miss)
+    {
+        (void)load; (void)l1_miss; (void)l2_miss;
+    }
+
+    /** An instruction was fetched (PDG predicts load misses here). */
+    virtual void onFetch(const InstPtr &in) { (void)in; }
+
+  protected:
+    /** Threads sorted by ascending in-flight count (ICOUNT order). */
+    std::vector<ThreadId> icountOrder() const;
+
+    PolicyContext &ctx_;
+};
+
+/** Factory covering every FetchPolicyKind. */
+std::unique_ptr<FetchPolicy> makeFetchPolicy(FetchPolicyKind kind,
+                                             PolicyContext &ctx);
+
+} // namespace smtavf
+
+#endif // SMTAVF_POLICY_FETCH_POLICY_HH

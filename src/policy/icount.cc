@@ -1,0 +1,13 @@
+#include "policy/icount.hh"
+
+namespace smtavf
+{
+
+std::vector<ThreadId>
+IcountPolicy::fetchOrder(Cycle now)
+{
+    (void)now;
+    return icountOrder();
+}
+
+} // namespace smtavf

@@ -1,0 +1,41 @@
+#include "policy/rat.hh"
+
+#include <algorithm>
+
+namespace smtavf
+{
+
+RatPolicy::RatPolicy(PolicyContext &ctx, unsigned ace_cap)
+    : FetchPolicy(ctx), aceCap_(ace_cap)
+{
+    if (aceCap_ == 0) {
+        // 2x a fair share of the Table-1 96-entry IQ.
+        unsigned n = ctx.numThreads();
+        aceCap_ = n ? std::max(2 * 96 / n, 8u) : 48;
+    }
+}
+
+std::vector<ThreadId>
+RatPolicy::fetchOrder(Cycle now)
+{
+    (void)now;
+    unsigned n = ctx_.numThreads();
+    std::vector<ThreadId> order(n);
+    for (unsigned i = 0; i < n; ++i)
+        order[i] = static_cast<ThreadId>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](ThreadId a, ThreadId b) {
+                         return ctx_.inFlightCorrectPath(a) <
+                                ctx_.inFlightCorrectPath(b);
+                     });
+
+    std::vector<ThreadId> allowed;
+    for (ThreadId tid : order)
+        if (ctx_.inFlightCorrectPath(tid) < aceCap_)
+            allowed.push_back(tid);
+    if (allowed.empty())
+        return order; // never silence the whole front end
+    return allowed;
+}
+
+} // namespace smtavf

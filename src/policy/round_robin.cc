@@ -1,0 +1,16 @@
+#include "policy/round_robin.hh"
+
+namespace smtavf
+{
+
+std::vector<ThreadId>
+RoundRobinPolicy::fetchOrder(Cycle now)
+{
+    unsigned n = ctx_.numThreads();
+    std::vector<ThreadId> order(n);
+    for (unsigned i = 0; i < n; ++i)
+        order[i] = static_cast<ThreadId>((now + i) % n);
+    return order;
+}
+
+} // namespace smtavf

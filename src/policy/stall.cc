@@ -1,0 +1,20 @@
+#include "policy/stall.hh"
+
+namespace smtavf
+{
+
+std::vector<ThreadId>
+StallPolicy::fetchOrder(Cycle now)
+{
+    (void)now;
+    auto order = icountOrder();
+    std::vector<ThreadId> allowed;
+    for (ThreadId tid : order)
+        if (ctx_.outstandingL2D(tid) == 0)
+            allowed.push_back(tid);
+    if (allowed.empty())
+        return order; // keep at least one thread fetching
+    return allowed;
+}
+
+} // namespace smtavf

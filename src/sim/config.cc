@@ -1,0 +1,101 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+#include "base/table.hh"
+#include "workload/mixes.hh"
+
+namespace smtavf
+{
+
+std::string
+table1String(const MachineConfig &cfg)
+{
+    auto kb = [](std::uint32_t bytes) {
+        return std::to_string(bytes / 1024) + "K";
+    };
+
+    TextTable t({"Parameter", "Configuration"});
+    t.addRow({"Processor Width",
+              std::to_string(cfg.fetchWidth) + "-wide fetch/issue/commit"});
+    t.addRow({"Baseline Fetch Policy", fetchPolicyName(cfg.fetchPolicy)});
+    t.addRow({"Pipeline Depth", "7"});
+    t.addRow({"Issue Queue", std::to_string(cfg.iqSize)});
+    t.addRow({"ITLB", std::to_string(cfg.mem.itlb.entries) + " entries, " +
+                          std::to_string(cfg.mem.itlb.ways) + "-way, " +
+                          std::to_string(cfg.mem.itlb.missPenalty) +
+                          " cycle miss"});
+    t.addRow({"Branch Prediction",
+              std::to_string(cfg.branch.gshareEntries / 1024) +
+                  "K entries Gshare, " +
+                  std::to_string(cfg.branch.historyBits) +
+                  "-bit global history per thread"});
+    t.addRow({"BTB", std::to_string(cfg.branch.btbEntries / 1024) +
+                         "K entries, " +
+                         std::to_string(cfg.branch.btbWays) +
+                         "-way per thread"});
+    t.addRow({"Return Address Stack",
+              std::to_string(cfg.branch.rasEntries) + " entries"});
+    t.addRow({"L1 Instruction Cache",
+              kb(cfg.mem.il1.sizeBytes) + ", " +
+                  std::to_string(cfg.mem.il1.ways) + "-way, " +
+                  std::to_string(cfg.mem.il1.lineBytes) + " Byte/line, " +
+                  std::to_string(cfg.mem.il1.ports) + " ports, " +
+                  std::to_string(cfg.mem.il1.latency) + " cycle access"});
+    t.addRow({"ROB Size", std::to_string(cfg.robSize) +
+                              " entries per thread"});
+    t.addRow({"Load/Store Queue", std::to_string(cfg.lsqSize) +
+                                      " entries per thread"});
+    t.addRow({"Integer ALU", std::to_string(cfg.fu.intAlu) + " I-ALU, " +
+                                 std::to_string(cfg.fu.intMulDiv) +
+                                 " I-MUL/DIV, " +
+                                 std::to_string(cfg.fu.memPorts) +
+                                 " Load/Store"});
+    t.addRow({"FP ALU", std::to_string(cfg.fu.fpAlu) + " FP-ALU, " +
+                            std::to_string(cfg.fu.fpMulDiv) +
+                            " FP-MUL/DIV/SQRT"});
+    t.addRow({"DTLB", std::to_string(cfg.mem.dtlb.entries) + " entries, " +
+                          std::to_string(cfg.mem.dtlb.ways) + "-way, " +
+                          std::to_string(cfg.mem.dtlb.missPenalty) +
+                          " cycle miss latency"});
+    t.addRow({"L1 Data Cache",
+              kb(cfg.mem.dl1.sizeBytes) + ", " +
+                  std::to_string(cfg.mem.dl1.ways) + "-way, " +
+                  std::to_string(cfg.mem.dl1.lineBytes) + " Byte/line, " +
+                  std::to_string(cfg.mem.dl1.ports) + " ports, " +
+                  std::to_string(cfg.mem.dl1.latency) + " cycle access"});
+    t.addRow({"L2 Cache",
+              "unified " + std::to_string(cfg.mem.l2.sizeBytes /
+                                          (1024 * 1024)) +
+                  "MB, " + std::to_string(cfg.mem.l2.ways) + "-way, " +
+                  std::to_string(cfg.mem.l2.lineBytes) + " Byte/line, " +
+                  std::to_string(cfg.mem.l2.latency) + " cycle access"});
+    t.addRow({"Memory Access", "64 bit wide, " +
+                                   std::to_string(cfg.mem.memLatency) +
+                                   " cycles access latency"});
+    t.addRow({"Physical Registers",
+              std::to_string(cfg.intPhysRegs) + " INT + " +
+                  std::to_string(cfg.fpPhysRegs) + " FP (shared pool)"});
+    return t.str();
+}
+
+std::string
+table2String()
+{
+    TextTable t({"Contexts", "Type", "Group", "Workload"});
+    for (const auto &m : allMixes()) {
+        if (m.name.rfind("fig3", 0) == 0)
+            continue;
+        std::ostringstream bl;
+        for (std::size_t i = 0; i < m.benchmarks.size(); ++i) {
+            if (i)
+                bl << ", ";
+            bl << m.benchmarks[i];
+        }
+        t.addRow({std::to_string(m.contexts) + "-Thread",
+                  mixTypeName(m.type), std::string(1, m.group), bl.str()});
+    }
+    return t.str();
+}
+
+} // namespace smtavf

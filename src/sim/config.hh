@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Human-readable dumps of the simulated machine configuration (Table 1)
+ * and the studied workloads (Table 2).
+ */
+
+#ifndef SMTAVF_SIM_CONFIG_HH
+#define SMTAVF_SIM_CONFIG_HH
+
+#include <string>
+
+#include "core/machine_config.hh"
+
+namespace smtavf
+{
+
+/** Render the paper's Table 1 for @p cfg. */
+std::string table1String(const MachineConfig &cfg);
+
+/** Render the paper's Table 2 (the workload-mix registry). */
+std::string table2String();
+
+} // namespace smtavf
+
+#endif // SMTAVF_SIM_CONFIG_HH

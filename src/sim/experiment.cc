@@ -1,0 +1,146 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+
+#include "base/env.hh"
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+
+namespace smtavf
+{
+
+std::uint64_t
+defaultBudget(unsigned contexts)
+{
+    // Paper: 50/100/200M instructions for 2/4/8 contexts, i.e. 25M per
+    // context. We default to 25k per context and let SMTAVF_SCALE grow it.
+    return 25000ull * contexts * benchScale();
+}
+
+MachineConfig
+table1Config(unsigned contexts)
+{
+    MachineConfig cfg;
+    cfg.contexts = contexts;
+    return cfg; // defaults are Table 1
+}
+
+SimResult
+runMix(const MachineConfig &cfg, const WorkloadMix &mix,
+       std::uint64_t budget)
+{
+    if (budget == 0)
+        budget = defaultBudget(mix.contexts);
+    Simulator sim(cfg, mix);
+    return sim.run(budget);
+}
+
+SimResult
+runMix(const WorkloadMix &mix, FetchPolicyKind policy, std::uint64_t budget)
+{
+    MachineConfig cfg = table1Config(mix.contexts);
+    cfg.fetchPolicy = policy;
+    return runMix(cfg, mix, budget);
+}
+
+SimResult
+runSingleThreadBaseline(const MachineConfig &smt_cfg, const WorkloadMix &mix,
+                        ThreadId tid, std::uint64_t instr_budget)
+{
+    if (tid >= mix.contexts)
+        SMTAVF_FATAL("baseline thread ", tid, " out of range for ",
+                     mix.name);
+    MachineConfig cfg = smt_cfg;
+    cfg.contexts = 1;
+
+    WorkloadMix st;
+    st.name = mix.name + "-st-" + mix.benchmarks[tid];
+    st.contexts = 1;
+    st.type = mix.type;
+    st.group = mix.group;
+    st.benchmarks = {mix.benchmarks[tid]};
+
+    // Replay the exact stream context `tid` had inside the SMT run.
+    Simulator sim(cfg, st, {tid});
+    return sim.run(instr_budget);
+}
+
+double
+meanAvf(const std::vector<SimResult> &runs, HwStruct s)
+{
+    if (runs.empty())
+        SMTAVF_FATAL("meanAvf over zero runs");
+    double sum = 0.0;
+    for (const auto &r : runs)
+        sum += r.avf.avf(s);
+    return sum / static_cast<double>(runs.size());
+}
+
+double
+meanIpc(const std::vector<SimResult> &runs)
+{
+    if (runs.empty())
+        SMTAVF_FATAL("meanIpc over zero runs");
+    double sum = 0.0;
+    for (const auto &r : runs)
+        sum += r.ipc;
+    return sum / static_cast<double>(runs.size());
+}
+
+std::vector<SimResult>
+runMixReplicated(const MachineConfig &cfg, const WorkloadMix &mix,
+                 unsigned replicas, std::uint64_t budget)
+{
+    if (replicas == 0)
+        SMTAVF_FATAL("need at least one replica");
+    std::vector<SimResult> runs;
+    for (unsigned i = 0; i < replicas; ++i) {
+        MachineConfig c = cfg;
+        c.seed = cfg.seed + i;
+        runs.push_back(runMix(c, mix, budget));
+    }
+    return runs;
+}
+
+namespace
+{
+
+MeanStd
+meanStdOf(const std::vector<SimResult> &runs,
+          double (*extract)(const SimResult &, HwStruct), HwStruct s)
+{
+    if (runs.empty())
+        SMTAVF_FATAL("statistics over zero runs");
+    double sum = 0.0, sq = 0.0;
+    for (const auto &r : runs) {
+        double v = extract(r, s);
+        sum += v;
+        sq += v * v;
+    }
+    double n = static_cast<double>(runs.size());
+    MeanStd out;
+    out.mean = sum / n;
+    double var = sq / n - out.mean * out.mean;
+    out.std = std::sqrt(var < 0 ? 0 : var);
+    return out;
+}
+
+} // namespace
+
+MeanStd
+avfStats(const std::vector<SimResult> &runs, HwStruct s)
+{
+    return meanStdOf(
+        runs, [](const SimResult &r, HwStruct hs) { return r.avf.avf(hs); },
+        s);
+}
+
+MeanStd
+ipcStats(const std::vector<SimResult> &runs)
+{
+    return meanStdOf(
+        runs, [](const SimResult &r, HwStruct) { return r.ipc; },
+        HwStruct::IQ);
+}
+
+} // namespace smtavf

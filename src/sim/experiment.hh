@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench harnesses and examples: run a
+ * Table-2 mix under a policy, run single-thread baselines that replay an
+ * SMT context's stream (the Figure 3/4 methodology), and the default
+ * instruction budgets (the paper simulates 50/100/200M instructions for
+ * 2/4/8 contexts; we scale that down by a constant factor, adjustable via
+ * SMTAVF_SCALE).
+ */
+
+#ifndef SMTAVF_SIM_EXPERIMENT_HH
+#define SMTAVF_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "metrics/metrics.hh"
+#include "workload/mixes.hh"
+
+namespace smtavf
+{
+
+/** Default instruction budget for a mix: 25k per context x SMTAVF_SCALE. */
+std::uint64_t defaultBudget(unsigned contexts);
+
+/** Table-1 configuration with @p contexts hardware threads. */
+MachineConfig table1Config(unsigned contexts);
+
+/** Run one mix to its default budget. */
+SimResult runMix(const WorkloadMix &mix,
+                 FetchPolicyKind policy = FetchPolicyKind::Icount,
+                 std::uint64_t budget = 0);
+
+/** Run one mix under an explicit configuration. */
+SimResult runMix(const MachineConfig &cfg, const WorkloadMix &mix,
+                 std::uint64_t budget = 0);
+
+/**
+ * Single-thread (superscalar) baseline for context @p tid of @p mix: a
+ * 1-context machine replaying that context's exact stream for
+ * @p instr_budget instructions (normally the count the context committed
+ * in the SMT run, so the work matches).
+ */
+SimResult runSingleThreadBaseline(const MachineConfig &smt_cfg,
+                                  const WorkloadMix &mix, ThreadId tid,
+                                  std::uint64_t instr_budget);
+
+/** Average AVF of a structure over several runs. */
+double meanAvf(const std::vector<SimResult> &runs, HwStruct s);
+
+/** Average IPC over several runs. */
+double meanIpc(const std::vector<SimResult> &runs);
+
+/** Mean and standard deviation of a sampled statistic. */
+struct MeanStd
+{
+    double mean = 0.0;
+    double std = 0.0;
+};
+
+/**
+ * Run @p mix under @p replicas different seeds (cfg.seed, cfg.seed+1, ...)
+ * for seed-robust statistics — the synthetic-workload analogue of the
+ * paper's two workload groups per type.
+ */
+std::vector<SimResult> runMixReplicated(const MachineConfig &cfg,
+                                        const WorkloadMix &mix,
+                                        unsigned replicas,
+                                        std::uint64_t budget = 0);
+
+/** Mean/std of a structure's AVF over runs. */
+MeanStd avfStats(const std::vector<SimResult> &runs, HwStruct s);
+
+/** Mean/std of IPC over runs. */
+MeanStd ipcStats(const std::vector<SimResult> &runs);
+
+} // namespace smtavf
+
+#endif // SMTAVF_SIM_EXPERIMENT_HH

@@ -1,0 +1,203 @@
+#include "sim/simulator.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+Simulator::Simulator(const MachineConfig &cfg, const WorkloadMix &mix,
+                     std::vector<std::uint32_t> stream_ids)
+    : cfg_(cfg), mix_(mix), ledger_(cfg.contexts), hier_(cfg.mem),
+      dl1Tracker_(hier_.dl1(), ledger_, HwStruct::Dl1Data, HwStruct::Dl1Tag,
+                  cfg.avf.perByteCacheAvf),
+      dtlbTracker_(hier_.dtlb(), ledger_, HwStruct::Dtlb),
+      itlbTracker_(hier_.itlb(), ledger_, HwStruct::Itlb)
+{
+    cfg_.validate();
+    if (cfg_.avf.trackL2Avf)
+        l2Tracker_ = std::make_unique<CacheVulnTracker>(
+            hier_.l2(), ledger_, HwStruct::L2Data, HwStruct::L2Tag,
+            /*per_byte=*/false);
+    if (mix_.contexts != cfg_.contexts)
+        SMTAVF_FATAL("mix ", mix_.name, " has ", mix_.contexts,
+                     " contexts, config has ", cfg_.contexts);
+    if (!stream_ids.empty() && stream_ids.size() != cfg_.contexts)
+        SMTAVF_FATAL("stream-id override count mismatch");
+
+    std::vector<StreamGenerator *> raw;
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        const auto &profile = findProfile(mix_.benchmarks[t]);
+        std::uint32_t sid =
+            stream_ids.empty() ? 0xffffffffu : stream_ids[t];
+        gens_.push_back(std::make_unique<StreamGenerator>(
+            profile, cfg_.seed, static_cast<ThreadId>(t), sid));
+        raw.push_back(gens_.back().get());
+    }
+    core_ = std::make_unique<SmtCore>(cfg_, std::move(raw), hier_, ledger_);
+
+    if (cfg_.prewarmCaches)
+        prewarm();
+}
+
+Simulator::Simulator(const MachineConfig &cfg,
+                     std::vector<BenchmarkProfile> profiles,
+                     const std::string &name)
+    : cfg_(cfg), ledger_(cfg.contexts), hier_(cfg.mem),
+      dl1Tracker_(hier_.dl1(), ledger_, HwStruct::Dl1Data, HwStruct::Dl1Tag,
+                  cfg.avf.perByteCacheAvf),
+      dtlbTracker_(hier_.dtlb(), ledger_, HwStruct::Dtlb),
+      itlbTracker_(hier_.itlb(), ledger_, HwStruct::Itlb)
+{
+    cfg_.validate();
+    if (cfg_.avf.trackL2Avf)
+        l2Tracker_ = std::make_unique<CacheVulnTracker>(
+            hier_.l2(), ledger_, HwStruct::L2Data, HwStruct::L2Tag,
+            /*per_byte=*/false);
+    if (profiles.size() != cfg_.contexts)
+        SMTAVF_FATAL("custom workload '", name, "' has ", profiles.size(),
+                     " profiles for ", cfg_.contexts, " contexts");
+
+    mix_.name = name;
+    mix_.contexts = cfg_.contexts;
+    mix_.type = MixType::Mix;
+    mix_.group = 'A';
+
+    std::vector<StreamGenerator *> raw;
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        profiles[t].validate();
+        mix_.benchmarks.push_back(profiles[t].name);
+        gens_.push_back(std::make_unique<StreamGenerator>(
+            profiles[t], cfg_.seed, static_cast<ThreadId>(t)));
+        raw.push_back(gens_.back().get());
+    }
+    core_ = std::make_unique<SmtCore>(cfg_, std::move(raw), hier_, ledger_);
+
+    if (cfg_.prewarmCaches)
+        prewarm();
+}
+
+void
+Simulator::prewarm()
+{
+    auto fill_lines = [](Cache &c, ThreadId tid, Addr base,
+                         std::uint64_t size) {
+        for (Addr a = base; a < base + size; a += c.config().lineBytes)
+            c.fill(a, tid, 0);
+    };
+    auto fill_pages = [](Tlb &t, ThreadId tid, Addr base, std::uint64_t size,
+                         std::uint64_t max_pages) {
+        std::uint64_t pages = size / t.config().pageBytes + 1;
+        if (pages > max_pages)
+            pages = max_pages;
+        for (std::uint64_t p = 0; p < pages; ++p)
+            t.prefill(base + p * t.config().pageBytes, tid);
+    };
+
+    // Fair static shares; LRU sorts out the real steady state quickly.
+    std::uint64_t l2_share = cfg_.mem.l2.sizeBytes / cfg_.contexts;
+    std::uint64_t dtlb_share = cfg_.mem.dtlb.entries / cfg_.contexts;
+    std::uint64_t itlb_share = cfg_.mem.itlb.entries / cfg_.contexts;
+
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        auto tid = static_cast<ThreadId>(t);
+        auto h = gens_[t]->prewarmHints();
+
+        fill_lines(hier_.il1(), tid, h.code.base, h.code.size);
+        fill_lines(hier_.l2(), tid, h.code.base, h.code.size);
+        fill_lines(hier_.dl1(), tid, h.hot.base, h.hot.size);
+        fill_lines(hier_.l2(), tid, h.hot.base,
+                   std::min(h.hot.size, l2_share));
+        fill_lines(hier_.l2(), tid, h.warm.base,
+                   std::min(h.warm.size, l2_share));
+
+        fill_pages(hier_.itlb(), tid, h.code.base, h.code.size, itlb_share);
+        fill_pages(hier_.dtlb(), tid, h.hot.base, h.hot.size,
+                   dtlb_share / 2 + 1);
+        fill_pages(hier_.dtlb(), tid, h.warm.base, h.warm.size,
+                   dtlb_share / 2 + 1);
+    }
+}
+
+SimResult
+Simulator::run(std::uint64_t instr_budget)
+{
+    if (ran_)
+        SMTAVF_FATAL("Simulator instances are single use");
+    ran_ = true;
+    if (instr_budget == 0)
+        SMTAVF_FATAL("zero instruction budget");
+
+    // Watchdog: a correct model always commits something within the
+    // longest dependence stall (a few memory round trips).
+    constexpr Cycle watchdog_window = 100000;
+    std::uint64_t last_committed = 0;
+    Cycle last_progress = 0;
+
+    std::shared_ptr<AvfTimeline> timeline;
+    if (cfg_.avfSampleCycles > 0)
+        timeline =
+            std::make_shared<AvfTimeline>(ledger_, cfg_.avfSampleCycles);
+
+    std::shared_ptr<CommitTrace> trace;
+    if (cfg_.recordCommitTrace) {
+        trace = std::make_shared<CommitTrace>();
+        core_->recordCommits(trace.get());
+    }
+
+    while (core_->totalCommitted() < instr_budget) {
+        core_->tick();
+        if (timeline)
+            timeline->tick(core_->now());
+        if (core_->totalCommitted() != last_committed) {
+            last_committed = core_->totalCommitted();
+            last_progress = core_->now();
+        } else if (core_->now() - last_progress > watchdog_window) {
+            SMTAVF_PANIC("no commit for ", watchdog_window,
+                         " cycles at cycle ", core_->now(), " (", mix_.name,
+                         ")\n", core_->stateDump());
+        }
+    }
+
+    Cycle end = core_->now();
+    core_->finalizeAvf();
+    hier_.finalize(end);
+    if (timeline)
+        timeline->finish(end);
+    if (trace)
+        trace->finalize(); // deadness verdicts are all resolved now
+    ledger_.finalize(end);
+
+    SimResult r;
+    r.mixName = mix_.name;
+    r.policyName = fetchPolicyName(cfg_.fetchPolicy);
+    r.cycles = end;
+    r.totalCommitted = core_->totalCommitted();
+    r.ipc = static_cast<double>(r.totalCommitted) / end;
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        ThreadPerf tp;
+        tp.benchmark = mix_.benchmarks[t];
+        tp.committed = core_->committed(static_cast<ThreadId>(t));
+        tp.ipc = static_cast<double>(tp.committed) / end;
+        r.threads.push_back(std::move(tp));
+    }
+    r.avf = AvfReport::fromLedger(ledger_);
+    r.timeline = timeline;
+    r.commitTrace = trace;
+
+    r.stats.set("dl1.missRate", hier_.dl1().missRate());
+    r.stats.set("l2.missRate", hier_.l2().missRate());
+    r.stats.set("il1.missRate", hier_.il1().missRate());
+    r.stats.set("dtlb.missRate", hier_.dtlb().missRate());
+    r.stats.set("deadCode.fraction", core_->deadCode().deadFraction());
+    r.stats.set("fetch.wrongPath",
+                static_cast<double>(core_->wrongPathFetched()));
+    r.stats.set("squashed", static_cast<double>(core_->squashedInstrs()));
+    double mispredict = 0.0;
+    for (unsigned t = 0; t < cfg_.contexts; ++t)
+        mispredict += core_->predictor(static_cast<ThreadId>(t))
+                          .mispredictRate();
+    r.stats.set("branch.mispredictRate", mispredict / cfg_.contexts);
+    return r;
+}
+
+} // namespace smtavf

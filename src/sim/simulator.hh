@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level simulation driver: builds the ledger, memory hierarchy, AVF
+ * trackers, workload streams and the SMT core for one (config, mix) pair,
+ * runs to an instruction budget, and returns a SimResult.
+ */
+
+#ifndef SMTAVF_SIM_SIMULATOR_HH
+#define SMTAVF_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "avf/ledger.hh"
+#include "avf/mem_trackers.hh"
+#include "core/machine_config.hh"
+#include "core/smt_core.hh"
+#include "mem/hierarchy.hh"
+#include "metrics/metrics.hh"
+#include "workload/generator.hh"
+#include "workload/mixes.hh"
+
+namespace smtavf
+{
+
+/** One simulation instance (single use: construct, run, discard). */
+class Simulator
+{
+  public:
+    /**
+     * @param cfg machine parameters; cfg.contexts must match the mix
+     * @param mix the workload (one benchmark per context)
+     * @param stream_ids per-thread stream seeding identities (empty: each
+     *        thread seeds by its own context id). Used by single-thread
+     *        baseline runs to replay an SMT context's exact stream.
+     */
+    Simulator(const MachineConfig &cfg, const WorkloadMix &mix,
+              std::vector<std::uint32_t> stream_ids = {});
+
+    /**
+     * Build from explicit profiles instead of registry names — the entry
+     * point for custom workloads (one profile per context).
+     */
+    Simulator(const MachineConfig &cfg,
+              std::vector<BenchmarkProfile> profiles,
+              const std::string &name = "custom");
+
+    /**
+     * Run until @p instr_budget instructions commit in total (all threads)
+     * and return the result. Single use.
+     */
+    SimResult run(std::uint64_t instr_budget);
+
+    /** Direct access for white-box tests. */
+    SmtCore &core() { return *core_; }
+    MemHierarchy &hierarchy() { return hier_; }
+    AvfLedger &ledger() { return ledger_; }
+
+  private:
+    void prewarm();
+
+    MachineConfig cfg_;
+    WorkloadMix mix_;
+    AvfLedger ledger_;
+    MemHierarchy hier_;
+    CacheVulnTracker dl1Tracker_;
+    TlbVulnTracker dtlbTracker_;
+    TlbVulnTracker itlbTracker_;
+    /** Present when MachineConfig::avf.trackL2Avf (per-line granularity). */
+    std::unique_ptr<CacheVulnTracker> l2Tracker_;
+    std::vector<std::unique_ptr<StreamGenerator>> gens_;
+    std::unique_ptr<SmtCore> core_;
+    bool ran_ = false;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_SIM_SIMULATOR_HH

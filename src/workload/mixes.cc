@@ -1,0 +1,137 @@
+#include "workload/mixes.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+const char *
+mixTypeName(MixType t)
+{
+    switch (t) {
+      case MixType::Cpu: return "CPU";
+      case MixType::Mix: return "MIX";
+      case MixType::Mem: return "MEM";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+std::vector<WorkloadMix>
+buildMixes()
+{
+    // Reconstructed from the paper's Table 2. The scan of the 4-context MIX
+    // row is partially garbled; groups below keep its stated construction
+    // rule (half the programs CPU-intensive, half memory-intensive).
+    std::vector<WorkloadMix> mixes = {
+        // ---- 2 contexts ---------------------------------------------------
+        {"2ctx-cpu-A", 2, MixType::Cpu, 'A', {"bzip2", "eon"}},
+        {"2ctx-cpu-B", 2, MixType::Cpu, 'B', {"facerec", "wupwise"}},
+        {"2ctx-mix-A", 2, MixType::Mix, 'A', {"eon", "twolf"}},
+        {"2ctx-mix-B", 2, MixType::Mix, 'B', {"wupwise", "equake"}},
+        {"2ctx-mem-A", 2, MixType::Mem, 'A', {"mcf", "twolf"}},
+        {"2ctx-mem-B", 2, MixType::Mem, 'B', {"equake", "vpr"}},
+
+        // ---- 4 contexts ---------------------------------------------------
+        {"4ctx-cpu-A", 4, MixType::Cpu, 'A',
+         {"bzip2", "eon", "perlbmk", "mesa"}},
+        {"4ctx-cpu-B", 4, MixType::Cpu, 'B',
+         {"gcc", "perlbmk", "facerec", "wupwise"}},
+        {"4ctx-mix-A", 4, MixType::Mix, 'A',
+         {"gcc", "mcf", "perlbmk", "twolf"}},
+        {"4ctx-mix-B", 4, MixType::Mix, 'B',
+         {"mesa", "vpr", "perlbmk", "applu"}},
+        {"4ctx-mem-A", 4, MixType::Mem, 'A',
+         {"mcf", "equake", "twolf", "vpr"}},
+        {"4ctx-mem-B", 4, MixType::Mem, 'B',
+         {"galgel", "swim", "applu", "lucas"}},
+
+        // ---- 8 contexts ---------------------------------------------------
+        {"8ctx-cpu-A", 8, MixType::Cpu, 'A',
+         {"gap", "bzip2", "facerec", "eon",
+          "mesa", "perlbmk", "parser", "wupwise"}},
+        {"8ctx-cpu-B", 8, MixType::Cpu, 'B',
+         {"gap", "crafty", "gcc", "eon",
+          "mesa", "perlbmk", "fma3d", "wupwise"}},
+        {"8ctx-mix-A", 8, MixType::Mix, 'A',
+         {"perlbmk", "mcf", "bzip2", "vpr",
+          "mesa", "swim", "eon", "lucas"}},
+        {"8ctx-mix-B", 8, MixType::Mix, 'B',
+         {"crafty", "fma3d", "applu", "twolf",
+          "equake", "mgrid", "wupwise", "perlbmk"}},
+        // The paper forms only one 8-context MEM group.
+        {"8ctx-mem-A", 8, MixType::Mem, 'A',
+         {"mcf", "twolf", "swim", "lucas",
+          "equake", "applu", "vpr", "mgrid"}},
+
+        // ---- Figures 3-4 dedicated 4-context mixes -------------------------
+        {"fig3-cpu", 4, MixType::Cpu, 'A',
+         {"bzip2", "eon", "gcc", "perlbmk"}},
+        {"fig3-mix", 4, MixType::Mix, 'A',
+         {"gcc", "mcf", "vpr", "perlbmk"}},
+        {"fig3-mem", 4, MixType::Mem, 'A',
+         {"mcf", "equake", "vpr", "swim"}},
+    };
+
+    for (const auto &m : mixes) {
+        if (m.benchmarks.size() != m.contexts)
+            SMTAVF_FATAL("mix ", m.name, ": ", m.benchmarks.size(),
+                         " benchmarks for ", m.contexts, " contexts");
+        for (const auto &b : m.benchmarks)
+            findProfile(b); // fatal if unknown
+    }
+    return mixes;
+}
+
+} // namespace
+
+const std::vector<WorkloadMix> &
+allMixes()
+{
+    static const std::vector<WorkloadMix> mixes = buildMixes();
+    return mixes;
+}
+
+std::vector<WorkloadMix>
+mixesWithContexts(unsigned contexts)
+{
+    std::vector<WorkloadMix> out;
+    for (const auto &m : allMixes())
+        if (m.contexts == contexts && m.name.rfind("fig3", 0) != 0)
+            out.push_back(m);
+    return out;
+}
+
+std::vector<WorkloadMix>
+mixesOf(unsigned contexts, MixType type)
+{
+    std::vector<WorkloadMix> out;
+    for (const auto &m : mixesWithContexts(contexts))
+        if (m.type == type)
+            out.push_back(m);
+    return out;
+}
+
+const WorkloadMix &
+findMix(const std::string &name)
+{
+    for (const auto &m : allMixes())
+        if (m.name == name)
+            return m;
+    SMTAVF_FATAL("unknown workload mix: ", name);
+}
+
+const WorkloadMix &
+fig3Mix(MixType type)
+{
+    switch (type) {
+      case MixType::Cpu: return findMix("fig3-cpu");
+      case MixType::Mix: return findMix("fig3-mix");
+      case MixType::Mem: return findMix("fig3-mem");
+      default: SMTAVF_PANIC("bad mix type");
+    }
+}
+
+} // namespace smtavf

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The studied SMT workloads (the paper's Table 2): 2/4/8-context mixes of
+ * CPU-intensive, memory-intensive and mixed behaviour, two groups (A, B)
+ * per type except the 8-context MEM workload, which the paper builds as a
+ * single group for lack of enough diverse memory-bound programs.
+ */
+
+#ifndef SMTAVF_WORKLOAD_MIXES_HH
+#define SMTAVF_WORKLOAD_MIXES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace smtavf
+{
+
+/** Workload behaviour type per the paper's taxonomy. */
+enum class MixType { Cpu, Mix, Mem };
+
+/** Display name for a mix type ("CPU", "MIX", "MEM"). */
+const char *mixTypeName(MixType t);
+
+/** One SMT workload: a named list of per-thread benchmarks. */
+struct WorkloadMix
+{
+    std::string name;     ///< e.g. "4ctx-mem-A"
+    unsigned contexts;    ///< number of hardware threads
+    MixType type;
+    char group;           ///< 'A' or 'B'
+    std::vector<std::string> benchmarks; ///< one profile name per thread
+};
+
+/** All Table-2 mixes. */
+const std::vector<WorkloadMix> &allMixes();
+
+/** Mixes filtered by context count (2, 4 or 8). */
+std::vector<WorkloadMix> mixesWithContexts(unsigned contexts);
+
+/** Mixes filtered by context count and type. */
+std::vector<WorkloadMix> mixesOf(unsigned contexts, MixType type);
+
+/** Look up a mix by name; fatal if absent. */
+const WorkloadMix &findMix(const std::string &name);
+
+/**
+ * The three 4-context mixes of the paper's Figures 3-4 (SMT vs
+ * single-thread study): CPU = {bzip2, eon, gcc, perlbmk},
+ * MIX = {gcc, mcf, vpr, perlbmk}, MEM = {mcf, equake, vpr, swim}.
+ */
+const WorkloadMix &fig3Mix(MixType type);
+
+} // namespace smtavf
+
+#endif // SMTAVF_WORKLOAD_MIXES_HH

@@ -1,0 +1,42 @@
+#include "workload/profile.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+double
+BenchmarkProfile::explicitMixSum() const
+{
+    return loadFrac + storeFrac + branchFrac + jumpFrac + fpAluFrac +
+           fpMulFrac + fpDivFrac + intMulFrac + intDivFrac + nopFrac;
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    if (name.empty())
+        SMTAVF_FATAL("profile without a name");
+    double sum = explicitMixSum();
+    if (sum > 1.0 + 1e-9)
+        SMTAVF_FATAL("profile ", name, ": instruction mix sums to ", sum,
+                     " > 1");
+    auto frac_ok = [](double f) { return f >= 0.0 && f <= 1.0; };
+    if (!frac_ok(loadFrac) || !frac_ok(storeFrac) || !frac_ok(branchFrac) ||
+        !frac_ok(shortDepFrac) || !frac_ok(hotAccessFrac) ||
+        !frac_ok(warmAccessFrac) || !frac_ok(stridedFrac) ||
+        !frac_ok(takenRate) || !frac_ok(branchEntropy))
+        SMTAVF_FATAL("profile ", name, ": fraction out of [0,1]");
+    if (hotAccessFrac + warmAccessFrac > 1.0 + 1e-9)
+        SMTAVF_FATAL("profile ", name, ": hot+warm access fractions > 1");
+    if (hotSetBytes == 0 || warmSetBytes == 0 || coldSetBytes == 0)
+        SMTAVF_FATAL("profile ", name, ": zero-sized region");
+    if (staticBranches == 0)
+        SMTAVF_FATAL("profile ", name, ": needs at least 1 static branch");
+    if (parallelChains == 0 || parallelChains > 8)
+        SMTAVF_FATAL("profile ", name, ": parallelChains out of [1,8]");
+    if (crossChainFrac < 0.0 || crossChainFrac > 1.0)
+        SMTAVF_FATAL("profile ", name, ": crossChainFrac out of [0,1]");
+}
+
+} // namespace smtavf

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Statistical program model substituting for SPEC CPU 2000 binaries.
+ *
+ * The paper runs SimPoint regions of SPEC CPU 2000; those binaries and
+ * inputs are proprietary. What the paper's analysis actually depends on is
+ * each thread's *behavioural envelope*: instruction mix, dependency
+ * tightness (ILP), memory footprint and locality (cache-miss rates), and
+ * branch predictability. A BenchmarkProfile captures exactly that envelope;
+ * the StreamGenerator expands it into a reproducible dynamic instruction
+ * stream with real register dataflow, addresses and branch outcomes, and
+ * the *simulated caches and predictors* then produce miss and
+ * misprediction behaviour organically.
+ */
+
+#ifndef SMTAVF_WORKLOAD_PROFILE_HH
+#define SMTAVF_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smtavf
+{
+
+/** The paper's CPU-intensive vs memory-intensive benchmark taxonomy. */
+enum class BenchClass : std::uint8_t
+{
+    Cpu, ///< high ILP, caches contain the working set
+    Mem  ///< dominated by DL1/L2 misses
+};
+
+/** SPEC suite of origin (affects the int/fp instruction mix). */
+enum class BenchSuite : std::uint8_t { Int, Fp };
+
+/**
+ * Behavioural envelope of one benchmark. All *Frac fields are fractions of
+ * the dynamic instruction stream; whatever probability mass the explicit
+ * classes do not claim goes to plain integer ALU operations.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    BenchSuite suite = BenchSuite::Int;
+    BenchClass category = BenchClass::Cpu;
+
+    // ---- dynamic instruction mix ----------------------------------------
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.12;   ///< conditional branches
+    double jumpFrac = 0.02;     ///< unconditional jumps/calls/returns
+    double fpAluFrac = 0.0;
+    double fpMulFrac = 0.0;
+    double fpDivFrac = 0.0;
+    double intMulFrac = 0.01;
+    double intDivFrac = 0.002;
+    double nopFrac = 0.02;
+
+    // ---- dataflow shape ---------------------------------------------------
+    /**
+     * Probability that a source register names one of the two most recent
+     * definitions (tight dependency chain); the remainder draws uniformly
+     * from a recent-definition window. Higher values mean longer chains and
+     * lower exploitable ILP.
+     */
+    double shortDepFrac = 0.35;
+
+    /**
+     * Independent dependence chains interleaved in the stream (parallel
+     * loop iterations in flight). A miss stalls only its own chain;
+     * higher values mean more ILP/MLP behind long-latency misses.
+     */
+    std::uint32_t parallelChains = 4;
+
+    /** Probability a source crosses into another chain (loop-carried). */
+    double crossChainFrac = 0.08;
+
+    // ---- memory locality ---------------------------------------------------
+    /** P(access falls in the DL1-resident hot set). */
+    double hotAccessFrac = 0.90;
+    /** P(access falls in the L2-resident warm set). */
+    double warmAccessFrac = 0.08;
+    /** Remainder of accesses go to the DRAM-sized cold region. */
+
+    std::uint64_t hotSetBytes = 32 * 1024;
+    std::uint64_t warmSetBytes = 1 * 1024 * 1024;
+    std::uint64_t coldSetBytes = 64ull * 1024 * 1024;
+
+    /** P(access continues a sequential stream) vs random within region. */
+    double stridedFrac = 0.5;
+    /** Stream advance in bytes. */
+    std::uint32_t strideBytes = 8;
+
+    // ---- control behaviour ---------------------------------------------------
+    /** Long-run taken rate of conditional branches. */
+    double takenRate = 0.6;
+    /**
+     * 0 = all branches follow short deterministic patterns (gshare learns
+     * them); 1 = outcomes are independent coin flips at takenRate.
+     */
+    double branchEntropy = 0.2;
+    /** Number of distinct static conditional-branch sites. */
+    std::uint32_t staticBranches = 64;
+
+    /** Validate invariants; fatal on a malformed profile. */
+    void validate() const;
+
+    /** Total probability of explicit non-IntAlu classes. */
+    double explicitMixSum() const;
+};
+
+/** Look up a benchmark profile by SPEC name ("mcf", "bzip2", ...). */
+const BenchmarkProfile &findProfile(const std::string &name);
+
+/** All registered profiles in registration order. */
+const std::vector<BenchmarkProfile> &allProfiles();
+
+} // namespace smtavf
+
+#endif // SMTAVF_WORKLOAD_PROFILE_HH

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * The SPEC CPU 2000 profile database.
+ *
+ * Each profile is calibrated to published characterizations of the
+ * benchmark (instruction mix, L1/L2 miss behaviour, branch predictability,
+ * working-set size). The numbers are behavioural targets, not claims of
+ * exact fidelity: what matters for the reproduction is that the CPU-class
+ * programs run at high IPC out of the caches while the MEM-class programs
+ * are dominated by DL1/L2 misses, with the per-program ordering (e.g. mcf
+ * and swim worst, eon and mesa best) preserved.
+ */
+
+#include "workload/profile.hh"
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+namespace
+{
+
+constexpr std::uint64_t kB = 1024;
+constexpr std::uint64_t mB = 1024 * 1024;
+
+std::vector<BenchmarkProfile>
+buildDatabase()
+{
+    std::vector<BenchmarkProfile> db;
+
+    auto add = [&db](BenchmarkProfile p) {
+        p.validate();
+        db.push_back(std::move(p));
+    };
+
+    // ---- SPEC INT, CPU-intensive ----------------------------------------
+    {
+        BenchmarkProfile p;
+        p.name = "bzip2";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.26; p.storeFrac = 0.09;
+        p.branchFrac = 0.11; p.jumpFrac = 0.01;
+        p.shortDepFrac = 0.50;
+        p.parallelChains = 3;
+        p.hotAccessFrac = 0.93; p.warmAccessFrac = 0.065;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 32 * mB;
+        p.stridedFrac = 0.6; p.strideBytes = 4;
+        p.takenRate = 0.62; p.branchEntropy = 0.22;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "crafty";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.29; p.storeFrac = 0.07;
+        p.branchFrac = 0.12; p.jumpFrac = 0.02;
+        p.intMulFrac = 0.005;
+        p.shortDepFrac = 0.30;
+        p.parallelChains = 4;
+        p.hotAccessFrac = 0.95; p.warmAccessFrac = 0.048;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 16 * mB;
+        p.stridedFrac = 0.35; p.strideBytes = 8;
+        p.takenRate = 0.55; p.branchEntropy = 0.30;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "eon";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.28; p.storeFrac = 0.14;
+        p.branchFrac = 0.08; p.jumpFrac = 0.03;
+        p.fpAluFrac = 0.08; p.fpMulFrac = 0.04; // eon does real fp work
+        p.shortDepFrac = 0.28;
+        p.parallelChains = 4;
+        p.hotAccessFrac = 0.97; p.warmAccessFrac = 0.028;
+        p.hotSetBytes = 8 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 8 * mB;
+        p.stridedFrac = 0.5; p.strideBytes = 8;
+        p.takenRate = 0.58; p.branchEntropy = 0.12;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gap";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.24; p.storeFrac = 0.08;
+        p.branchFrac = 0.10; p.jumpFrac = 0.02;
+        p.intMulFrac = 0.02;
+        p.shortDepFrac = 0.32;
+        p.parallelChains = 4;
+        p.hotAccessFrac = 0.92; p.warmAccessFrac = 0.075;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 64 * mB;
+        p.stridedFrac = 0.45; p.strideBytes = 8;
+        p.takenRate = 0.60; p.branchEntropy = 0.18;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gcc";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Cpu; // paper places gcc in CPU mixes
+        p.loadFrac = 0.26; p.storeFrac = 0.12;
+        p.branchFrac = 0.13; p.jumpFrac = 0.03;
+        p.shortDepFrac = 0.38;
+        p.parallelChains = 3;
+        p.hotAccessFrac = 0.88; p.warmAccessFrac = 0.11;
+        p.hotSetBytes = 24 * kB; p.warmSetBytes = 768 * kB;
+        p.coldSetBytes = 64 * mB;
+        p.stridedFrac = 0.3; p.strideBytes = 4;
+        p.takenRate = 0.57; p.branchEntropy = 0.28;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "parser";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.25; p.storeFrac = 0.09;
+        p.branchFrac = 0.12; p.jumpFrac = 0.02;
+        p.shortDepFrac = 0.40;
+        p.parallelChains = 3;
+        p.hotAccessFrac = 0.90; p.warmAccessFrac = 0.095;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 32 * mB;
+        p.stridedFrac = 0.25; p.strideBytes = 8;
+        p.takenRate = 0.55; p.branchEntropy = 0.30;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "perlbmk";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.27; p.storeFrac = 0.12;
+        p.branchFrac = 0.12; p.jumpFrac = 0.04;
+        p.shortDepFrac = 0.33;
+        p.parallelChains = 4;
+        p.hotAccessFrac = 0.95; p.warmAccessFrac = 0.048;
+        p.hotSetBytes = 12 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 16 * mB;
+        p.stridedFrac = 0.35; p.strideBytes = 8;
+        p.takenRate = 0.60; p.branchEntropy = 0.15;
+        add(p);
+    }
+
+    // ---- SPEC INT, memory-intensive ----------------------------------------
+    {
+        BenchmarkProfile p;
+        p.name = "mcf";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.35; p.storeFrac = 0.09;
+        p.branchFrac = 0.12; p.jumpFrac = 0.01;
+        p.shortDepFrac = 0.40;
+        p.parallelChains = 3; // pointer chasing: loads feed loads
+        p.hotAccessFrac = 0.40; p.warmAccessFrac = 0.25;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 2 * mB;
+        p.coldSetBytes = 160 * mB;
+        p.stridedFrac = 0.05; p.strideBytes = 8; // random walk
+        p.takenRate = 0.55; p.branchEntropy = 0.35;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "twolf";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.28; p.storeFrac = 0.08;
+        p.branchFrac = 0.13; p.jumpFrac = 0.01;
+        p.shortDepFrac = 0.35;
+        p.parallelChains = 3;
+        p.hotAccessFrac = 0.62; p.warmAccessFrac = 0.35;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 16 * mB;
+        p.stridedFrac = 0.1; p.strideBytes = 8;
+        p.takenRate = 0.56; p.branchEntropy = 0.32;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "vpr";
+        p.suite = BenchSuite::Int;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.30; p.storeFrac = 0.10;
+        p.branchFrac = 0.11; p.jumpFrac = 0.01;
+        p.fpAluFrac = 0.05;
+        p.shortDepFrac = 0.35;
+        p.parallelChains = 3;
+        p.hotAccessFrac = 0.62; p.warmAccessFrac = 0.35;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 24 * mB;
+        p.stridedFrac = 0.12; p.strideBytes = 8;
+        p.takenRate = 0.58; p.branchEntropy = 0.30;
+        add(p);
+    }
+
+    // ---- SPEC FP, CPU-intensive ----------------------------------------
+    {
+        BenchmarkProfile p;
+        p.name = "facerec";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.26; p.storeFrac = 0.08;
+        p.branchFrac = 0.05; p.jumpFrac = 0.01;
+        p.fpAluFrac = 0.22; p.fpMulFrac = 0.12; p.fpDivFrac = 0.003;
+        p.shortDepFrac = 0.22;
+        p.parallelChains = 5;
+        p.hotAccessFrac = 0.93; p.warmAccessFrac = 0.068;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 16 * mB;
+        p.stridedFrac = 0.85; p.strideBytes = 8;
+        p.takenRate = 0.80; p.branchEntropy = 0.05;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "fma3d";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.28; p.storeFrac = 0.11;
+        p.branchFrac = 0.06; p.jumpFrac = 0.02;
+        p.fpAluFrac = 0.20; p.fpMulFrac = 0.10; p.fpDivFrac = 0.004;
+        p.shortDepFrac = 0.25;
+        p.parallelChains = 5;
+        p.hotAccessFrac = 0.90; p.warmAccessFrac = 0.097;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 32 * mB;
+        p.stridedFrac = 0.7; p.strideBytes = 8;
+        p.takenRate = 0.75; p.branchEntropy = 0.10;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "galgel";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Mem; // appears in the paper's 4-ctx MEM mix
+        p.loadFrac = 0.30; p.storeFrac = 0.07;
+        p.branchFrac = 0.04; p.jumpFrac = 0.01;
+        p.fpAluFrac = 0.25; p.fpMulFrac = 0.15;
+        p.shortDepFrac = 0.30;
+        p.parallelChains = 6;
+        p.hotAccessFrac = 0.65; p.warmAccessFrac = 0.27;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 32 * mB;
+        p.stridedFrac = 0.8; p.strideBytes = 8;
+        p.takenRate = 0.85; p.branchEntropy = 0.08;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mesa";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.24; p.storeFrac = 0.10;
+        p.branchFrac = 0.08; p.jumpFrac = 0.02;
+        p.fpAluFrac = 0.14; p.fpMulFrac = 0.08; p.fpDivFrac = 0.002;
+        p.shortDepFrac = 0.26;
+        p.parallelChains = 4;
+        p.hotAccessFrac = 0.96; p.warmAccessFrac = 0.038;
+        p.hotSetBytes = 12 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 8 * mB;
+        p.stridedFrac = 0.7; p.strideBytes = 4;
+        p.takenRate = 0.70; p.branchEntropy = 0.08;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "wupwise";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Cpu;
+        p.loadFrac = 0.23; p.storeFrac = 0.09;
+        p.branchFrac = 0.04; p.jumpFrac = 0.01;
+        p.fpAluFrac = 0.22; p.fpMulFrac = 0.14; p.fpDivFrac = 0.001;
+        p.shortDepFrac = 0.20;
+        p.parallelChains = 6;
+        p.hotAccessFrac = 0.94; p.warmAccessFrac = 0.058;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 512 * kB;
+        p.coldSetBytes = 64 * mB;
+        p.stridedFrac = 0.9; p.strideBytes = 8;
+        p.takenRate = 0.88; p.branchEntropy = 0.03;
+        add(p);
+    }
+
+    // ---- SPEC FP, memory-intensive ----------------------------------------
+    {
+        BenchmarkProfile p;
+        p.name = "applu";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.30; p.storeFrac = 0.10;
+        p.branchFrac = 0.03; p.jumpFrac = 0.005;
+        p.fpAluFrac = 0.24; p.fpMulFrac = 0.14; p.fpDivFrac = 0.005;
+        p.shortDepFrac = 0.30;
+        p.parallelChains = 6;
+        p.hotAccessFrac = 0.45; p.warmAccessFrac = 0.35;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 128 * mB;
+        p.stridedFrac = 0.9; p.strideBytes = 64; // line-per-access streaming
+        p.takenRate = 0.92; p.branchEntropy = 0.03;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "equake";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.36; p.storeFrac = 0.08;
+        p.branchFrac = 0.06; p.jumpFrac = 0.01;
+        p.fpAluFrac = 0.18; p.fpMulFrac = 0.12; p.fpDivFrac = 0.002;
+        p.shortDepFrac = 0.32;
+        p.parallelChains = 4;
+        p.hotAccessFrac = 0.55; p.warmAccessFrac = 0.30;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 64 * mB;
+        p.stridedFrac = 0.35; p.strideBytes = 8; // sparse matrix indirection
+        p.takenRate = 0.80; p.branchEntropy = 0.10;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "lucas";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.28; p.storeFrac = 0.12;
+        p.branchFrac = 0.02; p.jumpFrac = 0.005;
+        p.fpAluFrac = 0.26; p.fpMulFrac = 0.16;
+        p.shortDepFrac = 0.25;
+        p.parallelChains = 6;
+        p.hotAccessFrac = 0.40; p.warmAccessFrac = 0.33;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 128 * mB;
+        p.stridedFrac = 0.95; p.strideBytes = 64;
+        p.takenRate = 0.95; p.branchEntropy = 0.02;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mgrid";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.33; p.storeFrac = 0.06;
+        p.branchFrac = 0.02; p.jumpFrac = 0.003;
+        p.fpAluFrac = 0.28; p.fpMulFrac = 0.16;
+        p.shortDepFrac = 0.25;
+        p.parallelChains = 6;
+        p.hotAccessFrac = 0.50; p.warmAccessFrac = 0.37;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 64 * mB;
+        p.stridedFrac = 0.92; p.strideBytes = 32;
+        p.takenRate = 0.94; p.branchEntropy = 0.02;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "swim";
+        p.suite = BenchSuite::Fp;
+        p.category = BenchClass::Mem;
+        p.loadFrac = 0.30; p.storeFrac = 0.09;
+        p.branchFrac = 0.015; p.jumpFrac = 0.003;
+        p.fpAluFrac = 0.27; p.fpMulFrac = 0.17;
+        p.shortDepFrac = 0.22;
+        p.parallelChains = 6;
+        p.hotAccessFrac = 0.35; p.warmAccessFrac = 0.33;
+        p.hotSetBytes = 16 * kB; p.warmSetBytes = 1 * mB;
+        p.coldSetBytes = 192 * mB;
+        p.stridedFrac = 0.96; p.strideBytes = 64;
+        p.takenRate = 0.97; p.branchEntropy = 0.01;
+        add(p);
+    }
+
+    return db;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+allProfiles()
+{
+    static const std::vector<BenchmarkProfile> db = buildDatabase();
+    return db;
+}
+
+const BenchmarkProfile &
+findProfile(const std::string &name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    SMTAVF_FATAL("unknown benchmark profile: ", name);
+}
+
+} // namespace smtavf

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Machine-configuration robustness: downstream users will change Table-1
+ * parameters, so the model must stay sound across a wide geometry sweep
+ * and reject inconsistent configurations loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+SimResult
+runWith(MachineConfig cfg, std::uint64_t budget = 8000)
+{
+    cfg.seed = 5;
+    Simulator sim(cfg, findMix("2ctx-mix-A"));
+    return sim.run(budget);
+}
+
+MachineConfig
+base()
+{
+    return table1Config(2);
+}
+
+TEST(ConfigSweep, NarrowMachineStillWorks)
+{
+    auto cfg = base();
+    cfg.fetchWidth = 2;
+    cfg.decodeWidth = 2;
+    cfg.issueWidth = 2;
+    cfg.commitWidth = 2;
+    cfg.fetchThreadsPerCycle = 1;
+    auto r = runWith(cfg);
+    EXPECT_GE(r.totalCommitted, 8000u);
+    EXPECT_LT(r.ipc, 2.01) << "a 2-wide machine cannot beat IPC 2";
+}
+
+TEST(ConfigSweep, WiderMachineIsNotSlower)
+{
+    auto narrow = base();
+    narrow.issueWidth = 2;
+    narrow.commitWidth = 2;
+    auto wide = base();
+    EXPECT_GE(runWith(wide).ipc, runWith(narrow).ipc * 0.95);
+}
+
+TEST(ConfigSweep, TinyIqRaisesPressure)
+{
+    auto small = base();
+    small.iqSize = 16;
+    auto r = runWith(small);
+    EXPECT_GE(r.totalCommitted, 8000u);
+    // A 16-entry IQ saturates easily: occupancy well above the 96-entry
+    // machine's fraction.
+    auto big = runWith(base());
+    EXPECT_GT(r.avf.occupancy(HwStruct::IQ),
+              big.avf.occupancy(HwStruct::IQ));
+}
+
+TEST(ConfigSweep, TinyRobAndLsqWork)
+{
+    auto cfg = base();
+    cfg.robSize = 16;
+    cfg.lsqSize = 8;
+    EXPECT_GE(runWith(cfg).totalCommitted, 8000u);
+}
+
+TEST(ConfigSweep, MinimalRegisterPoolWorks)
+{
+    auto cfg = base();
+    cfg.intPhysRegs = 2 * 32 + 8; // bare committed state + tiny slack
+    cfg.fpPhysRegs = 2 * 32 + 8;
+    auto r = runWith(cfg);
+    EXPECT_GE(r.totalCommitted, 8000u);
+    EXPECT_LT(r.ipc, runWith(base()).ipc)
+        << "starving rename must cost throughput";
+}
+
+TEST(ConfigSweep, SmallCachesWork)
+{
+    auto cfg = base();
+    cfg.mem.dl1 = {"dl1", 8 * 1024, 2, 32, 1, 2};
+    cfg.mem.il1 = {"il1", 8 * 1024, 2, 32, 1, 2};
+    cfg.mem.l2 = {"l2", 256 * 1024, 4, 64, 12, 1};
+    auto r = runWith(cfg);
+    EXPECT_GE(r.totalCommitted, 8000u);
+    EXPECT_GT(r.stats.get("dl1.missRate"), 0.0);
+}
+
+TEST(ConfigSweep, DeepFrontEndWorks)
+{
+    auto cfg = base();
+    cfg.frontLatency = 10;
+    cfg.fetchQueueSize = 32;
+    auto r = runWith(cfg);
+    EXPECT_GE(r.totalCommitted, 8000u);
+    EXPECT_LT(r.ipc, runWith(base()).ipc * 1.05)
+        << "a deeper front end cannot be faster";
+}
+
+TEST(ConfigSweep, SlowMemoryHurtsMemBoundWork)
+{
+    auto fast = base();
+    fast.mem.memLatency = 50;
+    auto slow = base();
+    slow.mem.memLatency = 400;
+    WorkloadMix mem{"memmix", 2, MixType::Mem, 'A', {"mcf", "swim"}};
+    fast.seed = slow.seed = 3;
+    Simulator a(fast, mem), b(slow, mem);
+    EXPECT_GT(a.run(6000).ipc, b.run(6000).ipc);
+}
+
+TEST(ConfigSweep, RejectsZeroWidths)
+{
+    ThrowGuard guard;
+    auto cfg = base();
+    cfg.issueWidth = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+    cfg = base();
+    cfg.fetchThreadsPerCycle = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+    cfg = base();
+    cfg.iqSize = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+}
+
+TEST(ConfigSweep, RejectsZeroContexts)
+{
+    ThrowGuard guard;
+    auto cfg = base();
+    cfg.contexts = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+    cfg.contexts = maxContexts + 1;
+    EXPECT_THROW(cfg.validate(), SimError);
+}
+
+class GeometryMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GeometryMatrix, RunsAndObeysAvfBounds)
+{
+    auto [iq, rob, width] = GetParam();
+    auto cfg = base();
+    cfg.iqSize = static_cast<std::uint32_t>(iq);
+    cfg.robSize = static_cast<std::uint32_t>(rob);
+    cfg.fetchWidth = cfg.decodeWidth = cfg.issueWidth = cfg.commitWidth =
+        static_cast<std::uint32_t>(width);
+    auto r = runWith(cfg, 5000);
+    EXPECT_GE(r.totalCommitted, 5000u);
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        EXPECT_LE(r.avf.avf(s), r.avf.occupancy(s) + 1e-9)
+            << hwStructName(s);
+        EXPECT_LE(r.avf.occupancy(s), 1.0 + 1e-9) << hwStructName(s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeometryMatrix,
+                         ::testing::Combine(::testing::Values(32, 96, 192),
+                                            ::testing::Values(32, 96),
+                                            ::testing::Values(4, 8)));
+
+} // namespace
+} // namespace smtavf

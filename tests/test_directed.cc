@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Directed integration tests: custom profiles that force the pipeline into
+ * known regimes and check the AVF/performance consequences analytically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+/** A minimal base profile we then bend per test. */
+BenchmarkProfile
+baseProfile(const char *name)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = BenchSuite::Int;
+    p.category = BenchClass::Cpu;
+    p.loadFrac = 0.2;
+    p.storeFrac = 0.1;
+    p.branchFrac = 0.1;
+    p.jumpFrac = 0.01;
+    p.nopFrac = 0.02;
+    p.hotAccessFrac = 0.98;
+    p.warmAccessFrac = 0.015;
+    p.hotSetBytes = 8 * 1024;
+    return p;
+}
+
+SimResult
+runProfile(BenchmarkProfile p, unsigned contexts = 1,
+           std::uint64_t budget = 10000)
+{
+    auto cfg = table1Config(contexts);
+    std::vector<BenchmarkProfile> ps(contexts, p);
+    Simulator sim(cfg, ps, p.name);
+    return sim.run(budget);
+}
+
+TEST(Directed, NoBranchesMeansNoWrongPath)
+{
+    auto p = baseProfile("no-branches");
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    auto r = runProfile(p);
+    EXPECT_EQ(r.stats.get("fetch.wrongPath"), 0.0);
+    EXPECT_EQ(r.stats.get("squashed"), 0.0);
+    EXPECT_EQ(r.stats.get("branch.mispredictRate"), 0.0);
+}
+
+TEST(Directed, NoMemoryOpsMeansNoLsqOrDl1Activity)
+{
+    auto p = baseProfile("no-mem");
+    p.loadFrac = 0.0;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0; // wrong-path loads would touch the DL1 otherwise
+    p.jumpFrac = 0.0;
+    auto r = runProfile(p);
+    EXPECT_EQ(r.avf.occupancy(HwStruct::LsqData), 0.0);
+    EXPECT_EQ(r.avf.occupancy(HwStruct::LsqTag), 0.0);
+    EXPECT_EQ(r.stats.get("dl1.missRate"), 0.0);
+}
+
+TEST(Directed, NopHeavyStreamHasMostlyUnAceOccupancy)
+{
+    auto p = baseProfile("nop-heavy");
+    p.loadFrac = 0.0;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    p.nopFrac = 0.9;
+    auto r = runProfile(p);
+    // NOPs occupy the ROB but are un-ACE: AVF far below occupancy.
+    EXPECT_LT(r.avf.avf(HwStruct::ROB),
+              0.35 * r.avf.occupancy(HwStruct::ROB));
+}
+
+TEST(Directed, SerialChainBoundsIpcNearOne)
+{
+    auto p = baseProfile("serial");
+    p.loadFrac = 0.0;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    p.nopFrac = 0.0;
+    p.shortDepFrac = 1.0;    // every op reads the last two defs
+    p.parallelChains = 1;    // a single dependence chain
+    auto r = runProfile(p);
+    // 1-cycle IntAlu chain: the machine cannot beat ~1 IPC by much, and
+    // should get reasonably close to it.
+    EXPECT_LT(r.ipc, 2.2);
+    EXPECT_GT(r.ipc, 0.6);
+}
+
+TEST(Directed, MoreChainsMeanMoreIlp)
+{
+    auto serial = baseProfile("one-chain");
+    serial.parallelChains = 1;
+    serial.shortDepFrac = 0.8;
+    auto wide = serial;
+    wide.name = "six-chains";
+    wide.parallelChains = 6;
+    EXPECT_GT(runProfile(wide).ipc, runProfile(serial).ipc * 1.3);
+}
+
+TEST(Directed, ColdWorkloadSaturatesMemory)
+{
+    auto p = baseProfile("cold");
+    p.hotAccessFrac = 0.05;
+    p.warmAccessFrac = 0.05;
+    p.coldSetBytes = 64ull * 1024 * 1024;
+    p.stridedFrac = 0.0;
+    p.category = BenchClass::Mem;
+    auto r = runProfile(p, 1, 4000);
+    EXPECT_GT(r.stats.get("dl1.missRate"), 0.3);
+    EXPECT_LT(r.ipc, 0.5);
+}
+
+TEST(Directed, PureComputeKeepsFuBusy)
+{
+    auto p = baseProfile("compute");
+    p.loadFrac = 0.0;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    p.nopFrac = 0.0;
+    p.parallelChains = 8;
+    p.shortDepFrac = 0.0;
+    auto r = runProfile(p, 4, 40000);
+    EXPECT_GT(r.ipc, 4.0) << "8 independent chains x 4 threads on an "
+                             "8-wide machine";
+    EXPECT_GT(r.avf.avf(HwStruct::FU), 0.15);
+}
+
+TEST(Directed, FpWorkloadUsesFpRegisters)
+{
+    auto p = baseProfile("fp-heavy");
+    p.suite = BenchSuite::Fp;
+    p.fpAluFrac = 0.3;
+    p.fpMulFrac = 0.2;
+    auto r = runProfile(p);
+    EXPECT_GT(r.avf.occupancy(HwStruct::RegFile), 0.0);
+    EXPECT_GE(r.totalCommitted, 10000u);
+}
+
+TEST(Directed, DeterministicAcrossPolicyOfUnrelatedKnobs)
+{
+    // The AVF ablation knobs must not change *timing*, only
+    // classification: cycle counts stay identical.
+    auto p = baseProfile("timing");
+    auto cfg = table1Config(2);
+    std::vector<BenchmarkProfile> ps{p, p};
+    Simulator a(cfg, ps, "a");
+    auto ra = a.run(10000);
+
+    cfg.avf.deadCodeAnalysis = false;
+    cfg.avf.perByteCacheAvf = false;
+    cfg.avf.regAllocWindowUnace = false;
+    Simulator b(cfg, ps, "b");
+    auto rb = b.run(10000);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.totalCommitted, rb.totalCommitted);
+}
+
+TEST(Directed, WrongPathKnobChangesTimingButStaysDeterministic)
+{
+    auto p = baseProfile("wrongpath");
+    auto cfg = table1Config(2);
+    std::vector<BenchmarkProfile> ps{p, p};
+    Simulator a(cfg, ps, "a");
+    Simulator b(cfg, ps, "b");
+    EXPECT_EQ(a.run(10000).cycles, b.run(10000).cycles);
+}
+
+TEST(Directed, PointerChaseBoundedByCacheLatency)
+{
+    // A single chain of hot-set loads feeding loads: steady-state IPC for
+    // the loads cannot beat 1 per (1 + DL1 latency)-ish cycle chain step,
+    // and with the load fraction diluted by independent filler the whole
+    // stream still lands well under the machine width.
+    auto p = baseProfile("chase");
+    p.loadFrac = 0.5;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    p.nopFrac = 0.0;
+    p.shortDepFrac = 1.0;
+    p.parallelChains = 1;
+    p.hotAccessFrac = 1.0;
+    p.warmAccessFrac = 0.0;
+    auto r = runProfile(p);
+    EXPECT_LT(r.ipc, 1.6);
+    EXPECT_GT(r.ipc, 0.3);
+}
+
+TEST(Directed, DivideHeavyStreamIsDividerBound)
+{
+    // 30% unpipelined 20-cycle divides on 4 divider units bound
+    // throughput at ~4/20 per divide slot: IPC < (4/20) / 0.3 + epsilon.
+    auto p = baseProfile("divides");
+    p.loadFrac = 0.0;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    p.nopFrac = 0.0;
+    p.intDivFrac = 0.3;
+    p.parallelChains = 8;
+    p.shortDepFrac = 0.0;
+    auto r = runProfile(p, 1, 6000);
+    EXPECT_LT(r.ipc, (4.0 / 20.0) / 0.3 * 1.15);
+    EXPECT_GT(r.ipc, 0.2);
+}
+
+TEST(Directed, StoreHeavyStreamExercisesForwarding)
+{
+    auto p = baseProfile("stores");
+    p.loadFrac = 0.25;
+    p.storeFrac = 0.25;
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    p.hotAccessFrac = 1.0;
+    p.warmAccessFrac = 0.0;
+    p.hotSetBytes = 512; // tiny set: loads constantly hit recent stores
+    auto r = runProfile(p);
+    EXPECT_GE(r.totalCommitted, 10000u);
+    EXPECT_GT(r.avf.avf(HwStruct::LsqData), 0.0);
+    // Everything stays in the hot lines: no DL1 misses after prewarm.
+    EXPECT_LT(r.stats.get("dl1.missRate"), 0.01);
+}
+
+TEST(Directed, TlbHostileStreamPaysTranslationPenalties)
+{
+    auto p = baseProfile("tlbstorm");
+    p.branchFrac = 0.0;
+    p.jumpFrac = 0.0;
+    p.hotAccessFrac = 0.0;
+    p.warmAccessFrac = 1.0;
+    p.warmSetBytes = 64ull * 1024 * 1024; // far beyond DTLB reach
+    p.stridedFrac = 1.0;
+    p.strideBytes = 8192; // one access per page
+    auto r = runProfile(p, 1, 4000);
+    EXPECT_GT(r.stats.get("dtlb.missRate"), 0.5);
+    EXPECT_LT(r.ipc, 0.6);
+}
+
+} // namespace
+} // namespace smtavf

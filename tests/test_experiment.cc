@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the workload-mix registry, Table 1/2 rendering and the
+ * experiment helpers (including the Figure-3 single-thread replay).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "base/env.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+TEST(MixRegistry, Table2HasSeventeenMixes)
+{
+    // 6 two-thread + 6 four-thread + 5 eight-thread.
+    unsigned table2 = 0;
+    for (const auto &m : allMixes())
+        if (m.name.rfind("fig3", 0) != 0)
+            ++table2;
+    EXPECT_EQ(table2, 17u);
+}
+
+TEST(MixRegistry, ContextsFilter)
+{
+    EXPECT_EQ(mixesWithContexts(2).size(), 6u);
+    EXPECT_EQ(mixesWithContexts(4).size(), 6u);
+    EXPECT_EQ(mixesWithContexts(8).size(), 5u);
+}
+
+TEST(MixRegistry, TypeFilter)
+{
+    auto mem4 = mixesOf(4, MixType::Mem);
+    ASSERT_EQ(mem4.size(), 2u);
+    for (const auto &m : mem4)
+        EXPECT_EQ(m.type, MixType::Mem);
+    // The paper only forms one 8-context MEM group.
+    EXPECT_EQ(mixesOf(8, MixType::Mem).size(), 1u);
+}
+
+TEST(MixRegistry, EveryMixSizeMatchesContexts)
+{
+    for (const auto &m : allMixes())
+        EXPECT_EQ(m.benchmarks.size(), m.contexts) << m.name;
+}
+
+TEST(MixRegistry, MixTypeConstructionRules)
+{
+    // CPU mixes contain only CPU-class programs, MEM only MEM-class.
+    for (const auto &m : allMixes()) {
+        unsigned mem_count = 0;
+        for (const auto &b : m.benchmarks)
+            mem_count += findProfile(b).category == BenchClass::Mem;
+        if (m.type == MixType::Cpu)
+            EXPECT_EQ(mem_count, 0u) << m.name;
+        else if (m.type == MixType::Mem)
+            EXPECT_EQ(mem_count, m.contexts) << m.name;
+        else
+            EXPECT_EQ(mem_count, m.contexts / 2) << m.name;
+    }
+}
+
+TEST(MixRegistry, UnknownMixIsFatal)
+{
+    ThrowGuard guard;
+    EXPECT_THROW(findMix("9ctx-zzz"), SimError);
+}
+
+TEST(MixRegistry, Fig3MixesExist)
+{
+    EXPECT_EQ(fig3Mix(MixType::Cpu).contexts, 4u);
+    EXPECT_EQ(fig3Mix(MixType::Mix).benchmarks[1], "mcf");
+    EXPECT_EQ(fig3Mix(MixType::Mem).benchmarks[3], "swim");
+}
+
+TEST(Tables, Table1ListsKeyParameters)
+{
+    auto s = table1String(table1Config(4));
+    EXPECT_NE(s.find("8-wide fetch/issue/commit"), std::string::npos);
+    EXPECT_NE(s.find("ICOUNT"), std::string::npos);
+    EXPECT_NE(s.find("96"), std::string::npos);
+    EXPECT_NE(s.find("2MB"), std::string::npos);
+    EXPECT_NE(s.find("200 cycles access latency"), std::string::npos);
+}
+
+TEST(Tables, Table2ListsAllGroups)
+{
+    auto s = table2String();
+    EXPECT_NE(s.find("2-Thread"), std::string::npos);
+    EXPECT_NE(s.find("8-Thread"), std::string::npos);
+    EXPECT_NE(s.find("mcf"), std::string::npos);
+    EXPECT_EQ(s.find("fig3"), std::string::npos);
+}
+
+TEST(ExperimentHelpers, DefaultBudgetScalesWithContexts)
+{
+    EXPECT_EQ(defaultBudget(4), 2 * defaultBudget(2));
+    EXPECT_EQ(defaultBudget(8), 4 * defaultBudget(2));
+}
+
+TEST(ExperimentHelpers, BenchScaleReadsEnvironment)
+{
+    const char *saved = ::getenv("SMTAVF_SCALE");
+    std::string saved_value = saved ? saved : "";
+
+    ::setenv("SMTAVF_SCALE", "7", 1);
+    EXPECT_EQ(benchScale(), 7u);
+    EXPECT_EQ(defaultBudget(2), 7u * 50000u);
+    ::setenv("SMTAVF_SCALE", "garbage", 1);
+    EXPECT_EQ(benchScale(), 1u) << "unparsable values fall back to 1";
+    ::setenv("SMTAVF_SCALE", "0", 1);
+    EXPECT_EQ(benchScale(), 1u) << "scale clamps to at least 1";
+    ::unsetenv("SMTAVF_SCALE");
+    EXPECT_EQ(benchScale(), 1u);
+
+    if (saved)
+        ::setenv("SMTAVF_SCALE", saved_value.c_str(), 1);
+}
+
+TEST(ExperimentHelpers, RunMixProducesNamedResult)
+{
+    auto r = runMix(findMix("2ctx-cpu-A"), FetchPolicyKind::DWarn, 4000);
+    EXPECT_EQ(r.mixName, "2ctx-cpu-A");
+    EXPECT_EQ(r.policyName, "DWarn");
+    EXPECT_GE(r.totalCommitted, 4000u);
+}
+
+TEST(ExperimentHelpers, SingleThreadBaselineRunsExactWork)
+{
+    auto cfg = table1Config(2);
+    auto st = runSingleThreadBaseline(cfg, findMix("2ctx-cpu-A"), 1, 5000);
+    ASSERT_EQ(st.threads.size(), 1u);
+    EXPECT_EQ(st.threads[0].benchmark, "eon");
+    EXPECT_GE(st.totalCommitted, 5000u);
+}
+
+TEST(ExperimentHelpers, BaselineOutOfRangeIsFatal)
+{
+    ThrowGuard guard;
+    auto cfg = table1Config(2);
+    EXPECT_THROW(
+        runSingleThreadBaseline(cfg, findMix("2ctx-cpu-A"), 2, 1000),
+        SimError);
+}
+
+TEST(ExperimentHelpers, MeanHelpers)
+{
+    auto a = runMix(findMix("2ctx-cpu-A"), FetchPolicyKind::Icount, 3000);
+    auto b = runMix(findMix("2ctx-cpu-B"), FetchPolicyKind::Icount, 3000);
+    std::vector<SimResult> runs{a, b};
+    EXPECT_NEAR(meanIpc(runs), (a.ipc + b.ipc) / 2, 1e-12);
+    EXPECT_NEAR(meanAvf(runs, HwStruct::IQ),
+                (a.avf.avf(HwStruct::IQ) + b.avf.avf(HwStruct::IQ)) / 2,
+                1e-12);
+    ThrowGuard guard;
+    EXPECT_THROW(meanIpc({}), SimError);
+}
+
+} // namespace
+} // namespace smtavf

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the AVF ledger arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avf/ledger.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+TEST(LedgerTest, RejectsBadThreadCount)
+{
+    ThrowGuard guard;
+    EXPECT_THROW(AvfLedger(0), SimError);
+    EXPECT_THROW(AvfLedger(9), SimError);
+}
+
+TEST(LedgerTest, BasicAvfArithmetic)
+{
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 1000);
+    // 100 bits ACE for 40 of 100 cycles = 4000 of 100000 bit-cycles.
+    l.addInterval(HwStruct::IQ, 0, 100, 10, 50, true);
+    l.finalize(100);
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::IQ), 0.04);
+}
+
+TEST(LedgerTest, UnAceCountsTowardOccupancyOnly)
+{
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::ROB, 1000);
+    l.addInterval(HwStruct::ROB, 0, 100, 0, 50, true);
+    l.addInterval(HwStruct::ROB, 0, 100, 50, 100, false);
+    l.finalize(100);
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::ROB), 0.05);
+    EXPECT_DOUBLE_EQ(l.occupancy(HwStruct::ROB), 0.10);
+    EXPECT_DOUBLE_EQ(l.aceShare(HwStruct::ROB), 0.5);
+}
+
+TEST(LedgerTest, PerThreadAttribution)
+{
+    AvfLedger l(2);
+    l.setStructureBits(HwStruct::IQ, 1000);
+    l.addInterval(HwStruct::IQ, 0, 100, 0, 10, true);
+    l.addInterval(HwStruct::IQ, 1, 100, 0, 30, true);
+    l.finalize(100);
+    EXPECT_DOUBLE_EQ(l.threadAvf(HwStruct::IQ, 0), 0.01);
+    EXPECT_DOUBLE_EQ(l.threadAvf(HwStruct::IQ, 1), 0.03);
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::IQ), 0.04);
+}
+
+TEST(LedgerTest, PrivateStructuresUsePerThreadDenominator)
+{
+    AvfLedger l(2);
+    // Two 500-bit private ROBs: total 1000, per-thread 500.
+    l.setStructureBits(HwStruct::ROB, 1000, 500);
+    l.addInterval(HwStruct::ROB, 0, 500, 0, 50, true);
+    l.finalize(100);
+    // Thread 0 kept its whole private ROB ACE for half the run.
+    EXPECT_DOUBLE_EQ(l.threadAvf(HwStruct::ROB, 0), 0.5);
+    // But the aggregate (both ROBs) is half of that.
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::ROB), 0.25);
+}
+
+TEST(LedgerTest, ZeroLengthIntervalIsNoop)
+{
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    l.addInterval(HwStruct::IQ, 0, 50, 10, 10, true);
+    l.finalize(10);
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::IQ), 0.0);
+}
+
+TEST(LedgerTest, BackwardsIntervalPanics)
+{
+    ThrowGuard guard;
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    EXPECT_THROW(l.addInterval(HwStruct::IQ, 0, 50, 20, 10, true),
+                 SimError);
+}
+
+TEST(LedgerTest, UnknownThreadPanics)
+{
+    ThrowGuard guard;
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    EXPECT_THROW(l.addInterval(HwStruct::IQ, 3, 50, 0, 10, true), SimError);
+}
+
+TEST(LedgerTest, AvfBeforeFinalizePanics)
+{
+    ThrowGuard guard;
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    EXPECT_THROW(l.avf(HwStruct::IQ), SimError);
+}
+
+TEST(LedgerTest, FinalizeWithZeroCyclesIsFatal)
+{
+    ThrowGuard guard;
+    AvfLedger l(1);
+    EXPECT_THROW(l.finalize(0), SimError);
+}
+
+TEST(LedgerTest, UntrackedStructureReportsZero)
+{
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    l.finalize(10);
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::Dtlb), 0.0);
+    EXPECT_DOUBLE_EQ(l.occupancy(HwStruct::Dtlb), 0.0);
+}
+
+TEST(LedgerTest, AvfNeverExceedsOccupancy)
+{
+    AvfLedger l(2);
+    l.setStructureBits(HwStruct::LsqData, 4096);
+    l.addInterval(HwStruct::LsqData, 0, 64, 0, 37, true);
+    l.addInterval(HwStruct::LsqData, 1, 64, 5, 90, false);
+    l.addInterval(HwStruct::LsqData, 1, 64, 10, 20, true);
+    l.finalize(100);
+    EXPECT_LE(l.avf(HwStruct::LsqData), l.occupancy(HwStruct::LsqData));
+}
+
+TEST(LedgerTest, RawBitCycleAccessors)
+{
+    AvfLedger l(2);
+    l.setStructureBits(HwStruct::FU, 128);
+    l.addInterval(HwStruct::FU, 0, 128, 0, 3, true);
+    l.addInterval(HwStruct::FU, 1, 128, 0, 2, true);
+    l.addInterval(HwStruct::FU, 1, 128, 2, 4, false);
+    EXPECT_EQ(l.aceBitCycles(HwStruct::FU), 128u * 5);
+    EXPECT_EQ(l.aceBitCycles(HwStruct::FU, 1), 128u * 2);
+    EXPECT_EQ(l.unAceBitCycles(HwStruct::FU), 128u * 2);
+}
+
+} // namespace
+} // namespace smtavf

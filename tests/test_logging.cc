@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Unit tests for the logging/error machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsInTestMode)
+{
+    ThrowGuard guard;
+    EXPECT_THROW(SMTAVF_PANIC("boom"), SimError);
+}
+
+TEST(Logging, FatalThrowsInTestMode)
+{
+    ThrowGuard guard;
+    EXPECT_THROW(SMTAVF_FATAL("bad config"), SimError);
+}
+
+TEST(Logging, MessageConcatenatesArgs)
+{
+    ThrowGuard guard;
+    try {
+        SMTAVF_FATAL("value ", 42, " out of ", "range");
+        FAIL() << "should have thrown";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.message, "value 42 out of range");
+    }
+}
+
+TEST(Logging, WarnDoesNotThrow)
+{
+    ThrowGuard guard;
+    EXPECT_NO_THROW(SMTAVF_WARN("just a warning"));
+    EXPECT_NO_THROW(SMTAVF_INFORM("status"));
+}
+
+} // namespace
+} // namespace smtavf

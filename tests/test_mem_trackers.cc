@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the address-based AVF trackers (DL1 per-byte data, DL1
+ * tag, TLB), checking each classification rule of the Biswas model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avf/mem_trackers.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+class CacheTrackerTest : public ::testing::Test
+{
+  protected:
+    CacheTrackerTest()
+        : ledger(1), cache({"dl1", 1024, 2, 64, 1, 2}),
+          tracker(cache, ledger, HwStruct::Dl1Data, HwStruct::Dl1Tag, true)
+    {
+    }
+
+    AvfLedger ledger;
+    Cache cache;
+    CacheVulnTracker tracker;
+};
+
+TEST_F(CacheTrackerTest, RegistersStructureBits)
+{
+    EXPECT_EQ(ledger.structureBits(HwStruct::Dl1Data), 1024u * 8);
+    EXPECT_EQ(ledger.structureBits(HwStruct::Dl1Tag),
+              16u * tracker.tagBitsPerLine());
+}
+
+TEST_F(CacheTrackerTest, FillToReadIsAce)
+{
+    cache.fill(0x1000, 0, 10);
+    cache.access(0x1000, 4, false, 0, 50); // read 4 bytes at +40 cycles
+    // Interval [10,50] on 4 bytes ended in a read: 4*8*40 ACE bit-cycles.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Data), 4u * 8 * 40);
+}
+
+TEST_F(CacheTrackerTest, FillToEvictionWithoutReadIsUnAce)
+{
+    cache.fill(0x1000, 0, 10);
+    cache.flushAll(110);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Data), 0u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::Dl1Data), 64u * 8 * 100);
+}
+
+TEST_F(CacheTrackerTest, ReadToCleanEvictionTailIsUnAce)
+{
+    cache.fill(0x1000, 0, 0);
+    cache.access(0x1000, 4, false, 0, 40);
+    cache.flushAll(100);
+    // ACE: the 4 read bytes for [0,40]. Un-ACE: their tail [40,100] plus
+    // the other 60 bytes for [0,100].
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Data), 4u * 8 * 40);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::Dl1Data),
+              4u * 8 * 60 + 60u * 8 * 100);
+}
+
+TEST_F(CacheTrackerTest, OverwriteMakesPriorIntervalUnAce)
+{
+    cache.fill(0x1000, 0, 0);
+    cache.access(0x1000, 4, true, 0, 30); // store over bytes 0-3
+    // [0,30] ended in an overwrite: un-ACE.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Data), 0u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::Dl1Data), 4u * 8 * 30);
+}
+
+TEST_F(CacheTrackerTest, DirtyBytesAreAceUntilEviction)
+{
+    cache.fill(0x1000, 0, 0);
+    cache.access(0x1000, 4, true, 0, 30);
+    cache.flushAll(100);
+    // The written bytes must survive to writeback: [30,100] ACE.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Data), 4u * 8 * 70);
+}
+
+TEST_F(CacheTrackerTest, DirtyLineTagIsAceForWholeResidency)
+{
+    cache.fill(0x1000, 0, 10);
+    cache.access(0x1000, 4, true, 0, 30);
+    cache.flushAll(110);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Tag),
+              tracker.tagBitsPerLine() * 100u);
+}
+
+TEST_F(CacheTrackerTest, CleanLineTagAceOnlyUntilLastAccess)
+{
+    cache.fill(0x1000, 0, 10);
+    cache.access(0x1000, 8, false, 0, 60);
+    cache.flushAll(110);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Tag),
+              tracker.tagBitsPerLine() * 50u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::Dl1Tag),
+              tracker.tagBitsPerLine() * 50u);
+}
+
+TEST_F(CacheTrackerTest, UntouchedCleanLineTagIsFullyUnAce)
+{
+    cache.fill(0x1000, 0, 10);
+    cache.flushAll(110);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Tag), 0u);
+}
+
+TEST_F(CacheTrackerTest, RereadExtendsAceCoverage)
+{
+    cache.fill(0x1000, 0, 0);
+    cache.access(0x1000, 4, false, 0, 20);
+    cache.access(0x1000, 4, false, 0, 80);
+    // Both [0,20] and [20,80] end in reads.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Data), 4u * 8 * 80);
+}
+
+TEST_F(CacheTrackerTest, EvictionViaCapacityClosesIntervals)
+{
+    // 2-way set: the third fill in one set evicts the LRU victim.
+    cache.fill(0x0000, 0, 0);
+    cache.fill(0x2000, 0, 1);
+    cache.access(0x0000, 4, false, 0, 10); // refresh 0x0000
+    cache.fill(0x4000, 0, 50);             // evicts untouched 0x2000
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_TRUE(cache.probe(0x0000));
+    // 0x2000's 64 untouched bytes resolved un-ACE over [1,50].
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::Dl1Data), 64u * 8 * 49);
+}
+
+TEST(CacheTrackerPerLine, PerLineModeTouchesWholeLine)
+{
+    AvfLedger ledger(1);
+    Cache cache({"dl1", 1024, 2, 64, 1, 2});
+    CacheVulnTracker tracker(cache, ledger, HwStruct::Dl1Data,
+                             HwStruct::Dl1Tag, /*per_byte=*/false);
+    cache.fill(0x1000, 0, 0);
+    cache.access(0x1000, 4, false, 0, 40);
+    // The whole 64-byte line counts as read.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dl1Data), 64u * 8 * 40);
+}
+
+TEST(TlbTrackerTest, EntryAceBetweenUsesUnAceTail)
+{
+    AvfLedger ledger(1);
+    Tlb tlb({"dtlb", 8, 2, 8192, 200});
+    TlbVulnTracker tracker(tlb, ledger, HwStruct::Dtlb);
+
+    tlb.access(0x10000, 0, 10);  // miss + fill
+    tlb.access(0x10000, 0, 60);  // hit: [10,60] ACE
+    tlb.flushAll(110);           // tail [60,110] un-ACE
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dtlb), bits::tlbEntry * 50u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::Dtlb), bits::tlbEntry * 50u);
+}
+
+TEST(TlbTrackerTest, NeverReusedEntryIsFullyUnAce)
+{
+    AvfLedger ledger(1);
+    Tlb tlb({"dtlb", 8, 2, 8192, 200});
+    TlbVulnTracker tracker(tlb, ledger, HwStruct::Dtlb);
+    tlb.access(0x10000, 0, 10);
+    tlb.flushAll(110);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::Dtlb), 0u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::Dtlb),
+              bits::tlbEntry * 100u);
+}
+
+TEST(TlbTrackerTest, RegistersStructureBits)
+{
+    AvfLedger ledger(1);
+    Tlb tlb({"dtlb", 8, 2, 8192, 200});
+    TlbVulnTracker tracker(tlb, ledger, HwStruct::Dtlb);
+    EXPECT_EQ(ledger.structureBits(HwStruct::Dtlb), 8u * bits::tlbEntry);
+}
+
+} // namespace
+} // namespace smtavf

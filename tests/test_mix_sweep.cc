@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Parameterized invariant sweep over every Table-2 workload mix: each mix
+ * must run to budget with every model invariant intact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+class MixSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MixSweep, RunsWithAllInvariantsIntact)
+{
+    const auto &mix = findMix(GetParam());
+    std::uint64_t budget = 4000ull * mix.contexts;
+    auto r = runMix(mix, FetchPolicyKind::Icount, budget);
+
+    // Progress and accounting.
+    EXPECT_GE(r.totalCommitted, budget);
+    std::uint64_t sum = 0;
+    for (const auto &t : r.threads) {
+        EXPECT_GT(t.committed, 0u) << t.benchmark << " starved";
+        sum += t.committed;
+    }
+    EXPECT_EQ(sum, r.totalCommitted);
+    EXPECT_GT(r.ipc, 0.0);
+
+    // AVF bounds on every structure.
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        EXPECT_GE(r.avf.avf(s), 0.0) << hwStructName(s);
+        EXPECT_LE(r.avf.avf(s), r.avf.occupancy(s) + 1e-9)
+            << hwStructName(s);
+        EXPECT_LE(r.avf.occupancy(s), 1.0 + 1e-9) << hwStructName(s);
+    }
+
+    // Thread contributions never exceed the aggregate for shared
+    // structures (they sum to it exactly).
+    for (auto s : {HwStruct::IQ, HwStruct::RegFile, HwStruct::FU}) {
+        double sum_contrib = 0.0;
+        for (ThreadId t = 0; t < mix.contexts; ++t)
+            sum_contrib += r.avf.threadAvf(s, t);
+        EXPECT_NEAR(sum_contrib, r.avf.avf(s), 1e-9) << hwStructName(s);
+    }
+
+    // The paper's structural relation that holds for every workload.
+    EXPECT_GE(r.avf.avf(HwStruct::Dl1Tag), r.avf.avf(HwStruct::Dl1Data))
+        << "tag bits all participate in every match";
+
+    // Sanity of reported rates.
+    EXPECT_LE(r.stats.get("dl1.missRate"), 1.0);
+    EXPECT_LE(r.stats.get("branch.mispredictRate"), 0.5);
+    EXPECT_LT(r.stats.get("deadCode.fraction"), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTable2Mixes, MixSweep,
+    ::testing::Values("2ctx-cpu-A", "2ctx-cpu-B", "2ctx-mix-A",
+                      "2ctx-mix-B", "2ctx-mem-A", "2ctx-mem-B",
+                      "4ctx-cpu-A", "4ctx-cpu-B", "4ctx-mix-A",
+                      "4ctx-mix-B", "4ctx-mem-A", "4ctx-mem-B",
+                      "8ctx-cpu-A", "8ctx-cpu-B", "8ctx-mix-A",
+                      "8ctx-mix-B", "8ctx-mem-A", "fig3-cpu", "fig3-mix",
+                      "fig3-mem"));
+
+class BenchmarkClassSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BenchmarkClassSweep, SoloRunMatchesDeclaredClass)
+{
+    // The paper classifies benchmarks by stand-alone IPC and miss rate;
+    // each profile must land on its declared side of the divide.
+    const auto &p = findProfile(GetParam());
+    WorkloadMix solo{"class-check", 1,
+                     p.category == BenchClass::Cpu ? MixType::Cpu
+                                                   : MixType::Mem,
+                     'A',
+                     {p.name}};
+    auto r = runMix(solo, FetchPolicyKind::Icount, 8000);
+    if (p.category == BenchClass::Cpu) {
+        EXPECT_GT(r.ipc, 0.7) << p.name << " too slow for CPU class";
+        EXPECT_LT(r.stats.get("dl1.missRate"), 0.12) << p.name;
+    } else {
+        EXPECT_LT(r.ipc, 0.7) << p.name << " too fast for MEM class";
+        EXPECT_GT(r.stats.get("dl1.missRate"), 0.05) << p.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkClassSweep,
+    ::testing::Values("bzip2", "crafty", "eon", "gap", "gcc", "parser",
+                      "perlbmk", "mcf", "twolf", "vpr", "facerec", "fma3d",
+                      "galgel", "mesa", "wupwise", "applu", "equake",
+                      "lucas", "mgrid", "swim"));
+
+} // namespace
+} // namespace smtavf

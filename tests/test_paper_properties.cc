@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Reproduction-property tests: the paper's headline qualitative findings,
+ * checked at reduced simulation scale. These are the invariants the bench
+ * harnesses reproduce at full scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+SimResult
+run4(const char *mix, FetchPolicyKind policy = FetchPolicyKind::Icount)
+{
+    return runMix(findMix(mix), policy, 40000);
+}
+
+TEST(PaperProperties, Dl1TagAvfExceedsDataAvf)
+{
+    // Section 4.1: "the DL1 tag exhibits a higher vulnerability than the
+    // DL1 data array" — only referenced bytes are ACE, all tag bits are.
+    for (const char *mix : {"4ctx-cpu-A", "4ctx-mix-A", "4ctx-mem-A"}) {
+        auto r = run4(mix);
+        EXPECT_GT(r.avf.avf(HwStruct::Dl1Tag), r.avf.avf(HwStruct::Dl1Data))
+            << mix;
+    }
+}
+
+TEST(PaperProperties, MemWorkloadsRaiseIqAvf)
+{
+    // Section 4.1: memory-bound workloads stretch ACE residency in the IQ.
+    auto cpu = run4("4ctx-cpu-A");
+    auto mem = run4("4ctx-mem-A");
+    EXPECT_GT(mem.avf.avf(HwStruct::IQ), cpu.avf.avf(HwStruct::IQ));
+}
+
+TEST(PaperProperties, MemWorkloadsReduceFuAvf)
+{
+    // Section 4.1: diminished ILP idles the function units.
+    auto cpu = run4("4ctx-cpu-A");
+    auto mem = run4("4ctx-mem-A");
+    EXPECT_LT(mem.avf.avf(HwStruct::FU), cpu.avf.avf(HwStruct::FU));
+}
+
+TEST(PaperProperties, CpuWorkloadsHaveBestReliabilityEfficiency)
+{
+    // Figure 2: IPC/AVF is highest on CPU-bound workloads.
+    auto cpu = run4("4ctx-cpu-A");
+    auto mem = run4("4ctx-mem-A");
+    for (auto s : {HwStruct::IQ, HwStruct::ROB, HwStruct::RegFile})
+        EXPECT_GT(cpu.mitf(s), mem.mitf(s)) << hwStructName(s);
+}
+
+TEST(PaperProperties, SmtReducesPerThreadAvfVsSingleThread)
+{
+    // Figure 3 / Section 4.1: "the IQ and ROB AVF contributed by gcc
+    // drops ... when it is paired with mcf, vpr, and perlbmk in SMT
+    // execution" — the paper's worked example, thread 0 of the MIX mix.
+    const auto &mix = fig3Mix(MixType::Mix);
+    auto cfg = table1Config(4);
+    auto smt = runMix(cfg, mix, 60000);
+
+    auto st = runSingleThreadBaseline(cfg, mix, 0,
+                                      smt.threads[0].committed);
+    EXPECT_GT(st.avf.avf(HwStruct::IQ),
+              smt.avf.threadAvf(HwStruct::IQ, 0));
+    EXPECT_GT(st.avf.avf(HwStruct::ROB),
+              smt.avf.threadAvf(HwStruct::ROB, 0));
+}
+
+TEST(PaperProperties, SmtReducesMeanPerThreadAvfOnCpuMix)
+{
+    // Figure 3, CPU panel: averaged over the threads of the CPU mix, the
+    // stand-alone IQ AVF exceeds the SMT per-thread contribution.
+    const auto &mix = fig3Mix(MixType::Cpu);
+    auto cfg = table1Config(4);
+    auto smt = runMix(cfg, mix, 60000);
+
+    double st_mean = 0.0, smt_mean = 0.0;
+    for (ThreadId t = 0; t < 4; ++t) {
+        auto st = runSingleThreadBaseline(cfg, mix, t,
+                                          smt.threads[t].committed);
+        st_mean += st.avf.avf(HwStruct::IQ) / 4.0;
+        smt_mean += smt.avf.threadAvf(HwStruct::IQ, t) / 4.0;
+    }
+    EXPECT_GT(st_mean, smt_mean);
+}
+
+TEST(PaperProperties, SmtRaisesAggregateIqAvf)
+{
+    // Section 4.1: the aggregated SMT AVF exceeds the weighted AVF of
+    // sequential execution (~2x on the IQ for 4-context CPU mixes).
+    const auto &mix = fig3Mix(MixType::Cpu);
+    auto cfg = table1Config(4);
+    auto smt = runMix(cfg, mix, 40000);
+
+    double weighted_st = 0.0;
+    for (ThreadId t = 0; t < 4; ++t) {
+        auto st = runSingleThreadBaseline(cfg, mix, t,
+                                          smt.threads[t].committed);
+        double share = static_cast<double>(smt.threads[t].committed) /
+                       smt.totalCommitted;
+        weighted_st += st.avf.avf(HwStruct::IQ) * share;
+    }
+    EXPECT_GT(smt.avf.avf(HwStruct::IQ), weighted_st);
+}
+
+TEST(PaperProperties, FlushSlashesIqRobLsqAvfOnMemWorkloads)
+{
+    // Section 4.3: FLUSH drains long-latency ACE bits out of the IQ, ROB
+    // and LSQ (down to ~50% of other policies on missing workloads).
+    auto base = run4("4ctx-mem-A", FetchPolicyKind::Icount);
+    auto flush = run4("4ctx-mem-A", FetchPolicyKind::Flush);
+    EXPECT_LT(flush.avf.avf(HwStruct::IQ),
+              0.8 * base.avf.avf(HwStruct::IQ));
+    EXPECT_LT(flush.avf.avf(HwStruct::ROB), base.avf.avf(HwStruct::ROB));
+    EXPECT_LT(flush.avf.avf(HwStruct::LsqTag),
+              base.avf.avf(HwStruct::LsqTag));
+}
+
+TEST(PaperProperties, StallReducesIqAvfOnMemWorkloads)
+{
+    auto base = run4("4ctx-mem-A", FetchPolicyKind::Icount);
+    auto stall = run4("4ctx-mem-A", FetchPolicyKind::Stall);
+    EXPECT_LT(stall.avf.avf(HwStruct::IQ), base.avf.avf(HwStruct::IQ));
+}
+
+TEST(PaperProperties, FlushBeatsDgOnL2Misses)
+{
+    // Section 4.3: DG/PDG only watch L1 misses, so FLUSH responds better
+    // to the L2 misses that dominate AVF.
+    auto flush = run4("4ctx-mem-A", FetchPolicyKind::Flush);
+    auto dg = run4("4ctx-mem-A", FetchPolicyKind::Dg);
+    EXPECT_LT(flush.avf.avf(HwStruct::IQ), dg.avf.avf(HwStruct::IQ));
+}
+
+TEST(PaperProperties, DeadCodeAnalysisLowersAvf)
+{
+    // DESIGN.md ablation 1: without FDD analysis, dead results count ACE.
+    auto mix = findMix("4ctx-mix-A");
+    auto cfg = table1Config(4);
+    auto with = runMix(cfg, mix, 30000);
+    cfg.avf.deadCodeAnalysis = false;
+    auto without = runMix(cfg, mix, 30000);
+    EXPECT_GT(without.avf.avf(HwStruct::ROB), with.avf.avf(HwStruct::ROB));
+    EXPECT_GT(without.avf.avf(HwStruct::RegFile),
+              with.avf.avf(HwStruct::RegFile));
+}
+
+TEST(PaperProperties, PerLineCacheTrackingInflatesDataAvf)
+{
+    // DESIGN.md ablation 3: per-byte liveness is what keeps DL1-data AVF
+    // below DL1-tag AVF.
+    auto mix = findMix("4ctx-mix-A");
+    auto cfg = table1Config(4);
+    auto per_byte = runMix(cfg, mix, 30000);
+    cfg.avf.perByteCacheAvf = false;
+    auto per_line = runMix(cfg, mix, 30000);
+    EXPECT_GT(per_line.avf.avf(HwStruct::Dl1Data),
+              per_byte.avf.avf(HwStruct::Dl1Data));
+}
+
+TEST(PaperProperties, RegAllocWindowAblationRaisesRegAvf)
+{
+    // DESIGN.md ablation 4: counting allocated-but-unwritten registers as
+    // ACE inflates register-file AVF (Section 4.2's refinement).
+    auto mix = findMix("4ctx-mem-A");
+    auto cfg = table1Config(4);
+    auto refined = runMix(cfg, mix, 30000);
+    cfg.avf.regAllocWindowUnace = false;
+    auto naive = runMix(cfg, mix, 30000);
+    EXPECT_GT(naive.avf.avf(HwStruct::RegFile),
+              refined.avf.avf(HwStruct::RegFile));
+}
+
+TEST(PaperProperties, IqAvfGrowsWithContexts)
+{
+    // Figure 5: shared-structure AVF increases with thread count.
+    auto r2 = runMix(findMix("2ctx-mix-A"), FetchPolicyKind::Icount, 20000);
+    auto r4 = runMix(findMix("4ctx-mix-A"), FetchPolicyKind::Icount, 40000);
+    EXPECT_GT(r4.avf.avf(HwStruct::IQ), r2.avf.avf(HwStruct::IQ));
+}
+
+TEST(PaperProperties, IqAvfKeepsRisingAtEightContexts)
+{
+    // Figure 5: the shared IQ's AVF keeps growing 4 -> 8 contexts on
+    // CPU-bound workloads (more threads, more resident ACE bits).
+    auto r4 = runMix(findMix("4ctx-cpu-A"), FetchPolicyKind::Icount, 40000);
+    auto r8 = runMix(findMix("8ctx-cpu-A"), FetchPolicyKind::Icount, 60000);
+    EXPECT_GT(r8.avf.avf(HwStruct::IQ), r4.avf.avf(HwStruct::IQ));
+}
+
+TEST(PaperProperties, RegFileAvfGrowsWithContexts)
+{
+    // Figure 5: register-file AVF increases with thread count as the
+    // shared pool's utilization climbs.
+    auto r2 = runMix(findMix("2ctx-mix-A"), FetchPolicyKind::Icount, 20000);
+    auto r8 = runMix(findMix("8ctx-mix-A"), FetchPolicyKind::Icount, 60000);
+    EXPECT_GT(r8.avf.avf(HwStruct::RegFile),
+              r2.avf.avf(HwStruct::RegFile));
+}
+
+TEST(PaperProperties, FuAvfDropsAtEightContextsOnCpuMixes)
+{
+    // Figure 5: at 8 contexts, aggressive contention stretches execution
+    // and the FU's AVF falls back below its 4-context peak (CPU mixes).
+    auto r4 = runMix(findMix("4ctx-cpu-A"), FetchPolicyKind::Icount, 40000);
+    auto r8 = runMix(findMix("8ctx-cpu-A"), FetchPolicyKind::Icount, 60000);
+    EXPECT_LT(r8.avf.avf(HwStruct::FU), r4.avf.avf(HwStruct::FU));
+}
+
+TEST(PaperProperties, SmtThroughputScalesOnCpuMixes)
+{
+    auto r2 = runMix(findMix("2ctx-cpu-A"), FetchPolicyKind::Icount, 20000);
+    auto r4 = runMix(findMix("4ctx-cpu-A"), FetchPolicyKind::Icount, 40000);
+    EXPECT_GT(r4.ipc, r2.ipc);
+}
+
+} // namespace
+} // namespace smtavf

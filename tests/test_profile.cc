@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for benchmark profiles and the SPEC 2000 database.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "workload/profile.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+TEST(ProfileDb, HasTwentyBenchmarks)
+{
+    EXPECT_EQ(allProfiles().size(), 20u);
+}
+
+TEST(ProfileDb, FindKnownProfiles)
+{
+    EXPECT_EQ(findProfile("mcf").name, "mcf");
+    EXPECT_EQ(findProfile("bzip2").suite, BenchSuite::Int);
+    EXPECT_EQ(findProfile("swim").suite, BenchSuite::Fp);
+}
+
+TEST(ProfileDb, UnknownProfileIsFatal)
+{
+    ThrowGuard guard;
+    EXPECT_THROW(findProfile("doom3"), SimError);
+}
+
+TEST(ProfileDb, CategoriesMatchThePaper)
+{
+    // The paper's CPU-intensive vs memory-intensive taxonomy.
+    for (const char *cpu : {"bzip2", "eon", "perlbmk", "mesa", "gcc",
+                            "facerec", "wupwise", "crafty", "gap",
+                            "parser", "fma3d"})
+        EXPECT_EQ(findProfile(cpu).category, BenchClass::Cpu) << cpu;
+    for (const char *mem : {"mcf", "twolf", "vpr", "equake", "swim",
+                            "applu", "lucas", "mgrid", "galgel"})
+        EXPECT_EQ(findProfile(mem).category, BenchClass::Mem) << mem;
+}
+
+TEST(ProfileDb, MemClassHasColderAccessMix)
+{
+    // Every MEM-class profile sends more traffic outside the hot set than
+    // every CPU-class profile: that is what the taxonomy means.
+    double min_cpu_hot = 1.0, max_mem_hot = 0.0;
+    for (const auto &p : allProfiles()) {
+        if (p.category == BenchClass::Cpu)
+            min_cpu_hot = std::min(min_cpu_hot, p.hotAccessFrac);
+        else
+            max_mem_hot = std::max(max_mem_hot, p.hotAccessFrac);
+    }
+    EXPECT_GT(min_cpu_hot, max_mem_hot);
+}
+
+class ProfileValidation : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ProfileValidation, DatabaseEntryValidates)
+{
+    const auto &p = findProfile(GetParam());
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_LE(p.explicitMixSum(), 1.0 + 1e-9);
+    EXPECT_GT(p.loadFrac, 0.0);
+    EXPECT_GT(p.branchFrac, 0.0);
+    EXPECT_GT(p.hotSetBytes, 0u);
+    EXPECT_LE(p.hotAccessFrac + p.warmAccessFrac, 1.0);
+    if (p.suite == BenchSuite::Fp) {
+        EXPECT_GT(p.fpAluFrac + p.fpMulFrac, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ProfileValidation,
+    ::testing::Values("bzip2", "crafty", "eon", "gap", "gcc", "parser",
+                      "perlbmk", "mcf", "twolf", "vpr", "facerec", "fma3d",
+                      "galgel", "mesa", "wupwise", "applu", "equake",
+                      "lucas", "mgrid", "swim"));
+
+TEST(ProfileValidate, RejectsOverfullMix)
+{
+    ThrowGuard guard;
+    BenchmarkProfile p;
+    p.name = "bad";
+    p.loadFrac = 0.9;
+    p.storeFrac = 0.9;
+    EXPECT_THROW(p.validate(), SimError);
+}
+
+TEST(ProfileValidate, RejectsMissingName)
+{
+    ThrowGuard guard;
+    BenchmarkProfile p;
+    EXPECT_THROW(p.validate(), SimError);
+}
+
+TEST(ProfileValidate, RejectsBadFractions)
+{
+    ThrowGuard guard;
+    BenchmarkProfile p;
+    p.name = "bad";
+    p.hotAccessFrac = 0.8;
+    p.warmAccessFrac = 0.8;
+    EXPECT_THROW(p.validate(), SimError);
+}
+
+TEST(ProfileValidate, RejectsZeroRegions)
+{
+    ThrowGuard guard;
+    BenchmarkProfile p;
+    p.name = "bad";
+    p.hotSetBytes = 0;
+    EXPECT_THROW(p.validate(), SimError);
+}
+
+TEST(ProfileValidate, RejectsBadChains)
+{
+    ThrowGuard guard;
+    BenchmarkProfile p;
+    p.name = "bad";
+    p.parallelChains = 0;
+    EXPECT_THROW(p.validate(), SimError);
+    p.parallelChains = 9;
+    EXPECT_THROW(p.validate(), SimError);
+}
+
+} // namespace
+} // namespace smtavf

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the physical register file and its AVF interval rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/regfile.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+class RegFileTest : public ::testing::Test
+{
+  protected:
+    RegFileTest() : ledger(2), rf(8, 8, ledger, true) {}
+
+    AvfLedger ledger;
+    PhysRegFile rf;
+};
+
+TEST_F(RegFileTest, RegistersBitsWithLedger)
+{
+    EXPECT_EQ(ledger.structureBits(HwStruct::RegFile), 16u * 64);
+}
+
+TEST_F(RegFileTest, AllocReturnsDistinctRegisters)
+{
+    auto a = rf.alloc(false, 0, 0);
+    auto b = rf.alloc(false, 0, 0);
+    EXPECT_NE(a, invalidReg);
+    EXPECT_NE(b, invalidReg);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(rf.freeInt(), 6u);
+}
+
+TEST_F(RegFileTest, FpRegistersComeFromFpPool)
+{
+    auto f = rf.alloc(true, 0, 0);
+    EXPECT_GE(static_cast<std::uint32_t>(f), rf.numInt());
+    EXPECT_EQ(rf.freeFp(), 7u);
+    EXPECT_EQ(rf.freeInt(), 8u);
+}
+
+TEST_F(RegFileTest, ExhaustionReturnsInvalid)
+{
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NE(rf.alloc(false, 0, 0), invalidReg);
+    EXPECT_EQ(rf.alloc(false, 0, 0), invalidReg);
+    EXPECT_NE(rf.alloc(true, 0, 0), invalidReg) << "pools are separate";
+}
+
+TEST_F(RegFileTest, ReadinessFollowsWriteback)
+{
+    auto r = rf.alloc(false, 0, 0);
+    EXPECT_FALSE(rf.isReady(r));
+    rf.markWritten(r, 5);
+    EXPECT_TRUE(rf.isReady(r));
+    EXPECT_TRUE(rf.isReady(invalidReg)) << "no-register is always ready";
+}
+
+TEST_F(RegFileTest, LiveValueIntervals)
+{
+    auto r = rf.alloc(false, 0, 10);
+    rf.markWritten(r, 30);
+    rf.noteRead(r, 50);
+    rf.release(r, 100, false);
+    // [10,30) alloc window un-ACE; [30,50] value ACE; (50,100] un-ACE.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile), 64u * 20);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::RegFile), 64u * (20 + 50));
+}
+
+TEST_F(RegFileTest, DeadProducerValueIsUnAce)
+{
+    auto r = rf.alloc(false, 0, 10);
+    rf.markWritten(r, 30);
+    rf.release(r, 100, true);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile), 0u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::RegFile), 64u * 90);
+}
+
+TEST_F(RegFileTest, AllocWindowAblationCountsItAce)
+{
+    AvfLedger l(1);
+    PhysRegFile rf2(4, 4, l, /*alloc_unace=*/false);
+    auto r = rf2.alloc(false, 0, 10);
+    rf2.markWritten(r, 30);
+    rf2.noteRead(r, 50);
+    rf2.release(r, 100, false);
+    // Ablation: [10,30) also ACE.
+    EXPECT_EQ(l.aceBitCycles(HwStruct::RegFile), 64u * (20 + 20));
+}
+
+TEST_F(RegFileTest, SquashedRegisterIsFullyUnAce)
+{
+    auto r = rf.alloc(false, 1, 10);
+    rf.markWritten(r, 20);
+    rf.noteRead(r, 25);
+    rf.releaseSquashed(r, 60);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile), 0u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::RegFile), 64u * 50);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile, 1), 0u);
+}
+
+TEST_F(RegFileTest, ReleaseRecyclesRegister)
+{
+    auto r = rf.alloc(false, 0, 0);
+    rf.markWritten(r, 1);
+    rf.release(r, 2, false);
+    EXPECT_EQ(rf.freeInt(), 8u);
+    auto r2 = rf.alloc(false, 0, 3);
+    EXPECT_NE(r2, invalidReg);
+    EXPECT_FALSE(rf.isReady(r2)) << "recycled register must reset state";
+}
+
+TEST_F(RegFileTest, NeverWrittenReleaseIsUnAce)
+{
+    auto r = rf.alloc(false, 0, 10);
+    rf.releaseSquashed(r, 40);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::RegFile), 64u * 30);
+}
+
+TEST_F(RegFileTest, FinalizeClosesLiveRegistersAce)
+{
+    auto r = rf.alloc(false, 0, 10);
+    rf.markWritten(r, 30);
+    auto unwritten = rf.alloc(false, 0, 20);
+    rf.finalizeAll(100);
+    // Written: [10,30) un-ACE + [30,100] ACE. Unwritten: [20,100] un-ACE.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile), 64u * 70);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::RegFile), 64u * (20 + 80));
+    (void)unwritten;
+}
+
+TEST_F(RegFileTest, NoteReadClampsToRelease)
+{
+    auto r = rf.alloc(false, 0, 0);
+    rf.markWritten(r, 10);
+    rf.noteRead(r, 500); // read recorded beyond release time
+    rf.release(r, 100, false);
+    // The value interval is clamped to the release cycle.
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile), 64u * 90);
+}
+
+TEST_F(RegFileTest, DoubleReleasePanics)
+{
+    ThrowGuard guard;
+    auto r = rf.alloc(false, 0, 0);
+    rf.markWritten(r, 1);
+    rf.release(r, 2, false);
+    EXPECT_THROW(rf.release(r, 3, false), SimError);
+}
+
+TEST_F(RegFileTest, WritebackToFreeRegisterPanics)
+{
+    ThrowGuard guard;
+    EXPECT_THROW(rf.markWritten(3, 1), SimError);
+}
+
+TEST_F(RegFileTest, PerThreadAttribution)
+{
+    auto r0 = rf.alloc(false, 0, 0);
+    auto r1 = rf.alloc(false, 1, 0);
+    rf.markWritten(r0, 5);
+    rf.markWritten(r1, 5);
+    rf.noteRead(r0, 10);
+    rf.noteRead(r1, 10);
+    rf.release(r0, 20, false);
+    rf.release(r1, 20, false);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile, 0), 64u * 5);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::RegFile, 1), 64u * 5);
+}
+
+} // namespace
+} // namespace smtavf

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Seed-replication tests: the paper's qualitative findings must be
+ * robust to the synthetic-workload seed, not artifacts of one draw.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+TEST(Replication, DistinctSeedsDistinctRunsStableStatistics)
+{
+    auto cfg = table1Config(2);
+    auto runs = runMixReplicated(cfg, findMix("2ctx-mix-A"), 4, 12000);
+    ASSERT_EQ(runs.size(), 4u);
+
+    // Different seeds must actually change the run...
+    EXPECT_NE(runs[0].cycles, runs[1].cycles);
+
+    // ...but the statistics stay in a tight band (stationary workloads).
+    auto iq = avfStats(runs, HwStruct::IQ);
+    EXPECT_GT(iq.mean, 0.0);
+    EXPECT_LT(iq.std, 0.5 * iq.mean)
+        << "IQ AVF should not swing wildly across seeds";
+    auto perf = ipcStats(runs);
+    EXPECT_LT(perf.std, 0.3 * perf.mean);
+}
+
+TEST(Replication, ZeroReplicasIsFatal)
+{
+    ThrowGuard guard;
+    auto cfg = table1Config(2);
+    EXPECT_THROW(runMixReplicated(cfg, findMix("2ctx-mix-A"), 0, 1000),
+                 SimError);
+}
+
+TEST(Replication, MemVsCpuIqOrderingIsSeedRobust)
+{
+    // The paper's headline MEM > CPU IQ-AVF ordering must hold for every
+    // seed, not on average.
+    auto cfg = table1Config(4);
+    auto cpu = runMixReplicated(cfg, findMix("4ctx-cpu-A"), 3, 30000);
+    auto mem = runMixReplicated(cfg, findMix("4ctx-mem-A"), 3, 30000);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GT(mem[i].avf.avf(HwStruct::IQ),
+                  cpu[i].avf.avf(HwStruct::IQ))
+            << "seed offset " << i;
+}
+
+TEST(Replication, FlushWinIsSeedRobust)
+{
+    auto cfg = table1Config(4);
+    cfg.fetchPolicy = FetchPolicyKind::Flush;
+    auto flush = runMixReplicated(cfg, findMix("4ctx-mem-A"), 3, 30000);
+    cfg.fetchPolicy = FetchPolicyKind::Icount;
+    auto base = runMixReplicated(cfg, findMix("4ctx-mem-A"), 3, 30000);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_LT(flush[i].avf.avf(HwStruct::IQ),
+                  0.5 * base[i].avf.avf(HwStruct::IQ))
+            << "seed offset " << i;
+}
+
+TEST(Replication, Dl1TagOverDataIsSeedRobust)
+{
+    auto cfg = table1Config(2);
+    auto runs = runMixReplicated(cfg, findMix("2ctx-mix-B"), 4, 12000);
+    for (const auto &r : runs)
+        EXPECT_GT(r.avf.avf(HwStruct::Dl1Tag),
+                  r.avf.avf(HwStruct::Dl1Data));
+}
+
+} // namespace
+} // namespace smtavf

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * End-to-end smoke test: a 2-context mix runs to completion and produces
+ * sane top-level numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+TEST(Smoke, TwoContextMixRuns)
+{
+    auto result = runMix(findMix("2ctx-cpu-A"), FetchPolicyKind::Icount,
+                         10000);
+    EXPECT_GE(result.totalCommitted, 10000u);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GE(result.avf.avf(HwStruct::IQ), 0.0);
+    EXPECT_LE(result.avf.avf(HwStruct::IQ), 1.0);
+}
+
+} // namespace
+} // namespace smtavf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for text-table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/table.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    auto s = t.str();
+    EXPECT_NE(s.find("name    value"), std::string::npos);
+    EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTableTest, RowCountTracksAdds)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow)
+{
+    ThrowGuard guard;
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), SimError);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader)
+{
+    ThrowGuard guard;
+    EXPECT_THROW(TextTable({}), SimError);
+}
+
+TEST(TextTableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(TextTableTest, PctFormatsFraction)
+{
+    EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTableTest, SeparatorLinePresent)
+{
+    TextTable t({"abc"});
+    t.addRow({"x"});
+    EXPECT_NE(t.str().find("---"), std::string::npos);
+}
+
+} // namespace
+} // namespace smtavf

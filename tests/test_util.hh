@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared test helpers: RAII guard that turns panic()/fatal() into thrown
+ * SimError so death paths are testable in-process.
+ */
+
+#ifndef SMTAVF_TESTS_TEST_UTIL_HH
+#define SMTAVF_TESTS_TEST_UTIL_HH
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+/** While alive, SMTAVF_PANIC/SMTAVF_FATAL throw SimError. */
+class ThrowGuard
+{
+  public:
+    ThrowGuard() { setLoggingThrows(true); }
+    ~ThrowGuard() { setLoggingThrows(false); }
+    ThrowGuard(const ThrowGuard &) = delete;
+    ThrowGuard &operator=(const ThrowGuard &) = delete;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_TESTS_TEST_UTIL_HH

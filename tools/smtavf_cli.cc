@@ -1,0 +1,221 @@
+/**
+ * @file
+ * smtavf command-line driver: run any workload mix under any fetch policy
+ * and configuration, print the performance/AVF summary, and optionally
+ * dump the per-structure results or the AVF timeline as CSV for plotting.
+ *
+ * Examples:
+ *   smtavf_cli --list
+ *   smtavf_cli --mix 4ctx-mem-A --policy FLUSH --instructions 400000
+ *   smtavf_cli --mix 8ctx-mix-B --iq-partition --csv
+ *   smtavf_cli --mix 4ctx-cpu-A --sample 5000 --timeline-csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/table.hh"
+#include "metrics/metrics.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace smtavf;
+
+void
+usage()
+{
+    std::puts(
+        "usage: smtavf_cli [options]\n"
+        "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
+        "  --policy NAME         fetch policy: RR ICOUNT FLUSH STALL DG\n"
+        "                        PDG DWarn PSTALL RAT (default ICOUNT)\n"
+        "  --instructions N      total committed-instruction budget\n"
+        "  --seed N              simulation seed (default 1)\n"
+        "  --replicas N          run N seeds and report mean +/- std\n"
+        "  --sample N            AVF timeline window in cycles (0 = off)\n"
+        "  --iq-partition        static per-thread IQ partitioning\n"
+        "  --no-dead-code        disable dynamic dead-code analysis\n"
+        "  --no-wrong-path       disable wrong-path fetch/execution\n"
+        "  --per-line-cache      per-line (not per-byte) DL1 tracking\n"
+        "  --no-prewarm          skip cache/TLB pre-warming\n"
+        "  --csv                 machine-readable per-structure output\n"
+        "  --timeline-csv        dump the AVF timeline as CSV\n"
+        "  --table1              print the machine configuration and exit\n"
+        "  --list                list mixes and policies and exit\n");
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "smtavf_cli: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+std::uint64_t
+parseNum(const char *flag, const char *value)
+{
+    if (!value)
+        die(std::string(flag) + " needs a value");
+    char *end = nullptr;
+    auto v = std::strtoull(value, &end, 10);
+    if (!end || *end != '\0')
+        die(std::string("bad number for ") + flag + ": " + value);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mix_name = "4ctx-mix-A";
+    std::string policy_name = "ICOUNT";
+    std::uint64_t instructions = 0;
+    std::uint64_t seed = 1;
+    std::uint64_t replicas = 1;
+    std::uint64_t sample = 0;
+    bool iq_partition = false;
+    bool csv = false;
+    bool timeline_csv = false;
+    AvfOptions avf;
+    bool prewarm = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            std::puts("mixes:");
+            for (const auto &m : allMixes())
+                std::printf("  %-12s (%u contexts, %s)\n", m.name.c_str(),
+                            m.contexts, mixTypeName(m.type));
+            std::puts("policies:");
+            for (auto kind : allFetchPolicies())
+                std::printf("  %s\n", fetchPolicyName(kind));
+            return 0;
+        } else if (arg == "--table1") {
+            std::fputs(table1String(table1Config(4)).c_str(), stdout);
+            return 0;
+        } else if (arg == "--mix") {
+            const char *v = next();
+            if (!v)
+                die("--mix needs a value");
+            mix_name = v;
+        } else if (arg == "--policy") {
+            const char *v = next();
+            if (!v)
+                die("--policy needs a value");
+            policy_name = v;
+        } else if (arg == "--instructions") {
+            instructions = parseNum("--instructions", next());
+        } else if (arg == "--seed") {
+            seed = parseNum("--seed", next());
+        } else if (arg == "--replicas") {
+            replicas = parseNum("--replicas", next());
+            if (replicas == 0)
+                die("--replicas must be positive");
+        } else if (arg == "--sample") {
+            sample = parseNum("--sample", next());
+        } else if (arg == "--iq-partition") {
+            iq_partition = true;
+        } else if (arg == "--no-dead-code") {
+            avf.deadCodeAnalysis = false;
+        } else if (arg == "--no-wrong-path") {
+            avf.wrongPathModel = false;
+        } else if (arg == "--per-line-cache") {
+            avf.perByteCacheAvf = false;
+        } else if (arg == "--no-prewarm") {
+            prewarm = false;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--timeline-csv") {
+            timeline_csv = true;
+        } else {
+            usage();
+            die("unknown option: " + arg);
+        }
+    }
+
+    FetchPolicyKind policy;
+    if (!parseFetchPolicy(policy_name, policy))
+        die("unknown policy: " + policy_name + " (try --list)");
+
+    const auto &mix = findMix(mix_name);
+    auto cfg = table1Config(mix.contexts);
+    cfg.fetchPolicy = policy;
+    cfg.seed = seed;
+    cfg.iqPartitioned = iq_partition;
+    cfg.avf = avf;
+    cfg.prewarmCaches = prewarm;
+    if (timeline_csv && sample == 0)
+        sample = 5000;
+    cfg.avfSampleCycles = sample;
+
+    if (replicas > 1) {
+        auto runs = runMixReplicated(cfg, mix,
+                                     static_cast<unsigned>(replicas),
+                                     instructions);
+        auto perf = ipcStats(runs);
+        std::printf("%s under %s, %llu seeds: IPC %.3f +/- %.3f\n",
+                    mix.name.c_str(), fetchPolicyName(policy),
+                    static_cast<unsigned long long>(replicas), perf.mean,
+                    perf.std);
+        std::puts("structure  mean AVF  +/-");
+        for (auto s : AvfReport::figureStructs()) {
+            auto st = avfStats(runs, s);
+            std::printf("%-9s  %6.2f%%  %5.2f%%\n", hwStructName(s),
+                        100 * st.mean, 100 * st.std);
+        }
+        return 0;
+    }
+
+    auto r = runMix(cfg, mix, instructions);
+
+    if (csv) {
+        std::puts("structure,avf,occupancy,mitf");
+        for (std::size_t i = 0; i < numHwStructs; ++i) {
+            auto s = static_cast<HwStruct>(i);
+            if (r.avf.occupancy(s) == 0.0 && r.avf.avf(s) == 0.0)
+                continue;
+            std::printf("%s,%.6f,%.6f,%.4f\n", hwStructName(s),
+                        r.avf.avf(s), r.avf.occupancy(s), r.mitf(s));
+        }
+    } else {
+        std::printf("%s under %s: IPC %.3f over %llu cycles "
+                    "(%llu instructions)\n",
+                    r.mixName.c_str(), r.policyName.c_str(), r.ipc,
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.totalCommitted));
+        for (const auto &t : r.threads)
+            std::printf("  %-10s IPC %.3f\n", t.benchmark.c_str(), t.ipc);
+        std::puts("");
+        std::fputs(r.avf.str().c_str(), stdout);
+        std::puts("");
+        for (const auto &[name, value] : r.stats.all())
+            std::printf("  %-24s %.4f\n", name.c_str(), value);
+    }
+
+    if (timeline_csv && r.timeline) {
+        std::puts("\nwindow,IQ,Reg,FU,ROB,DL1_data,DL1_tag");
+        for (std::size_t w = 0; w < r.timeline->windows(); ++w) {
+            std::printf(
+                "%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n", w,
+                r.timeline->windowAvf(HwStruct::IQ, w),
+                r.timeline->windowAvf(HwStruct::RegFile, w),
+                r.timeline->windowAvf(HwStruct::FU, w),
+                r.timeline->windowAvf(HwStruct::ROB, w),
+                r.timeline->windowAvf(HwStruct::Dl1Data, w),
+                r.timeline->windowAvf(HwStruct::Dl1Tag, w));
+        }
+    }
+    return 0;
+}
