@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_avf"
+  "../bench/bench_ablation_avf.pdb"
+  "CMakeFiles/bench_ablation_avf.dir/bench_ablation_avf.cc.o"
+  "CMakeFiles/bench_ablation_avf.dir/bench_ablation_avf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

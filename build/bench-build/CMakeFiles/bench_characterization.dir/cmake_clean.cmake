@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_characterization"
+  "../bench/bench_characterization.pdb"
+  "CMakeFiles/bench_characterization.dir/bench_characterization.cc.o"
+  "CMakeFiles/bench_characterization.dir/bench_characterization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

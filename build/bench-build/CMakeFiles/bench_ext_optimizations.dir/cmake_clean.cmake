@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_optimizations"
+  "../bench/bench_ext_optimizations.pdb"
+  "CMakeFiles/bench_ext_optimizations.dir/bench_ext_optimizations.cc.o"
+  "CMakeFiles/bench_ext_optimizations.dir/bench_ext_optimizations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

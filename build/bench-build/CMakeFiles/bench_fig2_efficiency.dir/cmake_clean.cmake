@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_efficiency"
+  "../bench/bench_fig2_efficiency.pdb"
+  "CMakeFiles/bench_fig2_efficiency.dir/bench_fig2_efficiency.cc.o"
+  "CMakeFiles/bench_fig2_efficiency.dir/bench_fig2_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

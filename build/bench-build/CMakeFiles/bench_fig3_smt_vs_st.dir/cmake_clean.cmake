@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_smt_vs_st"
+  "../bench/bench_fig3_smt_vs_st.pdb"
+  "CMakeFiles/bench_fig3_smt_vs_st.dir/bench_fig3_smt_vs_st.cc.o"
+  "CMakeFiles/bench_fig3_smt_vs_st.dir/bench_fig3_smt_vs_st.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_smt_vs_st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

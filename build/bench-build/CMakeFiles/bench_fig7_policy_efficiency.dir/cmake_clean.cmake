@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_policy_efficiency"
+  "../bench/bench_fig7_policy_efficiency.pdb"
+  "CMakeFiles/bench_fig7_policy_efficiency.dir/bench_fig7_policy_efficiency.cc.o"
+  "CMakeFiles/bench_fig7_policy_efficiency.dir/bench_fig7_policy_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_policy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avf_phases.dir/avf_phases.cc.o"
+  "CMakeFiles/avf_phases.dir/avf_phases.cc.o.d"
+  "avf_phases"
+  "avf_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avf_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

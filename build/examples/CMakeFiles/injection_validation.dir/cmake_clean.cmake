@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injection_validation.dir/injection_validation.cc.o"
+  "CMakeFiles/injection_validation.dir/injection_validation.cc.o.d"
+  "injection_validation"
+  "injection_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injection_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

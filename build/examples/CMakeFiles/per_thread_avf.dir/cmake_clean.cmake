@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_thread_avf.dir/per_thread_avf.cc.o"
+  "CMakeFiles/per_thread_avf.dir/per_thread_avf.cc.o.d"
+  "per_thread_avf"
+  "per_thread_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_thread_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

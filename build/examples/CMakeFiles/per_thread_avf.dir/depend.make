@@ -1,0 +1,2 @@
+# Empty dependencies file for per_thread_avf.
+# This may be replaced when dependencies are built.

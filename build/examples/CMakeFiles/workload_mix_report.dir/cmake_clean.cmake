@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_mix_report.dir/workload_mix_report.cc.o"
+  "CMakeFiles/workload_mix_report.dir/workload_mix_report.cc.o.d"
+  "workload_mix_report"
+  "workload_mix_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_mix_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avf/dead_code.cc" "src/CMakeFiles/smtavf.dir/avf/dead_code.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/avf/dead_code.cc.o.d"
+  "/root/repo/src/avf/injection.cc" "src/CMakeFiles/smtavf.dir/avf/injection.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/avf/injection.cc.o.d"
+  "/root/repo/src/avf/ledger.cc" "src/CMakeFiles/smtavf.dir/avf/ledger.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/avf/ledger.cc.o.d"
+  "/root/repo/src/avf/mem_trackers.cc" "src/CMakeFiles/smtavf.dir/avf/mem_trackers.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/avf/mem_trackers.cc.o.d"
+  "/root/repo/src/avf/report.cc" "src/CMakeFiles/smtavf.dir/avf/report.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/avf/report.cc.o.d"
+  "/root/repo/src/avf/timeline.cc" "src/CMakeFiles/smtavf.dir/avf/timeline.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/avf/timeline.cc.o.d"
+  "/root/repo/src/base/env.cc" "src/CMakeFiles/smtavf.dir/base/env.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/base/env.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/smtavf.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/smtavf.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/base/rng.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/smtavf.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/base/stats.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/smtavf.dir/base/table.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/base/table.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/smtavf.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/smtavf.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/predictor.cc" "src/CMakeFiles/smtavf.dir/branch/predictor.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/branch/predictor.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/smtavf.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/branch/ras.cc.o.d"
+  "/root/repo/src/core/fu_pool.cc" "src/CMakeFiles/smtavf.dir/core/fu_pool.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/core/fu_pool.cc.o.d"
+  "/root/repo/src/core/iq.cc" "src/CMakeFiles/smtavf.dir/core/iq.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/core/iq.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/smtavf.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/core/lsq.cc.o.d"
+  "/root/repo/src/core/regfile.cc" "src/CMakeFiles/smtavf.dir/core/regfile.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/core/regfile.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/smtavf.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/smtavf.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/core/rob.cc.o.d"
+  "/root/repo/src/core/smt_core.cc" "src/CMakeFiles/smtavf.dir/core/smt_core.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/core/smt_core.cc.o.d"
+  "/root/repo/src/isa/instr.cc" "src/CMakeFiles/smtavf.dir/isa/instr.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/isa/instr.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/smtavf.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/smtavf.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/smtavf.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/smtavf.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/policy/dg.cc" "src/CMakeFiles/smtavf.dir/policy/dg.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/dg.cc.o.d"
+  "/root/repo/src/policy/dwarn.cc" "src/CMakeFiles/smtavf.dir/policy/dwarn.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/dwarn.cc.o.d"
+  "/root/repo/src/policy/fetch_policy.cc" "src/CMakeFiles/smtavf.dir/policy/fetch_policy.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/fetch_policy.cc.o.d"
+  "/root/repo/src/policy/flush.cc" "src/CMakeFiles/smtavf.dir/policy/flush.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/flush.cc.o.d"
+  "/root/repo/src/policy/icount.cc" "src/CMakeFiles/smtavf.dir/policy/icount.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/icount.cc.o.d"
+  "/root/repo/src/policy/pdg.cc" "src/CMakeFiles/smtavf.dir/policy/pdg.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/pdg.cc.o.d"
+  "/root/repo/src/policy/pstall.cc" "src/CMakeFiles/smtavf.dir/policy/pstall.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/pstall.cc.o.d"
+  "/root/repo/src/policy/rat.cc" "src/CMakeFiles/smtavf.dir/policy/rat.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/rat.cc.o.d"
+  "/root/repo/src/policy/round_robin.cc" "src/CMakeFiles/smtavf.dir/policy/round_robin.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/round_robin.cc.o.d"
+  "/root/repo/src/policy/stall.cc" "src/CMakeFiles/smtavf.dir/policy/stall.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/policy/stall.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/smtavf.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/smtavf.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/smtavf.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/smtavf.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/CMakeFiles/smtavf.dir/workload/mixes.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/workload/mixes.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/smtavf.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/spec2000.cc" "src/CMakeFiles/smtavf.dir/workload/spec2000.cc.o" "gcc" "src/CMakeFiles/smtavf.dir/workload/spec2000.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

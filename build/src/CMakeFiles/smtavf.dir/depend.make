@@ -1,0 +1,2 @@
+# Empty dependencies file for smtavf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/smtavf_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/smtavf_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config_sweep.cc" "tests/CMakeFiles/smtavf_tests.dir/test_config_sweep.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_config_sweep.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/smtavf_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_core_structs.cc" "tests/CMakeFiles/smtavf_tests.dir/test_core_structs.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_core_structs.cc.o.d"
+  "/root/repo/tests/test_core_whitebox.cc" "tests/CMakeFiles/smtavf_tests.dir/test_core_whitebox.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_core_whitebox.cc.o.d"
+  "/root/repo/tests/test_dead_code.cc" "tests/CMakeFiles/smtavf_tests.dir/test_dead_code.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_dead_code.cc.o.d"
+  "/root/repo/tests/test_directed.cc" "tests/CMakeFiles/smtavf_tests.dir/test_directed.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_directed.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/smtavf_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/smtavf_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_final_edges.cc" "tests/CMakeFiles/smtavf_tests.dir/test_final_edges.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_final_edges.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/smtavf_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/smtavf_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/smtavf_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_injection.cc" "tests/CMakeFiles/smtavf_tests.dir/test_injection.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_injection.cc.o.d"
+  "/root/repo/tests/test_instr.cc" "tests/CMakeFiles/smtavf_tests.dir/test_instr.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_instr.cc.o.d"
+  "/root/repo/tests/test_ledger.cc" "tests/CMakeFiles/smtavf_tests.dir/test_ledger.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_ledger.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/smtavf_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_mem_trackers.cc" "tests/CMakeFiles/smtavf_tests.dir/test_mem_trackers.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_mem_trackers.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/smtavf_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_mix_sweep.cc" "tests/CMakeFiles/smtavf_tests.dir/test_mix_sweep.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_mix_sweep.cc.o.d"
+  "/root/repo/tests/test_paper_properties.cc" "tests/CMakeFiles/smtavf_tests.dir/test_paper_properties.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_paper_properties.cc.o.d"
+  "/root/repo/tests/test_policy.cc" "tests/CMakeFiles/smtavf_tests.dir/test_policy.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_policy.cc.o.d"
+  "/root/repo/tests/test_profile.cc" "tests/CMakeFiles/smtavf_tests.dir/test_profile.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_profile.cc.o.d"
+  "/root/repo/tests/test_regfile.cc" "tests/CMakeFiles/smtavf_tests.dir/test_regfile.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_regfile.cc.o.d"
+  "/root/repo/tests/test_replication.cc" "tests/CMakeFiles/smtavf_tests.dir/test_replication.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_replication.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/smtavf_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/smtavf_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_squash_interplay.cc" "tests/CMakeFiles/smtavf_tests.dir/test_squash_interplay.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_squash_interplay.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/smtavf_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/smtavf_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/smtavf_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/smtavf_tests.dir/test_tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smtavf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtavf_cli.dir/smtavf_cli.cc.o"
+  "CMakeFiles/smtavf_cli.dir/smtavf_cli.cc.o.d"
+  "smtavf_cli"
+  "smtavf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtavf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
