@@ -9,6 +9,9 @@
  * shape: each thread's stand-alone IQ/FU/ROB AVF exceeds its contribution
  * inside SMT, while the aggregate SMT AVF exceeds the work-weighted
  * sequential AVF.
+ *
+ * The three SMT runs execute as one campaign, then each mix's four
+ * single-thread baseline replays fan out over the same worker pool.
  */
 
 #include <cstdio>
@@ -26,9 +29,21 @@ main()
     const std::uint64_t budget = defaultBudget(4);
     auto cfg = table1Config(4);
 
+    CampaignRunner pool;
+    std::vector<Experiment> smt_exps;
     for (auto type : mixTypes()) {
+        Experiment e = makeExperiment(fig3Mix(type), cfg.fetchPolicy,
+                                      budget);
+        e.cfg = cfg;
+        smt_exps.push_back(std::move(e));
+    }
+    auto smt_runs = pool.run(smt_exps);
+
+    for (std::size_t ti = 0; ti < mixTypes().size(); ++ti) {
+        auto type = mixTypes()[ti];
         const auto &mix = fig3Mix(type);
-        auto smt = runMix(cfg, mix, budget);
+        const auto &smt = smt_runs[ti];
+        auto baselines = runSingleThreadBaselines(pool, cfg, mix, smt);
 
         std::printf("-- %s workload (%s) --\n", mixTypeName(type),
                     mix.name.c_str());
@@ -36,8 +51,7 @@ main()
                      "FU_SMT", "ROB_SMT"});
         double weighted_iq = 0, weighted_fu = 0, weighted_rob = 0;
         for (ThreadId tid = 0; tid < 4; ++tid) {
-            auto st = runSingleThreadBaseline(cfg, mix, tid,
-                                              smt.threads[tid].committed);
+            const auto &st = baselines[tid];
             double share =
                 static_cast<double>(smt.threads[tid].committed) /
                 smt.totalCommitted;

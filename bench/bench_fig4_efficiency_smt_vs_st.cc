@@ -7,6 +7,9 @@
  * between modes (the metric cancels execution time); the IQ favours ST on
  * CPU mixes and SMT on MEM mixes; overall SMT wins everywhere except the
  * IQ on CPU workloads.
+ *
+ * The three SMT runs execute as one campaign, then each mix's four
+ * single-thread baseline replays fan out over the same worker pool.
  */
 
 #include <cstdio>
@@ -29,9 +32,21 @@ main()
         return avf > 0 ? TextTable::num(ipc / avf, 1) : std::string("-");
     };
 
+    CampaignRunner pool;
+    std::vector<Experiment> smt_exps;
     for (auto type : mixTypes()) {
+        Experiment e = makeExperiment(fig3Mix(type), cfg.fetchPolicy,
+                                      budget);
+        e.cfg = cfg;
+        smt_exps.push_back(std::move(e));
+    }
+    auto smt_runs = pool.run(smt_exps);
+
+    for (std::size_t ti = 0; ti < mixTypes().size(); ++ti) {
+        auto type = mixTypes()[ti];
         const auto &mix = fig3Mix(type);
-        auto smt = runMix(cfg, mix, budget);
+        const auto &smt = smt_runs[ti];
+        auto baselines = runSingleThreadBaselines(pool, cfg, mix, smt);
 
         std::printf("-- %s workload (%s) --\n", mixTypeName(type),
                     mix.name.c_str());
@@ -39,8 +54,7 @@ main()
                      "FU_SMT", "ROB_SMT"});
         double st_ipc_w = 0, st_iq_w = 0, st_fu_w = 0, st_rob_w = 0;
         for (ThreadId tid = 0; tid < 4; ++tid) {
-            auto st = runSingleThreadBaseline(cfg, mix, tid,
-                                              smt.threads[tid].committed);
+            const auto &st = baselines[tid];
             double share =
                 static_cast<double>(smt.threads[tid].committed) /
                 smt.totalCommitted;

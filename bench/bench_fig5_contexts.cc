@@ -8,9 +8,15 @@
  * 2->4 and flattens; DL1-data AVF falls with contexts on MEM workloads;
  * FU AVF is non-monotonic on CPU (up 2->4, down at 8 as contention
  * stretches execution).
+ *
+ * All (type, contexts) cells run as one parallel campaign (bit-identical
+ * to the former serial loop; SMTAVF_JOBS sets the worker count).
  */
 
+#include <chrono>
 #include <cstdio>
+#include <tuple>
+#include <vector>
 
 #include "bench_util.hh"
 
@@ -25,26 +31,38 @@ main()
 
     const unsigned context_counts[] = {2, 4, 8};
 
+    FigureCampaign fig;
+    std::vector<std::tuple<MixType, unsigned, std::size_t>> cells;
+    for (auto type : mixTypes())
+        for (unsigned ctx : context_counts)
+            cells.emplace_back(type, ctx,
+                               fig.addCell(ctx, type,
+                                           FetchPolicyKind::Icount));
+
+    CampaignRunner pool;
+    auto t0 = std::chrono::steady_clock::now();
+    fig.runAll(pool);
+    std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    campaignNote(pool, fig.experiments(), dt.count());
+
     std::puts("-- panel (a): pipeline structures --");
     TextTable a({"workload", "ctx", "IQ", "FU", "ROB", "Reg"});
     std::puts("-- panel (b): memory structures -- (printed after panel a)");
     TextTable b({"workload", "ctx", "LSQ_tag", "DL1_tag", "LSQ_data",
                  "DL1_data"});
 
-    for (auto type : mixTypes()) {
-        for (unsigned ctx : context_counts) {
-            auto res = runType(ctx, type, FetchPolicyKind::Icount);
-            a.addRow({mixTypeName(type), std::to_string(ctx),
-                      TextTable::pct(res.avf[HwStruct::IQ], 1),
-                      TextTable::pct(res.avf[HwStruct::FU], 1),
-                      TextTable::pct(res.avf[HwStruct::ROB], 1),
-                      TextTable::pct(res.avf[HwStruct::RegFile], 1)});
-            b.addRow({mixTypeName(type), std::to_string(ctx),
-                      TextTable::pct(res.avf[HwStruct::LsqTag], 1),
-                      TextTable::pct(res.avf[HwStruct::Dl1Tag], 1),
-                      TextTable::pct(res.avf[HwStruct::LsqData], 1),
-                      TextTable::pct(res.avf[HwStruct::Dl1Data], 1)});
-        }
+    for (const auto &[type, ctx, cell] : cells) {
+        auto res = fig.cell(cell);
+        a.addRow({mixTypeName(type), std::to_string(ctx),
+                  TextTable::pct(res.avf[HwStruct::IQ], 1),
+                  TextTable::pct(res.avf[HwStruct::FU], 1),
+                  TextTable::pct(res.avf[HwStruct::ROB], 1),
+                  TextTable::pct(res.avf[HwStruct::RegFile], 1)});
+        b.addRow({mixTypeName(type), std::to_string(ctx),
+                  TextTable::pct(res.avf[HwStruct::LsqTag], 1),
+                  TextTable::pct(res.avf[HwStruct::Dl1Tag], 1),
+                  TextTable::pct(res.avf[HwStruct::LsqData], 1),
+                  TextTable::pct(res.avf[HwStruct::Dl1Data], 1)});
     }
     std::fputs(a.str().c_str(), stdout);
     std::puts("");

@@ -7,9 +7,15 @@
  * missing workloads) while *raising* FU and DL1 AVF; STALL ~ ICOUNT at 4
  * contexts but effective at 8; FLUSH responds to L2 misses and so beats
  * DG/PDG, which only watch L1 misses.
+ *
+ * Each panel's 18 (type, policy) cells run as one parallel campaign —
+ * bit-identical to the former serial loop for any SMTAVF_JOBS setting.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <tuple>
+#include <vector>
 
 #include "bench_util.hh"
 
@@ -23,23 +29,32 @@ const smtavf::FetchPolicyKind policies[] = {
 };
 
 void
-panel(unsigned contexts)
+panel(smtavf::CampaignRunner &pool, unsigned contexts)
 {
     using namespace smtavf;
     using namespace smtavf::bench;
 
+    FigureCampaign fig;
+    std::vector<std::tuple<MixType, FetchPolicyKind, std::size_t>> cells;
+    for (auto type : mixTypes())
+        for (auto policy : policies)
+            cells.emplace_back(type, policy,
+                               fig.addCell(contexts, type, policy));
+
+    auto t0 = std::chrono::steady_clock::now();
+    fig.runAll(pool);
+    std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+
     std::printf("-- panel: %u contexts --\n", contexts);
+    campaignNote(pool, fig.experiments(), dt.count());
     TextTable t(structHeader("workload/policy"));
-    for (auto type : mixTypes()) {
-        for (auto policy : policies) {
-            auto res = runType(contexts, type, policy);
-            std::vector<std::string> row = {
-                std::string(mixTypeName(type)) + "/" +
-                fetchPolicyName(policy)};
-            for (auto s : AvfReport::figureStructs())
-                row.push_back(TextTable::pct(res.avf[s], 1));
-            t.addRow(std::move(row));
-        }
+    for (const auto &[type, policy, cell] : cells) {
+        auto res = fig.cell(cell);
+        std::vector<std::string> row = {std::string(mixTypeName(type)) +
+                                        "/" + fetchPolicyName(policy)};
+        for (auto s : AvfReport::figureStructs())
+            row.push_back(TextTable::pct(res.avf[s], 1));
+        t.addRow(std::move(row));
     }
     std::fputs(t.str().c_str(), stdout);
     std::puts("");
@@ -52,7 +67,8 @@ main()
 {
     smtavf::bench::banner(
         "Figure 6: Microarchitecture AVF under Different Fetch Policies");
-    panel(4);
-    panel(8);
+    smtavf::CampaignRunner pool;
+    panel(pool, 4);
+    panel(pool, 8);
     return 0;
 }

@@ -11,11 +11,13 @@
 
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "base/env.hh"
 #include "base/table.hh"
+#include "sim/campaign.hh"
 #include "sim/experiment.hh"
 
 namespace smtavf::bench
@@ -38,6 +40,18 @@ struct TypeResult
     std::vector<SimResult> runs;
 };
 
+/** Average a slice of finished runs into a TypeResult. */
+inline TypeResult
+averageRuns(std::vector<SimResult> runs)
+{
+    TypeResult out;
+    out.runs = std::move(runs);
+    for (auto s : AvfReport::figureStructs())
+        out.avf[s] = meanAvf(out.runs, s);
+    out.ipc = meanIpc(out.runs);
+    return out;
+}
+
 /**
  * Run every Table-2 mix of (contexts, type) under @p policy and average.
  */
@@ -45,15 +59,78 @@ inline TypeResult
 runType(unsigned contexts, MixType type, FetchPolicyKind policy,
         std::uint64_t budget = 0)
 {
-    TypeResult out;
-    auto mixes = mixesOf(contexts, type);
-    for (const auto &mix : mixes)
-        out.runs.push_back(runMix(mix, policy, budget));
-    for (auto s : AvfReport::figureStructs())
-        out.avf[s] = meanAvf(out.runs, s);
-    out.ipc = meanIpc(out.runs);
-    return out;
+    std::vector<SimResult> runs;
+    for (const auto &mix : mixesOf(contexts, type))
+        runs.push_back(runMix(mix, policy, budget));
+    return averageRuns(std::move(runs));
 }
+
+/**
+ * Campaign variant of runType(): the same mixes fanned out over @p pool.
+ * Bit-identical to the serial helper for any worker count.
+ */
+inline TypeResult
+runType(CampaignRunner &pool, unsigned contexts, MixType type,
+        FetchPolicyKind policy, std::uint64_t budget = 0)
+{
+    std::vector<Experiment> exps;
+    for (const auto &mix : mixesOf(contexts, type))
+        exps.push_back(makeExperiment(mix, policy, budget));
+    return averageRuns(pool.run(exps));
+}
+
+/**
+ * A figure's worth of (contexts, type, policy) cells flattened into one
+ * campaign so the pool sees every run at once. Each addCell() returns
+ * the cell's index; after runAll(), cell(i) yields that cell's averaged
+ * TypeResult in submission order.
+ */
+class FigureCampaign
+{
+  public:
+    /** Queue every Table-2 mix of (contexts, type) under policy. */
+    std::size_t
+    addCell(unsigned contexts, MixType type, FetchPolicyKind policy,
+            std::uint64_t budget = 0)
+    {
+        Slice s{exps_.size(), 0};
+        for (const auto &mix : mixesOf(contexts, type)) {
+            exps_.push_back(makeExperiment(mix, policy, budget));
+            ++s.count;
+        }
+        slices_.push_back(s);
+        return slices_.size() - 1;
+    }
+
+    /** Execute all queued cells on @p pool. */
+    void
+    runAll(CampaignRunner &pool)
+    {
+        results_ = pool.run(exps_);
+    }
+
+    /** Averaged result of cell @p i (after runAll()). */
+    TypeResult
+    cell(std::size_t i) const
+    {
+        const Slice &s = slices_.at(i);
+        std::vector<SimResult> runs(results_.begin() + s.begin,
+                                    results_.begin() + s.begin + s.count);
+        return averageRuns(std::move(runs));
+    }
+
+    std::size_t experiments() const { return exps_.size(); }
+
+  private:
+    struct Slice
+    {
+        std::size_t begin;
+        std::size_t count;
+    };
+    std::vector<Experiment> exps_;
+    std::vector<Slice> slices_;
+    std::vector<SimResult> results_;
+};
 
 /** Column header row for the paper's eight figure structures. */
 inline std::vector<std::string>
@@ -72,12 +149,18 @@ structHeader(const std::string &first)
 inline double
 singleThreadIpc(const std::string &benchmark)
 {
+    // Mutex: harnesses may ask for baselines from campaign workers.
+    static std::mutex mutex;
     static std::map<std::string, double> cache;
-    auto it = cache.find(benchmark);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(benchmark);
+        if (it != cache.end())
+            return it->second;
+    }
     WorkloadMix solo{"st-" + benchmark, 1, MixType::Cpu, 'A', {benchmark}};
     auto r = runMix(solo, FetchPolicyKind::Icount, defaultBudget(1));
+    std::lock_guard<std::mutex> lock(mutex);
     cache[benchmark] = r.ipc;
     return r.ipc;
 }
@@ -100,6 +183,15 @@ banner(const char *what)
     std::printf("(scale %llu; set SMTAVF_SCALE to grow the simulated "
                 "instruction budgets)\n\n",
                 static_cast<unsigned long long>(benchScale()));
+}
+
+/** Note how a campaign was parallelized (workers, runs, wall-clock). */
+inline void
+campaignNote(const CampaignRunner &pool, std::size_t runs, double seconds)
+{
+    std::printf("(campaign: %zu runs on %u workers in %.2fs; set "
+                "SMTAVF_JOBS to change the pool)\n\n",
+                runs, pool.jobs(), seconds);
 }
 
 } // namespace smtavf::bench

@@ -125,6 +125,9 @@ class InjectionCampaign
     /** Run @p trials with random origins drawn from @p seed. */
     InjectionResult run(std::uint64_t trials, std::uint64_t seed) const;
 
+    /** Records available as injection origins (the trace length). */
+    std::size_t traceSize() const { return trace_.size(); }
+
   private:
     const CommitTrace &trace_;
     std::size_t maxDepth_;

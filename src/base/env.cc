@@ -20,4 +20,18 @@ benchScale()
     }
 }
 
+unsigned
+envJobs()
+{
+    const char *raw = std::getenv("SMTAVF_JOBS");
+    if (!raw)
+        return 0;
+    try {
+        long long v = std::stoll(raw);
+        return v < 1 ? 0 : static_cast<unsigned>(v);
+    } catch (...) {
+        return 0;
+    }
+}
+
 } // namespace smtavf

@@ -18,6 +18,13 @@ namespace smtavf
  */
 std::uint64_t benchScale();
 
+/**
+ * Read SMTAVF_JOBS from the environment: the campaign worker-pool size
+ * override. 0 (unset or unparsable) means "pick a default", which
+ * CampaignRunner resolves to hardware_concurrency().
+ */
+unsigned envJobs();
+
 } // namespace smtavf
 
 #endif // SMTAVF_BASE_ENV_HH

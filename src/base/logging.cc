@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,9 @@ namespace smtavf
 
 namespace
 {
-bool loggingThrows = false;
+// Atomic: campaign worker threads read this while a test harness on the
+// main thread may have set it; a plain bool would be a data race.
+std::atomic<bool> loggingThrows{false};
 } // namespace
 
 void

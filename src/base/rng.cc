@@ -9,13 +9,18 @@ namespace
 {
 
 std::uint64_t
-splitmix64(std::uint64_t &x)
+mix64(std::uint64_t z)
 {
-    x += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = x;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    return mix64(x);
 }
 
 std::uint64_t
@@ -112,6 +117,16 @@ Rng::zipf(std::uint64_t n, double s)
     double v = std::pow(u, exponent);
     auto idx = static_cast<std::uint64_t>(v * static_cast<double>(n));
     return idx >= n ? n - 1 : idx;
+}
+
+std::uint64_t
+splitSeed(std::uint64_t master, std::uint64_t index)
+{
+    // Finalize master and index separately before combining so that
+    // neighbouring (master, index) pairs land in unrelated streams;
+    // a final mix removes any residual xor structure.
+    return mix64(mix64(master + 0x9e3779b97f4a7c15ull) ^
+                 mix64(index + 0xbf58476d1ce4e5b9ull));
 }
 
 } // namespace smtavf

@@ -62,6 +62,17 @@ class Rng
     std::array<std::uint64_t, 4> state_;
 };
 
+/**
+ * Derive the @p index -th child seed of a campaign master seed: an O(1)
+ * splitmix64-finalizer mix of (master, index). Child streams are
+ * decorrelated from each other and from the master stream, so a campaign
+ * can hand every run (or every injection trial) its own Rng whose draws
+ * do not depend on which worker executes it or in what order — the
+ * seed-splitting contract behind schedule-independent parallel campaigns
+ * (sim/campaign.hh).
+ */
+std::uint64_t splitSeed(std::uint64_t master, std::uint64_t index);
+
 } // namespace smtavf
 
 #endif // SMTAVF_BASE_RNG_HH

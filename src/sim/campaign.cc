@@ -1,0 +1,241 @@
+#include "sim/campaign.hh"
+
+#include <chrono>
+
+#include "base/env.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace smtavf
+{
+
+Experiment
+makeExperiment(const WorkloadMix &mix, FetchPolicyKind policy,
+               std::uint64_t budget)
+{
+    Experiment e;
+    e.label = mix.name + "/" + fetchPolicyName(policy);
+    e.cfg = table1Config(mix.contexts);
+    e.cfg.fetchPolicy = policy;
+    e.mix = mix;
+    e.budget = budget;
+    return e;
+}
+
+SimResult
+runExperiment(const Experiment &e)
+{
+    return runMix(e.cfg, e.mix, e.budget);
+}
+
+void
+deriveSeeds(std::vector<Experiment> &exps, std::uint64_t master)
+{
+    for (std::size_t i = 0; i < exps.size(); ++i)
+        exps[i].cfg.seed = splitSeed(master, i);
+}
+
+/**
+ * One in-flight forEach() call. All fields are guarded by the pool
+ * mutex; fn runs unlocked. The batch lives on the submitting thread's
+ * stack: the last worker to finish an index is the last to touch it
+ * (every claimed index contributes exactly one `done` increment, and
+ * workers that claim nothing never keep a pointer to it).
+ */
+struct CampaignRunner::Batch
+{
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    std::exception_ptr error;
+};
+
+unsigned
+CampaignRunner::defaultJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (unsigned env = envJobs(); env > 0)
+        return env;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+CampaignRunner::CampaignRunner(unsigned jobs) : jobs_(defaultJobs(jobs))
+{
+    workers_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CampaignRunner::~CampaignRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+CampaignRunner::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_.wait(lock, [this] {
+            return stop_ || (batch_ && batch_->next < batch_->n);
+        });
+        if (stop_)
+            return;
+        Batch *b = batch_;
+        std::size_t index = b->next++;
+
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            (*b->fn)(index);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+
+        if (err && !b->error)
+            b->error = err;
+        if (++b->done == b->n) {
+            batch_ = nullptr;
+            done_.notify_all();
+        }
+    }
+}
+
+void
+CampaignRunner::forEach(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    Batch batch;
+    batch.fn = &fn;
+    batch.n = n;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (batch_)
+        SMTAVF_FATAL("CampaignRunner::forEach is not re-entrant");
+    batch_ = &batch;
+    work_.notify_all();
+    done_.wait(lock, [&] { return batch.done == batch.n; });
+    lock.unlock();
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+std::vector<SimResult>
+CampaignRunner::run(const std::vector<Experiment> &exps, ProgressFn progress)
+{
+    std::vector<SimResult> results(exps.size());
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+
+    forEach(exps.size(), [&](std::size_t i) {
+        auto t0 = std::chrono::steady_clock::now();
+        results[i] = runExperiment(exps[i]);
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            CampaignProgress p{i,        exps.size(), ++completed,
+                               dt.count(), &exps[i],  &results[i]};
+            progress(p);
+        }
+    });
+    return results;
+}
+
+std::vector<SimResult>
+runMixReplicated(CampaignRunner &pool, const MachineConfig &cfg,
+                 const WorkloadMix &mix, unsigned replicas,
+                 std::uint64_t budget)
+{
+    if (replicas == 0)
+        SMTAVF_FATAL("need at least one replica");
+    std::vector<Experiment> exps;
+    exps.reserve(replicas);
+    for (unsigned i = 0; i < replicas; ++i) {
+        Experiment e;
+        e.label = mix.name + "/seed" + std::to_string(cfg.seed + i);
+        e.cfg = cfg;
+        e.cfg.seed = cfg.seed + i; // match the serial helper exactly
+        e.mix = mix;
+        e.budget = budget;
+        exps.push_back(std::move(e));
+    }
+    return pool.run(exps);
+}
+
+std::vector<SimResult>
+runSingleThreadBaselines(CampaignRunner &pool, const MachineConfig &smt_cfg,
+                         const WorkloadMix &mix, const SimResult &smt)
+{
+    if (smt.threads.size() != mix.contexts)
+        SMTAVF_FATAL("SMT result has ", smt.threads.size(),
+                     " threads for mix ", mix.name);
+    std::vector<SimResult> baselines(mix.contexts);
+    pool.forEach(mix.contexts, [&](std::size_t tid) {
+        baselines[tid] = runSingleThreadBaseline(
+            smt_cfg, mix, static_cast<ThreadId>(tid),
+            smt.threads[tid].committed);
+    });
+    return baselines;
+}
+
+InjectionResult
+runInjection(CampaignRunner &pool, const InjectionCampaign &campaign,
+             std::uint64_t trials, std::uint64_t seed)
+{
+    InjectionResult total;
+    if (campaign.traceSize() == 0 || trials == 0)
+        return total;
+
+    // Chunk trials so each pool task amortizes its scheduling cost;
+    // verdict counts are sums, so any chunking/scheduling yields the
+    // same totals as long as trial t always uses splitSeed(seed, t).
+    constexpr std::uint64_t chunk = 256;
+    const std::size_t chunks =
+        static_cast<std::size_t>((trials + chunk - 1) / chunk);
+    std::vector<InjectionResult> partial(chunks);
+
+    pool.forEach(chunks, [&](std::size_t c) {
+        std::uint64_t begin = static_cast<std::uint64_t>(c) * chunk;
+        std::uint64_t end = std::min(trials, begin + chunk);
+        InjectionResult &res = partial[c];
+        for (std::uint64_t t = begin; t < end; ++t) {
+            Rng rng(splitSeed(seed, t));
+            auto origin = static_cast<std::size_t>(
+                rng.uniform(campaign.traceSize()));
+            ++res.trials;
+            switch (campaign.injectAt(origin)) {
+              case InjectionOutcome::Masked:
+                ++res.masked;
+                break;
+              case InjectionOutcome::Corrupted:
+                ++res.corrupted;
+                break;
+              case InjectionOutcome::Skipped:
+                ++res.skipped;
+                break;
+            }
+        }
+    });
+
+    for (const auto &p : partial) {
+        total.trials += p.trials;
+        total.corrupted += p.corrupted;
+        total.masked += p.masked;
+        total.skipped += p.skipped;
+    }
+    return total;
+}
+
+} // namespace smtavf

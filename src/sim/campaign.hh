@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Parallel experiment campaigns with deterministic replay.
+ *
+ * Every figure harness and sweep runs mutually independent simulations —
+ * one (config, mix, policy, budget, seed) tuple per run — so a campaign
+ * can fan them out over a fixed worker pool for a pure wall-clock win.
+ * Determinism is preserved by construction: each run owns an isolated,
+ * seed-derived RNG stream (the Simulator already seeds its generators
+ * from MachineConfig::seed, and splitSeed() derives per-run seeds from a
+ * campaign master), results land in submission order, and no simulation
+ * shares mutable state with another. A campaign therefore produces
+ * bit-identical SimResults whether it runs on 1 worker, N workers, or as
+ * a plain serial runMix() loop — the property tests/test_campaign.cc
+ * proves differentially.
+ */
+
+#ifndef SMTAVF_SIM_CAMPAIGN_HH
+#define SMTAVF_SIM_CAMPAIGN_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "avf/injection.hh"
+#include "core/machine_config.hh"
+#include "metrics/metrics.hh"
+#include "sim/experiment.hh"
+#include "workload/mixes.hh"
+
+namespace smtavf
+{
+
+/** One unit of a campaign: everything runMix() needs, plus a label. */
+struct Experiment
+{
+    std::string label;        ///< free-form; shown in progress lines
+    MachineConfig cfg;        ///< carries the policy and the seed
+    WorkloadMix mix;
+    std::uint64_t budget = 0; ///< 0 = defaultBudget(mix.contexts)
+};
+
+/** Table-1 descriptor for (mix, policy), labelled "mix/policy". */
+Experiment makeExperiment(const WorkloadMix &mix, FetchPolicyKind policy,
+                          std::uint64_t budget = 0);
+
+/** Execute one descriptor (exactly what a serial loop would run). */
+SimResult runExperiment(const Experiment &e);
+
+/**
+ * Give experiment i the seed splitSeed(master, i). Runs become
+ * independent draws from decorrelated streams while the whole campaign
+ * stays replayable from the single master seed.
+ */
+void deriveSeeds(std::vector<Experiment> &exps, std::uint64_t master);
+
+/** Per-run completion notice delivered to the progress callback. */
+struct CampaignProgress
+{
+    std::size_t index;     ///< submission-order index of the run
+    std::size_t total;     ///< campaign size
+    std::size_t completed; ///< runs finished so far, this one included
+    double seconds;        ///< wall-clock time of this run
+    const Experiment *experiment;
+    const SimResult *result;
+};
+
+/**
+ * Fixed-size std::thread worker pool executing experiment campaigns.
+ *
+ * Workers are spawned once at construction and reused across run() and
+ * forEach() calls; the pool size defaults to SMTAVF_JOBS or, when that is
+ * unset, hardware_concurrency(). Results are collected in submission
+ * order and are bit-identical for every pool size because each run's
+ * randomness comes only from its own descriptor.
+ */
+class CampaignRunner
+{
+  public:
+    using ProgressFn = std::function<void(const CampaignProgress &)>;
+
+    /** @param jobs worker count; 0 = SMTAVF_JOBS or hardware default. */
+    explicit CampaignRunner(unsigned jobs = 0);
+    ~CampaignRunner();
+
+    CampaignRunner(const CampaignRunner &) = delete;
+    CampaignRunner &operator=(const CampaignRunner &) = delete;
+
+    /** Resolve a requested job count against SMTAVF_JOBS / hardware. */
+    static unsigned defaultJobs(unsigned requested = 0);
+
+    /** Worker-pool size. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run a campaign; results in submission order, bit-identical to a
+     * serial runExperiment() loop over the same descriptors. The
+     * optional progress callback fires once per finished run (from
+     * worker threads, serialized by the pool).
+     */
+    std::vector<SimResult> run(const std::vector<Experiment> &exps,
+                               ProgressFn progress = nullptr);
+
+    /**
+     * Generic deterministic fan-out: invoke fn(0), ..., fn(n-1) across
+     * the pool, in any order and concurrently. fn must touch only
+     * per-index state. An exception thrown by fn is re-thrown here
+     * (first one wins) after the batch drains.
+     */
+    void forEach(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct Batch;
+
+    void workerLoop();
+
+    unsigned jobs_;
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_;
+    std::condition_variable done_;
+    Batch *batch_ = nullptr; ///< guarded by mutex_
+    bool stop_ = false;      ///< guarded by mutex_
+};
+
+/**
+ * Parallel drop-in for runMixReplicated(): replica i simulates with seed
+ * cfg.seed + i, exactly as the serial helper, so the returned runs are
+ * bit-identical to it.
+ */
+std::vector<SimResult> runMixReplicated(CampaignRunner &pool,
+                                        const MachineConfig &cfg,
+                                        const WorkloadMix &mix,
+                                        unsigned replicas,
+                                        std::uint64_t budget = 0);
+
+/**
+ * Parallel drop-in for the Figure 3/4 single-thread baseline loop: one
+ * runSingleThreadBaseline() replay per context of a finished SMT run,
+ * each replaying exactly the instruction count that context committed.
+ * Results are indexed by ThreadId.
+ */
+std::vector<SimResult> runSingleThreadBaselines(CampaignRunner &pool,
+                                                const MachineConfig &smt_cfg,
+                                                const WorkloadMix &mix,
+                                                const SimResult &smt);
+
+/**
+ * Deterministic parallel fault-injection campaign: trial t draws its
+ * origin from an Rng seeded with splitSeed(seed, t), so the aggregate
+ * verdict counts are identical for every worker count and schedule.
+ * (The serial InjectionCampaign::run() draws all origins from one
+ * sequential stream and therefore samples a different — equally valid —
+ * set of origins.)
+ */
+InjectionResult runInjection(CampaignRunner &pool,
+                             const InjectionCampaign &campaign,
+                             std::uint64_t trials, std::uint64_t seed);
+
+} // namespace smtavf
+
+#endif // SMTAVF_SIM_CAMPAIGN_HH

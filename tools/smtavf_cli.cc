@@ -9,15 +9,25 @@
  *   smtavf_cli --mix 4ctx-mem-A --policy FLUSH --instructions 400000
  *   smtavf_cli --mix 8ctx-mix-B --iq-partition --csv
  *   smtavf_cli --mix 4ctx-cpu-A --sample 5000 --timeline-csv
+ *
+ * The `campaign` subcommand fans a whole experiment list over a worker
+ * pool with per-run progress/timing lines; results are bit-identical for
+ * any --jobs value (see sim/campaign.hh):
+ *   smtavf_cli campaign --jobs 4
+ *   smtavf_cli campaign --contexts 4 --policy all
+ *   smtavf_cli campaign --mix 4ctx-mem-A --mix 4ctx-cpu-A --master-seed 7
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/table.hh"
 #include "metrics/metrics.hh"
+#include "sim/campaign.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 
@@ -31,6 +41,7 @@ usage()
 {
     std::puts(
         "usage: smtavf_cli [options]\n"
+        "       smtavf_cli campaign [campaign options]\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
         "  --policy NAME         fetch policy: RR ICOUNT FLUSH STALL DG\n"
         "                        PDG DWarn PSTALL RAT (default ICOUNT)\n"
@@ -46,7 +57,18 @@ usage()
         "  --csv                 machine-readable per-structure output\n"
         "  --timeline-csv        dump the AVF timeline as CSV\n"
         "  --table1              print the machine configuration and exit\n"
-        "  --list                list mixes and policies and exit\n");
+        "  --list                list mixes and policies and exit\n"
+        "\n"
+        "campaign options:\n"
+        "  --jobs N              worker threads (default: SMTAVF_JOBS or\n"
+        "                        hardware concurrency)\n"
+        "  --mix NAME            add one mix (repeatable; default: all)\n"
+        "  --contexts N          restrict to N-context mixes\n"
+        "  --policy NAME|all     fetch policy per run (default ICOUNT;\n"
+        "                        'all' crosses mixes with every policy)\n"
+        "  --instructions N      per-run committed-instruction budget\n"
+        "  --master-seed N       derive run i's seed as splitSeed(N, i)\n"
+        "  --csv                 per-run CSV summary instead of a table\n");
 }
 
 [[noreturn]] void
@@ -68,11 +90,143 @@ parseNum(const char *flag, const char *value)
     return v;
 }
 
+int
+campaignMain(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    std::vector<std::string> mix_names;
+    unsigned contexts = 0;
+    std::string policy_name = "ICOUNT";
+    std::uint64_t instructions = 0;
+    std::uint64_t master_seed = 0;
+    bool use_master_seed = false;
+    bool csv = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(parseNum("--jobs", next()));
+            if (jobs == 0)
+                die("--jobs must be positive");
+        } else if (arg == "--mix") {
+            const char *v = next();
+            if (!v)
+                die("--mix needs a value");
+            mix_names.push_back(v);
+        } else if (arg == "--contexts") {
+            contexts =
+                static_cast<unsigned>(parseNum("--contexts", next()));
+        } else if (arg == "--policy") {
+            const char *v = next();
+            if (!v)
+                die("--policy needs a value");
+            policy_name = v;
+        } else if (arg == "--instructions") {
+            instructions = parseNum("--instructions", next());
+        } else if (arg == "--master-seed") {
+            master_seed = parseNum("--master-seed", next());
+            use_master_seed = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            usage();
+            die("unknown campaign option: " + arg);
+        }
+    }
+
+    std::vector<FetchPolicyKind> policies;
+    if (policy_name == "all" || policy_name == "ALL") {
+        policies = allFetchPolicies();
+    } else {
+        FetchPolicyKind policy;
+        if (!parseFetchPolicy(policy_name, policy))
+            die("unknown policy: " + policy_name + " (try --list)");
+        policies.push_back(policy);
+    }
+
+    std::vector<WorkloadMix> mixes;
+    if (!mix_names.empty()) {
+        for (const auto &name : mix_names)
+            mixes.push_back(findMix(name));
+    } else {
+        for (const auto &m : allMixes())
+            if (contexts == 0 || m.contexts == contexts)
+                mixes.push_back(m);
+    }
+    if (mixes.empty())
+        die("no mixes selected");
+
+    std::vector<Experiment> exps;
+    for (const auto &mix : mixes)
+        for (auto policy : policies)
+            exps.push_back(makeExperiment(mix, policy, instructions));
+    if (use_master_seed)
+        deriveSeeds(exps, master_seed);
+
+    CampaignRunner pool(jobs);
+    std::printf("campaign: %zu runs on %u workers\n", exps.size(),
+                pool.jobs());
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = pool.run(exps, [](const CampaignProgress &p) {
+        std::printf("[%3zu/%zu] %-22s IPC %.3f  %6.2fs\n", p.completed,
+                    p.total, p.experiment->label.c_str(), p.result->ipc,
+                    p.seconds);
+        std::fflush(stdout);
+    });
+    std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    std::printf("campaign finished in %.2fs\n\n", dt.count());
+
+    if (csv) {
+        std::fputs("label,seed,ipc,cycles,instructions", stdout);
+        for (auto s : AvfReport::figureStructs())
+            std::printf(",%s", hwStructName(s));
+        std::puts("");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            std::printf("%s,%llu,%.6f,%llu,%llu",
+                        exps[i].label.c_str(),
+                        static_cast<unsigned long long>(exps[i].cfg.seed),
+                        r.ipc,
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<unsigned long long>(r.totalCommitted));
+            for (auto s : AvfReport::figureStructs())
+                std::printf(",%.6f", r.avf.avf(s));
+            std::puts("");
+        }
+        return 0;
+    }
+
+    std::vector<std::string> header = {"experiment", "IPC"};
+    for (auto s : AvfReport::figureStructs())
+        header.push_back(hwStructName(s));
+    TextTable t(std::move(header));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::vector<std::string> row = {exps[i].label,
+                                        TextTable::num(r.ipc, 3)};
+        for (auto s : AvfReport::figureStructs())
+            row.push_back(TextTable::pct(r.avf.avf(s), 1));
+        t.addRow(std::move(row));
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
+        return campaignMain(argc, argv);
+
     std::string mix_name = "4ctx-mix-A";
     std::string policy_name = "ICOUNT";
     std::uint64_t instructions = 0;
