@@ -27,6 +27,25 @@ AvfReport::fromLedger(const AvfLedger &ledger)
     return r;
 }
 
+AvfReport
+AvfReport::restore(
+    unsigned num_threads, Cycle cycles,
+    const std::array<double, numHwStructs> &avf,
+    const std::array<double, numHwStructs> &occupancy,
+    const std::array<std::array<double, maxContexts>, numHwStructs>
+        &thread_avf)
+{
+    if (num_threads == 0 || num_threads > maxContexts)
+        SMTAVF_FATAL("restoring report with ", num_threads, " threads");
+    AvfReport r;
+    r.numThreads_ = num_threads;
+    r.cycles_ = cycles;
+    r.avf_ = avf;
+    r.occupancy_ = occupancy;
+    r.threadAvf_ = thread_avf;
+    return r;
+}
+
 double
 AvfReport::avf(HwStruct s) const
 {

@@ -26,6 +26,18 @@ class AvfReport
     /** Snapshot a finalized ledger. */
     static AvfReport fromLedger(const AvfLedger &ledger);
 
+    /**
+     * Rebuild a report from previously extracted values — the
+     * deserialization path of the campaign run journal (sim/journal.hh).
+     * The arrays are indexed by HwStruct; @p thread_avf by [struct][tid].
+     */
+    static AvfReport
+    restore(unsigned num_threads, Cycle cycles,
+            const std::array<double, numHwStructs> &avf,
+            const std::array<double, numHwStructs> &occupancy,
+            const std::array<std::array<double, maxContexts>, numHwStructs>
+                &thread_avf);
+
     /** Aggregate AVF of a structure. */
     double avf(HwStruct s) const;
 

@@ -1,5 +1,6 @@
 #include "base/env.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -32,6 +33,36 @@ envJobs()
     } catch (...) {
         return 0;
     }
+}
+
+std::uint64_t
+envInvariantCycles()
+{
+    static const std::uint64_t cached = [] {
+        const char *raw = std::getenv("SMTAVF_INVARIANTS");
+        std::uint64_t v = 0;
+        if (raw && !strictParseU64(raw, v))
+            v = 0;
+        return v;
+    }();
+    return cached;
+}
+
+bool
+strictParseU64(const char *text, std::uint64_t &out)
+{
+    if (!text || *text == '\0')
+        return false;
+    for (const char *p = text; *p; ++p)
+        if (*p < '0' || *p > '9')
+            return false; // rejects signs, spaces, trailing garbage
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || !end || *end != '\0')
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace smtavf

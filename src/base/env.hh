@@ -25,6 +25,24 @@ std::uint64_t benchScale();
  */
 unsigned envJobs();
 
+/**
+ * Read SMTAVF_INVARIANTS from the environment: the period in cycles of
+ * the end-of-cycle invariant checker (sim/invariants.hh), used as the
+ * default of MachineConfig::invariantCheckCycles. 0 (unset, unparsable or
+ * "0") disables checking; the test suite sets it so every simulation it
+ * runs is checked. The value is read once and cached.
+ */
+std::uint64_t envInvariantCycles();
+
+/**
+ * Strict base-10 parse of a whole C string into @p out. Unlike
+ * atoi/strtoull free-running conversion, this rejects empty strings,
+ * leading signs (so "-3" cannot wrap to a huge unsigned), trailing
+ * garbage ("12x"), and out-of-range values. Returns false (leaving @p out
+ * untouched) on any rejection.
+ */
+bool strictParseU64(const char *text, std::uint64_t &out);
+
 } // namespace smtavf
 
 #endif // SMTAVF_BASE_ENV_HH

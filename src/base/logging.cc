@@ -11,13 +11,19 @@ namespace
 {
 // Atomic: campaign worker threads read this while a test harness on the
 // main thread may have set it; a plain bool would be a data race.
-std::atomic<bool> loggingThrows{false};
+std::atomic<bool> loggingThrowsFlag{false};
 } // namespace
 
 void
 setLoggingThrows(bool throws)
 {
-    loggingThrows = throws;
+    loggingThrowsFlag = throws;
+}
+
+bool
+loggingThrows()
+{
+    return loggingThrowsFlag;
 }
 
 namespace detail
@@ -26,7 +32,7 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    if (loggingThrows)
+    if (loggingThrowsFlag)
         throw SimError{msg};
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
@@ -35,7 +41,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    if (loggingThrows)
+    if (loggingThrowsFlag)
         throw SimError{msg};
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);

@@ -46,6 +46,9 @@ concat(Args &&...args)
 /** True while unit tests redirect fatal/panic into exceptions. */
 void setLoggingThrows(bool throws);
 
+/** Current redirect state (campaign boundaries save and restore it). */
+bool loggingThrows();
+
 /** Exception thrown instead of terminating when setLoggingThrows(true). */
 struct SimError
 {

@@ -48,6 +48,10 @@ class Lsq
      */
     bool canForward(const InstPtr &load) const;
 
+    /** Iterate oldest to youngest (invariant checker, diagnostics). */
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
   private:
     static bool overlaps(const DynInstr &a, const DynInstr &b);
 

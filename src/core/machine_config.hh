@@ -13,7 +13,9 @@
 #define SMTAVF_CORE_MACHINE_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
+#include "base/env.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "branch/predictor.hh"
@@ -105,22 +107,88 @@ struct MachineConfig
 
     std::uint64_t seed = 1;
 
+    /**
+     * Livelock watchdog: if no context commits an instruction for this
+     * many consecutive cycles, Simulator::run() raises LivelockError
+     * (sim/errors.hh) instead of spinning forever. A correct model always
+     * commits within a few memory round trips, so the default is far above
+     * any legitimate stall. 0 disables the watchdog.
+     */
+    Cycle livelockCycles = 100000;
+
+    /**
+     * Run the end-of-cycle invariant checker (sim/invariants.hh) every
+     * this many cycles; a violation raises InvariantError so corrupted
+     * runs fail fast instead of skewing AVF numbers. 0 (the production
+     * default) disables checking. The default is taken from the
+     * SMTAVF_INVARIANTS environment variable, which the test suite sets so
+     * every simulation in it is checked (tests/CMakeLists.txt).
+     */
+    Cycle invariantCheckCycles = envInvariantCycles();
+
+    /**
+     * First inconsistent parameter as a message, or "" when the
+     * configuration is valid. Shared by validate() and the CLI's
+     * exit-code-2 path.
+     */
+    std::string
+    validateMsg() const
+    {
+        using detail::concat;
+        if (contexts == 0 || contexts > maxContexts)
+            return concat("contexts out of range: ", contexts,
+                          " (must be 1..", maxContexts, ")");
+        if (fetchWidth == 0 || issueWidth == 0 || commitWidth == 0 ||
+            decodeWidth == 0)
+            return "pipeline widths must be positive";
+        if (fetchWidth > 1024 || issueWidth > 1024 || commitWidth > 1024 ||
+            decodeWidth > 1024)
+            return concat("absurd pipeline width: fetch ", fetchWidth,
+                          " decode ", decodeWidth, " issue ", issueWidth,
+                          " commit ", commitWidth, " (limit 1024)");
+        if (fetchThreadsPerCycle == 0)
+            return "fetchThreadsPerCycle must be positive";
+        if (fetchThreadsPerCycle > maxContexts)
+            return concat("fetchThreadsPerCycle ", fetchThreadsPerCycle,
+                          " exceeds the ", maxContexts, "-context maximum");
+        if (frontLatency > 100)
+            return concat("absurd front-end latency: ", frontLatency,
+                          " stages (limit 100)");
+        if (fetchQueueSize == 0)
+            return "fetchQueueSize must be positive";
+        if (fetchQueueSize > (1u << 16))
+            return concat("absurd fetchQueueSize: ", fetchQueueSize);
+        if (iqSize == 0 || robSize == 0 || lsqSize == 0)
+            return "queue sizes must be positive";
+        if (iqSize > (1u << 20) || robSize > (1u << 20) ||
+            lsqSize > (1u << 20))
+            return concat("absurd queue size: iq ", iqSize, " rob ",
+                          robSize, " lsq ", lsqSize, " (limit ", 1u << 20,
+                          ")");
+        if (intPhysRegs < contexts * 32u || fpPhysRegs < contexts * 32u)
+            return concat(
+                "register pool too small to hold committed state: ",
+                intPhysRegs, "/", fpPhysRegs, " for ", contexts,
+                " contexts");
+        if (intPhysRegs > (1u << 20) || fpPhysRegs > (1u << 20))
+            return concat("absurd register pool: ", intPhysRegs, "/",
+                          fpPhysRegs);
+        if (mem.memLatency == 0)
+            return "memory latency must be positive";
+        if (mem.memLatency > (1u << 20))
+            return concat("absurd memory latency: ", mem.memLatency);
+        if (livelockCycles != 0 && livelockCycles < 16)
+            return concat("livelock window too small to clear the ",
+                          "pipeline: ", livelockCycles, " (minimum 16)");
+        return "";
+    }
+
     /** Fatal on inconsistent parameters. */
     void
     validate() const
     {
-        if (contexts == 0 || contexts > maxContexts)
-            SMTAVF_FATAL("contexts out of range: ", contexts);
-        if (fetchWidth == 0 || issueWidth == 0 || commitWidth == 0)
-            SMTAVF_FATAL("pipeline widths must be positive");
-        if (fetchThreadsPerCycle == 0)
-            SMTAVF_FATAL("fetchThreadsPerCycle must be positive");
-        if (iqSize == 0 || robSize == 0 || lsqSize == 0)
-            SMTAVF_FATAL("queue sizes must be positive");
-        if (intPhysRegs < contexts * 32u || fpPhysRegs < contexts * 32u)
-            SMTAVF_FATAL("register pool too small to hold committed state: ",
-                         intPhysRegs, "/", fpPhysRegs, " for ", contexts,
-                         " contexts");
+        if (auto msg = validateMsg(); !msg.empty())
+            SMTAVF_FATAL(msg);
     }
 };
 

@@ -82,6 +82,33 @@ class PhysRegFile
     std::uint32_t numFp() const { return numFp_; }
     std::uint64_t totalBits() const;
 
+    // ---- state exposure for the invariant checker ----------------------
+
+    /** True while @p phys is out of the free pool. */
+    bool isAllocated(RegIndex phys) const
+    {
+        return regs_.at(phys).allocated;
+    }
+
+    /** The free list of one bank (int or fp), in pop order. */
+    const std::vector<RegIndex> &
+    freeList(bool fp) const
+    {
+        return fp ? freeFpList_ : freeIntList_;
+    }
+
+    /**
+     * Fault injection for the invariant-checker tests ONLY: overwrite one
+     * free-list slot with an arbitrary register index, modelling the kind
+     * of bookkeeping corruption (double-free / leaked register) the
+     * conservation invariant exists to catch. Never call outside tests.
+     */
+    void
+    debugCorruptFreeList(bool fp, std::size_t slot, RegIndex value)
+    {
+        (fp ? freeFpList_ : freeIntList_).at(slot) = value;
+    }
+
   private:
     struct Reg
     {

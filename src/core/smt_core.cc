@@ -109,6 +109,18 @@ SmtCore::committed(ThreadId tid) const
 }
 
 std::uint64_t
+SmtCore::fetched(ThreadId tid) const
+{
+    return threads_.at(tid)->fetchedCount;
+}
+
+std::uint64_t
+SmtCore::issued(ThreadId tid) const
+{
+    return threads_.at(tid)->issuedCount;
+}
+
+std::uint64_t
 SmtCore::totalCommitted() const
 {
     std::uint64_t sum = 0;
@@ -258,6 +270,7 @@ SmtCore::tryIssue(const InstPtr &in, unsigned &mem_ports_used)
 
     in->issued = true;
     in->issueCycle = now_;
+    ++th.issuedCount;
     in->pending.push_back({HwStruct::IQ, bits::iqEntry, in->dispatchCycle,
                            now_});
 
@@ -440,6 +453,7 @@ SmtCore::fetchThread(ThreadId tid, unsigned budget)
         policy_->onFetch(in);
         ++fetched;
         ++fetchedInstrs_;
+        ++th.fetchedCount;
 
         if (in->isBranch()) {
             if (in->mispredicted) {

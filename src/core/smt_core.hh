@@ -93,6 +93,37 @@ class SmtCore : public PolicyContext
     /** Current issue-queue occupancy of one thread (tests, diagnostics). */
     unsigned iqOccupancy(ThreadId tid) const;
 
+    // ---- state exposure for the invariant checker (sim/invariants.hh) --
+
+    /** The validated machine configuration this core was built with. */
+    const MachineConfig &config() const { return cfg_; }
+
+    /** The shared physical register pool. */
+    PhysRegFile &regfileRef() { return regfile_; }
+    const PhysRegFile &regfileRef() const { return regfile_; }
+
+    /** The shared issue queue. */
+    const IssueQueue &issueQueue() const { return iq_; }
+
+    /** One thread's reorder buffer. */
+    const Rob &rob(ThreadId tid) const { return threads_.at(tid)->rob; }
+
+    /** One thread's load/store queue. */
+    const Lsq &lsq(ThreadId tid) const { return threads_.at(tid)->lsq; }
+
+    /** One thread's rename table. */
+    const RenameMap &
+    renameMap(ThreadId tid) const
+    {
+        return threads_.at(tid)->rename;
+    }
+
+    /** Instructions fetched on behalf of one thread (wrong path included). */
+    std::uint64_t fetched(ThreadId tid) const;
+
+    /** Instructions issued on behalf of one thread. */
+    std::uint64_t issued(ThreadId tid) const;
+
     /** Append committing instructions to @p trace (nullptr disables). */
     void recordCommits(CommitTrace *trace) { commitTrace_ = trace; }
 
@@ -129,6 +160,8 @@ class SmtCore : public PolicyContext
         unsigned wrongPathFrontIq = 0;
         unsigned outL1D = 0;
         unsigned outL2D = 0;
+        std::uint64_t fetchedCount = 0;
+        std::uint64_t issuedCount = 0;
         std::uint64_t committedCount = 0;
         std::uint64_t nextCommitStreamIdx = 0;
         RenameMap rename;

@@ -1,10 +1,15 @@
 #include "sim/campaign.hh"
 
 #include <chrono>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
 
 #include "base/env.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "sim/errors.hh"
+#include "sim/journal.hh"
 
 namespace smtavf
 {
@@ -188,6 +193,198 @@ runSingleThreadBaselines(CampaignRunner &pool, const MachineConfig &smt_cfg,
             smt.threads[tid].committed);
     });
     return baselines;
+}
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::Failed:
+        return "failed";
+      case RunStatus::TimedOut:
+        return "timed-out";
+      case RunStatus::Quarantined:
+        return "quarantined";
+    }
+    return "?";
+}
+
+std::size_t
+CampaignReport::count(RunStatus s) const
+{
+    std::size_t n = 0;
+    for (const auto &o : outcomes)
+        if (o.status == s)
+            ++n;
+    return n;
+}
+
+std::vector<const SimResult *>
+CampaignReport::results() const
+{
+    std::vector<const SimResult *> out;
+    for (const auto &o : outcomes)
+        if (o.status == RunStatus::Ok)
+            out.push_back(&o.result);
+    return out;
+}
+
+std::string
+CampaignReport::failureReport() const
+{
+    if (allOk())
+        return "";
+    std::ostringstream os;
+    os << "campaign finished with " << (outcomes.size() - count(RunStatus::Ok))
+       << " of " << outcomes.size() << " runs unaccounted for:\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunOutcome &o = outcomes[i];
+        if (o.status == RunStatus::Ok)
+            continue;
+        os << "  run " << i << " [" << o.label << "] seed " << o.seed << ": "
+           << runStatusName(o.status) << " after " << o.attempts
+           << (o.attempts == 1 ? " attempt" : " attempts");
+        if (!o.error.empty()) {
+            // First line only: livelock/invariant messages carry
+            // multi-line state dumps meant for logs, not summaries.
+            auto nl = o.error.find('\n');
+            os << " -- " << o.error.substr(0, nl);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Redirect fatal/panic into SimError exceptions for the lifetime of a
+ * campaign, restoring the previous mode afterwards. Installed once by the
+ * submitting thread (never per worker: workers share the global flag, and
+ * per-worker save/restore would race).
+ */
+class ScopedLoggingThrows
+{
+  public:
+    ScopedLoggingThrows() : prev_(loggingThrows()) { setLoggingThrows(true); }
+    ~ScopedLoggingThrows() { setLoggingThrows(prev_); }
+
+  private:
+    bool prev_;
+};
+
+} // namespace
+
+CampaignReport
+runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
+            const CampaignOptions &opt, CampaignRunner::ProgressFn progress)
+{
+    CampaignReport report;
+    report.outcomes.resize(exps.size());
+
+    std::vector<std::uint64_t> fps(exps.size());
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        fps[i] = experimentFingerprint(exps[i]);
+        report.outcomes[i].label = exps[i].label;
+        report.outcomes[i].seed = exps[i].cfg.seed;
+    }
+
+    std::unordered_map<std::uint64_t, SimResult> replay;
+    if (opt.resume && !opt.journalPath.empty())
+        replay = loadJournal(opt.journalPath);
+
+    std::unique_ptr<RunJournal> journal;
+    if (!opt.journalPath.empty())
+        journal = std::make_unique<RunJournal>(opt.journalPath);
+
+    const auto start = std::chrono::steady_clock::now();
+    auto expired = [&] {
+        if (opt.cancel && opt.cancel->load(std::memory_order_relaxed))
+            return true;
+        if (opt.softTimeoutSeconds <= 0.0)
+            return false;
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        return dt.count() > opt.softTimeoutSeconds;
+    };
+
+    auto run_one = [&](const Experiment &e, std::size_t i) {
+        return opt.runFn ? opt.runFn(e, i) : runExperiment(e);
+    };
+
+    ScopedLoggingThrows throws_guard;
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+
+    pool.forEach(exps.size(), [&](std::size_t i) {
+        auto t0 = std::chrono::steady_clock::now();
+        RunOutcome &out = report.outcomes[i];
+
+        if (auto it = replay.find(fps[i]); it != replay.end()) {
+            out.status = RunStatus::Ok;
+            out.result = it->second;
+            out.fromJournal = true;
+        } else if (expired()) {
+            out.status = RunStatus::TimedOut;
+            out.error = "not started: campaign cancelled or past its "
+                        "soft timeout";
+        } else {
+            std::string prev_error;
+            for (;;) {
+                ++out.attempts;
+                std::string msg;
+                try {
+                    out.result = run_one(exps[i], i);
+                    out.status = RunStatus::Ok;
+                    out.error.clear();
+                    if (journal)
+                        journal->append(fps[i], out.result);
+                    break;
+                } catch (const LivelockError &err) {
+                    // Deterministic by construction: the same seed spins
+                    // through the same window. Never retried.
+                    out.status = RunStatus::TimedOut;
+                    out.error = err.what();
+                    break;
+                } catch (const std::exception &err) {
+                    msg = err.what();
+                } catch (const SimError &err) {
+                    msg = err.message;
+                }
+                out.error = msg;
+                if (!prev_error.empty() && msg == prev_error) {
+                    // Same seed, same failure, twice: a deterministic
+                    // bug, not transient flakiness.
+                    out.status = RunStatus::Quarantined;
+                    break;
+                }
+                prev_error = msg;
+                if (out.attempts > opt.retries || expired()) {
+                    out.status = RunStatus::Failed;
+                    break;
+                }
+            }
+        }
+
+        if (progress) {
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            CampaignProgress p{i,
+                               exps.size(),
+                               ++completed,
+                               dt.count(),
+                               &exps[i],
+                               out.status == RunStatus::Ok ? &out.result
+                                                           : nullptr,
+                               &out};
+            progress(p);
+        }
+    });
+    return report;
 }
 
 InjectionResult

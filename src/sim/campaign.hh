@@ -18,6 +18,7 @@
 #ifndef SMTAVF_SIM_CAMPAIGN_HH
 #define SMTAVF_SIM_CAMPAIGN_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -59,6 +60,8 @@ SimResult runExperiment(const Experiment &e);
  */
 void deriveSeeds(std::vector<Experiment> &exps, std::uint64_t master);
 
+struct RunOutcome;
+
 /** Per-run completion notice delivered to the progress callback. */
 struct CampaignProgress
 {
@@ -67,7 +70,9 @@ struct CampaignProgress
     std::size_t completed; ///< runs finished so far, this one included
     double seconds;        ///< wall-clock time of this run
     const Experiment *experiment;
-    const SimResult *result;
+    const SimResult *result;   ///< null when the run did not produce one
+    /** Full outcome; only set by runTolerant() campaigns. */
+    const RunOutcome *outcome = nullptr;
 };
 
 /**
@@ -161,6 +166,90 @@ std::vector<SimResult> runSingleThreadBaselines(CampaignRunner &pool,
 InjectionResult runInjection(CampaignRunner &pool,
                              const InjectionCampaign &campaign,
                              std::uint64_t trials, std::uint64_t seed);
+
+/**
+ * How one run of a fault-tolerant campaign ended.
+ *
+ *  - Ok: produced a SimResult (possibly replayed from the journal).
+ *  - Failed: threw on every attempt with *different* messages — likely
+ *    environmental; the error text of the last attempt is kept.
+ *  - TimedOut: livelocked (deterministic — retrying the same seed would
+ *    spin through the same window again) or never started because the
+ *    campaign was cancelled or past its soft timeout.
+ *  - Quarantined: failed twice in a row with the *identical* message —
+ *    a deterministic bug for this exact (config, mix, seed); retrying is
+ *    futile and the run is set aside for offline replay.
+ */
+enum class RunStatus { Ok, Failed, TimedOut, Quarantined };
+
+/** Short lower-case name ("ok", "failed", ...). */
+const char *runStatusName(RunStatus s);
+
+/** One run's result or post-mortem; always one per submitted experiment. */
+struct RunOutcome
+{
+    RunStatus status = RunStatus::Ok;
+    std::string label;      ///< Experiment::label of the run
+    std::uint64_t seed = 0; ///< exact seed, for offline replay
+    SimResult result;       ///< valid only when status == Ok
+    std::string error;      ///< last failure message (empty when Ok)
+    unsigned attempts = 0;  ///< simulations actually started (0: skipped)
+    bool fromJournal = false; ///< satisfied from the resume journal
+};
+
+/** Knobs of a fault-tolerant campaign (all defaults = plain campaign). */
+struct CampaignOptions
+{
+    /** Extra attempts after a non-deterministic-looking failure. */
+    unsigned retries = 1;
+    /** Stop dispatching new runs after this much wall clock (0 = never). */
+    double softTimeoutSeconds = 0.0;
+    /** Journal completed runs here ("" = no journal). */
+    std::string journalPath;
+    /** Replay journaled results instead of re-running them. */
+    bool resume = false;
+    /** Stop dispatching when set (the CLI's SIGINT flag). */
+    const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Test seam: replaces runExperiment(). Receives the experiment and
+     * its submission index; whatever it throws is handled exactly like a
+     * real simulation failure.
+     */
+    std::function<SimResult(const Experiment &, std::size_t)> runFn;
+};
+
+/** Everything a fault-tolerant campaign reports back. */
+struct CampaignReport
+{
+    std::vector<RunOutcome> outcomes; ///< submission order, one per run
+
+    /** Runs with the given status. */
+    std::size_t count(RunStatus s) const;
+
+    /** True when every run produced a result. */
+    bool allOk() const { return count(RunStatus::Ok) == outcomes.size(); }
+
+    /** Collect the Ok results in submission order (partial on failures). */
+    std::vector<const SimResult *> results() const;
+
+    /** Human-readable summary of every non-Ok run ("" when allOk()). */
+    std::string failureReport() const;
+};
+
+/**
+ * Run a campaign that survives failing runs. Each run executes behind an
+ * exception boundary (fatal/panic are redirected to exceptions for the
+ * campaign's duration); a failure is retried, quarantined or timed out
+ * per RunStatus, and the campaign always completes with one RunOutcome
+ * per experiment. Ok results are bit-identical to a plain run() of the
+ * same descriptors — the tolerant machinery never perturbs a healthy
+ * simulation — and journal replay preserves that equality exactly
+ * (tests/test_robustness.cc proves both differentially).
+ */
+CampaignReport runTolerant(CampaignRunner &pool,
+                           const std::vector<Experiment> &exps,
+                           const CampaignOptions &opt = {},
+                           CampaignRunner::ProgressFn progress = nullptr);
 
 } // namespace smtavf
 

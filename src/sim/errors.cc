@@ -1,0 +1,61 @@
+#include "sim/errors.hh"
+
+#include <sstream>
+
+namespace smtavf
+{
+
+namespace
+{
+
+std::string
+livelockMessage(Cycle cycle, Cycle window, const std::string &mix_name,
+                const std::vector<ThreadProgress> &threads,
+                const std::string &state_dump)
+{
+    std::ostringstream os;
+    os << "livelock: no commit on any context for " << window
+       << " cycles at cycle " << cycle << " (" << mix_name << ")";
+    for (std::size_t t = 0; t < threads.size(); ++t)
+        os << "\n  T" << t << " fetched " << threads[t].fetched
+           << " issued " << threads[t].issued << " committed "
+           << threads[t].committed;
+    if (!state_dump.empty())
+        os << "\n" << state_dump;
+    return os.str();
+}
+
+std::string
+invariantMessage(const std::string &invariant, Cycle cycle,
+                 const std::string &detail, const std::string &state_dump)
+{
+    std::ostringstream os;
+    os << "invariant violated: " << invariant << " at cycle " << cycle
+       << ": " << detail;
+    if (!state_dump.empty())
+        os << "\n" << state_dump;
+    return os.str();
+}
+
+} // namespace
+
+LivelockError::LivelockError(Cycle cycle, Cycle window, std::string mix_name,
+                             std::vector<ThreadProgress> threads,
+                             const std::string &state_dump)
+    : SimulationError(
+          livelockMessage(cycle, window, mix_name, threads, state_dump)),
+      cycle(cycle), window(window), mixName(std::move(mix_name)),
+      threads(std::move(threads)), stateDump(state_dump)
+{
+}
+
+InvariantError::InvariantError(std::string invariant, Cycle cycle,
+                               const std::string &detail,
+                               std::string state_dump)
+    : SimulationError(invariantMessage(invariant, cycle, detail, state_dump)),
+      invariant(std::move(invariant)), cycle(cycle),
+      stateDump(std::move(state_dump))
+{
+}
+
+} // namespace smtavf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured, catchable simulation errors — the failure taxonomy of the
+ * fault-tolerant campaign layer (docs/ROBUSTNESS.md).
+ *
+ * SMTAVF_PANIC/SMTAVF_FATAL terminate the process (or throw the opaque
+ * SimError under test harnesses); these exceptions instead carry enough
+ * machine-readable context for a campaign to classify the failure, decide
+ * whether to retry, and render a useful failure report:
+ *
+ *  - LivelockError: the simulator's commit watchdog tripped — no context
+ *    committed anything for MachineConfig::livelockCycles cycles. Carries
+ *    the cycle and the per-thread fetch/issue/commit counters so a report
+ *    can show *which* thread wedged and at which pipeline stage.
+ *  - InvariantError: the end-of-cycle invariant checker (sim/invariants.hh)
+ *    found corrupted machine state. Carries the violated invariant's name
+ *    and a state dump. A run that trips this must not contribute AVF
+ *    numbers; the campaign layer fails it fast and quarantines it when the
+ *    corruption reproduces.
+ *
+ * Both derive from SimulationError (a std::runtime_error), so a single
+ * catch clause gives the generic boundary while specific clauses can
+ * classify.
+ */
+
+#ifndef SMTAVF_SIM_ERRORS_HH
+#define SMTAVF_SIM_ERRORS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace smtavf
+{
+
+/** Base of all structured, recoverable simulation failures. */
+class SimulationError : public std::runtime_error
+{
+  public:
+    explicit SimulationError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Per-thread pipeline progress counters at the moment of a livelock. */
+struct ThreadProgress
+{
+    std::uint64_t fetched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t committed = 0;
+};
+
+/**
+ * No context committed an instruction for the configured watchdog window.
+ * Raised by Simulator::run() instead of spinning forever; the campaign
+ * layer classifies it timed-out (deterministic: retrying the same seed
+ * would spin through the same window again).
+ */
+class LivelockError : public SimulationError
+{
+  public:
+    LivelockError(Cycle cycle, Cycle window, std::string mix_name,
+                  std::vector<ThreadProgress> threads,
+                  const std::string &state_dump);
+
+    Cycle cycle;          ///< cycle at which the watchdog fired
+    Cycle window;         ///< the configured no-commit window
+    std::string mixName;  ///< workload that wedged
+    std::vector<ThreadProgress> threads; ///< indexed by ThreadId
+    std::string stateDump; ///< SmtCore::stateDump() at detection
+};
+
+/**
+ * The invariant checker found inconsistent machine state (register leak,
+ * out-of-order ROB, over-capacity queue, AVF ledger over-accounting, ...).
+ */
+class InvariantError : public SimulationError
+{
+  public:
+    InvariantError(std::string invariant, Cycle cycle,
+                   const std::string &detail, std::string state_dump);
+
+    std::string invariant; ///< short name, e.g. "regfile.conservation"
+    Cycle cycle;           ///< cycle the check ran
+    std::string stateDump; ///< machine state at detection
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_SIM_ERRORS_HH

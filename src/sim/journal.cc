@@ -1,0 +1,383 @@
+#include "sim/journal.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace smtavf
+{
+
+namespace
+{
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Exact (bit-preserving) textual form of a double. */
+std::string
+hexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/** Parse a hexfloat (or any strtod-acceptable) token completely. */
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseHex64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 16);
+    return end && *end == '\0';
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+void
+fpField(std::ostringstream &os, const char *key, std::uint64_t value)
+{
+    os << key << '=' << value << '|';
+}
+
+void
+fpField(std::ostringstream &os, const char *key, const std::string &value)
+{
+    os << key << '=' << value << '|';
+}
+
+void
+fpCache(std::ostringstream &os, const CacheConfig &c)
+{
+    fpField(os, "size", c.sizeBytes);
+    fpField(os, "ways", c.ways);
+    fpField(os, "line", c.lineBytes);
+    fpField(os, "lat", c.latency);
+    fpField(os, "ports", c.ports);
+}
+
+void
+fpTlb(std::ostringstream &os, const TlbConfig &t)
+{
+    fpField(os, "entries", t.entries);
+    fpField(os, "ways", t.ways);
+    fpField(os, "page", t.pageBytes);
+    fpField(os, "penalty", t.missPenalty);
+}
+
+} // namespace
+
+std::uint64_t
+experimentFingerprint(const Experiment &e)
+{
+    const MachineConfig &c = e.cfg;
+    std::ostringstream os;
+
+    // Workload identity. The label is presentation only and excluded;
+    // the budget is resolved so "default" and an explicit equal budget
+    // fingerprint identically.
+    fpField(os, "mix", e.mix.name);
+    for (const auto &b : e.mix.benchmarks)
+        fpField(os, "bench", b);
+    fpField(os, "policy", fetchPolicyName(c.fetchPolicy));
+    fpField(os, "seed", c.seed);
+    fpField(os, "budget",
+            e.budget ? e.budget : defaultBudget(e.mix.contexts));
+
+    // Every MachineConfig field that can change a SimResult. The
+    // robustness knobs (livelockCycles, invariantCheckCycles) only decide
+    // whether a run *finishes*, never what it computes, and are excluded
+    // so a journal written with checking on replays with checking off.
+    fpField(os, "contexts", c.contexts);
+    fpField(os, "fetchW", c.fetchWidth);
+    fpField(os, "decodeW", c.decodeWidth);
+    fpField(os, "issueW", c.issueWidth);
+    fpField(os, "commitW", c.commitWidth);
+    fpField(os, "fetchThreads", c.fetchThreadsPerCycle);
+    fpField(os, "frontLat", c.frontLatency);
+    fpField(os, "fetchQ", c.fetchQueueSize);
+    fpField(os, "iq", c.iqSize);
+    fpField(os, "rob", c.robSize);
+    fpField(os, "lsq", c.lsqSize);
+    fpField(os, "iqPart", c.iqPartitioned ? 1 : 0);
+    fpField(os, "intRegs", c.intPhysRegs);
+    fpField(os, "fpRegs", c.fpPhysRegs);
+
+    fpField(os, "fu.intAlu", c.fu.intAlu);
+    fpField(os, "fu.intMulDiv", c.fu.intMulDiv);
+    fpField(os, "fu.memPorts", c.fu.memPorts);
+    fpField(os, "fu.fpAlu", c.fu.fpAlu);
+    fpField(os, "fu.fpMulDiv", c.fu.fpMulDiv);
+
+    fpField(os, "br.gshare", c.branch.gshareEntries);
+    fpField(os, "br.hist", c.branch.historyBits);
+    fpField(os, "br.btb", c.branch.btbEntries);
+    fpField(os, "br.btbWays", c.branch.btbWays);
+    fpField(os, "br.ras", c.branch.rasEntries);
+
+    fpCache(os, c.mem.il1);
+    fpCache(os, c.mem.dl1);
+    fpCache(os, c.mem.l2);
+    fpTlb(os, c.mem.itlb);
+    fpTlb(os, c.mem.dtlb);
+    fpField(os, "memLat", c.mem.memLatency);
+
+    fpField(os, "prewarm", c.prewarmCaches ? 1 : 0);
+    fpField(os, "avf.dead", c.avf.deadCodeAnalysis ? 1 : 0);
+    fpField(os, "avf.wrongPath", c.avf.wrongPathModel ? 1 : 0);
+    fpField(os, "avf.perByte", c.avf.perByteCacheAvf ? 1 : 0);
+    fpField(os, "avf.allocWin", c.avf.regAllocWindowUnace ? 1 : 0);
+    fpField(os, "avf.l2", c.avf.trackL2Avf ? 1 : 0);
+    fpField(os, "avfSample", c.avfSampleCycles);
+    fpField(os, "trace", c.recordCommitTrace ? 1 : 0);
+
+    return fnv1a(os.str());
+}
+
+std::string
+serializeRun(std::uint64_t fingerprint, const SimResult &r)
+{
+    std::ostringstream os;
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016" PRIx64, fingerprint);
+    os << "run v1 fp=" << fp << " mix=" << r.mixName
+       << " policy=" << r.policyName << " cycles=" << r.cycles
+       << " committed=" << r.totalCommitted << " ipc=" << hexDouble(r.ipc);
+
+    os << " threads=";
+    for (std::size_t t = 0; t < r.threads.size(); ++t) {
+        if (t)
+            os << ';';
+        os << r.threads[t].benchmark << ',' << r.threads[t].committed << ','
+           << hexDouble(r.threads[t].ipc);
+    }
+
+    // All numHwStructs rows, zero or not, so the parser never guesses.
+    os << " avf=";
+    const unsigned nt = r.avf.numThreads();
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        if (i)
+            os << ';';
+        os << hexDouble(r.avf.avf(s)) << ':' << hexDouble(r.avf.occupancy(s))
+           << ':';
+        for (unsigned t = 0; t < nt; ++t) {
+            if (t)
+                os << ',';
+            os << hexDouble(r.avf.threadAvf(s, static_cast<ThreadId>(t)));
+        }
+    }
+
+    os << " stats=";
+    bool first = true;
+    for (const auto &[name, value] : r.stats.all()) {
+        if (!first)
+            os << ';';
+        os << name << '=' << hexDouble(value);
+        first = false;
+    }
+    return os.str();
+}
+
+bool
+parseRun(const std::string &line, std::uint64_t &fingerprint, SimResult &r)
+{
+    auto tokens = split(line, ' ');
+    if (tokens.size() != 11 || tokens[0] != "run" || tokens[1] != "v1")
+        return false;
+
+    auto value_of = [&](std::size_t i, const char *key,
+                        std::string &out) -> bool {
+        const std::string &tok = tokens[i];
+        std::size_t klen = std::strlen(key);
+        if (tok.size() < klen + 1 || tok.compare(0, klen, key) != 0 ||
+            tok[klen] != '=')
+            return false;
+        out = tok.substr(klen + 1);
+        return true;
+    };
+
+    std::string fp, mix, policy, cycles, committed, ipc, threads, avf, stats;
+    if (!value_of(2, "fp", fp) || !value_of(3, "mix", mix) ||
+        !value_of(4, "policy", policy) || !value_of(5, "cycles", cycles) ||
+        !value_of(6, "committed", committed) || !value_of(7, "ipc", ipc) ||
+        !value_of(8, "threads", threads) || !value_of(9, "avf", avf) ||
+        !value_of(10, "stats", stats)) // "stats=" alone is valid (empty map)
+        return false;
+
+    SimResult out;
+    out.mixName = mix;
+    out.policyName = policy;
+    std::uint64_t u = 0;
+    if (!parseHex64(fp, fingerprint))
+        return false;
+    if (!parseU64(cycles, u))
+        return false;
+    out.cycles = u;
+    if (!parseU64(committed, out.totalCommitted))
+        return false;
+    if (!parseDouble(ipc, out.ipc))
+        return false;
+
+    for (const auto &entry : split(threads, ';')) {
+        auto fields = split(entry, ',');
+        if (fields.size() != 3)
+            return false;
+        ThreadPerf tp;
+        tp.benchmark = fields[0];
+        if (!parseU64(fields[1], tp.committed))
+            return false;
+        if (!parseDouble(fields[2], tp.ipc))
+            return false;
+        out.threads.push_back(std::move(tp));
+    }
+    if (out.threads.empty() || out.threads.size() > maxContexts)
+        return false;
+
+    auto rows = split(avf, ';');
+    if (rows.size() != numHwStructs)
+        return false;
+    std::array<double, numHwStructs> avf_arr{};
+    std::array<double, numHwStructs> occ_arr{};
+    std::array<std::array<double, maxContexts>, numHwStructs> thread_arr{};
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto cols = split(rows[i], ':');
+        if (cols.size() != 3)
+            return false;
+        if (!parseDouble(cols[0], avf_arr[i]))
+            return false;
+        if (!parseDouble(cols[1], occ_arr[i]))
+            return false;
+        auto per_thread = split(cols[2], ',');
+        if (per_thread.size() != out.threads.size())
+            return false;
+        for (std::size_t t = 0; t < per_thread.size(); ++t)
+            if (!parseDouble(per_thread[t], thread_arr[i][t]))
+                return false;
+    }
+    out.avf = AvfReport::restore(
+        static_cast<unsigned>(out.threads.size()), out.cycles, avf_arr,
+        occ_arr, thread_arr);
+
+    if (!stats.empty()) {
+        for (const auto &entry : split(stats, ';')) {
+            auto eq = entry.find('=');
+            if (eq == std::string::npos || eq == 0)
+                return false;
+            double value = 0.0;
+            if (!parseDouble(entry.substr(eq + 1), value))
+                return false;
+            out.stats.set(entry.substr(0, eq), value);
+        }
+    }
+
+    r = std::move(out);
+    return true;
+}
+
+RunJournal::RunJournal(std::string path) : path_(std::move(path))
+{
+    file_ = std::fopen(path_.c_str(), "a");
+    if (!file_)
+        SMTAVF_FATAL("cannot open journal ", path_, ": ",
+                     std::strerror(errno));
+    // A header comment per session makes interrupted-and-resumed files
+    // self-describing without affecting the loader.
+    long pos = std::ftell(file_);
+    if (pos == 0)
+        std::fputs("# smtavf campaign journal v1\n", file_);
+}
+
+RunJournal::~RunJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+RunJournal::append(std::uint64_t fingerprint, const SimResult &r)
+{
+    std::string line = serializeRun(fingerprint, r);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+    // Flush per record: the journal exists precisely for the case where
+    // the process dies before exit, so buffered records are worthless.
+    std::fflush(file_);
+}
+
+std::unordered_map<std::uint64_t, SimResult>
+loadJournal(const std::string &path, std::size_t *skipped)
+{
+    std::unordered_map<std::uint64_t, SimResult> out;
+    std::size_t bad = 0;
+    std::ifstream in(path);
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            std::uint64_t fp = 0;
+            SimResult r;
+            if (parseRun(line, fp, r))
+                out[fp] = std::move(r);
+            else
+                ++bad; // torn final line from a crash, or hand edits
+        }
+    }
+    if (skipped)
+        *skipped = bad;
+    return out;
+}
+
+} // namespace smtavf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * On-disk campaign run journal: append-only persistence of completed
+ * SimResults so an interrupted campaign loses nothing it already paid
+ * for.
+ *
+ * Records are keyed by a stable *experiment fingerprint* — an FNV-1a hash
+ * of everything that determines a run's result (workload, policy, seed,
+ * resolved instruction budget, and every result-affecting MachineConfig
+ * field). Two experiments with the same fingerprint are guaranteed the
+ * same SimResult by the determinism contract (sim/campaign.hh), so a
+ * resumed campaign may substitute the journaled record for a re-run and
+ * stay bit-identical to an uninterrupted one — the property
+ * tests/test_robustness.cc proves differentially.
+ *
+ * Format (docs/ROBUSTNESS.md): one text line per record,
+ *
+ *   run v1 fp=<hex16> mix=<name> policy=<name> cycles=<u64>
+ *   committed=<u64> ipc=<hexfloat> threads=<bench>,<u64>,<hexfloat>;...
+ *   avf=<avf>:<occ>:<t0>,<t1>,...;...   stats=<name>=<hexfloat>;...
+ *
+ * (single line, single spaces). Doubles are printed as C hexfloats
+ * ("%a"), which round-trip exactly — the journal must not perturb a
+ * single bit of a result. Lines that fail to parse (a crash can leave a
+ * torn final line) are skipped on load; '#' lines are comments. Only
+ * successful runs are journaled: failures re-run on resume.
+ */
+
+#ifndef SMTAVF_SIM_JOURNAL_HH
+#define SMTAVF_SIM_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "metrics/metrics.hh"
+#include "sim/campaign.hh"
+
+namespace smtavf
+{
+
+/**
+ * Stable fingerprint of everything that determines an Experiment's
+ * result. Labels are cosmetic and excluded; the unresolved budget (0 =
+ * default) is resolved first so a journal survives flag spelling changes.
+ */
+std::uint64_t experimentFingerprint(const Experiment &e);
+
+/** Serialize one journal record (no trailing newline). */
+std::string serializeRun(std::uint64_t fingerprint, const SimResult &r);
+
+/**
+ * Parse one journal line; returns false (outputs untouched or partially
+ * written) on malformed input. Comments and blank lines are "malformed"
+ * by design — callers skip false lines.
+ */
+bool parseRun(const std::string &line, std::uint64_t &fingerprint,
+              SimResult &r);
+
+/** Append-only, thread-safe journal writer (one flushed line per run). */
+class RunJournal
+{
+  public:
+    /** Opens @p path for append; fatal when the file cannot be opened. */
+    explicit RunJournal(std::string path);
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /** Persist one completed run; safe from any campaign worker. */
+    void append(std::uint64_t fingerprint, const SimResult &r);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+    std::FILE *file_ = nullptr;
+};
+
+/**
+ * Load every well-formed record of @p path into a fingerprint-keyed map;
+ * returns an empty map when the file does not exist (a fresh campaign).
+ * @p skipped, when non-null, receives the count of malformed lines.
+ */
+std::unordered_map<std::uint64_t, SimResult>
+loadJournal(const std::string &path, std::size_t *skipped = nullptr);
+
+} // namespace smtavf
+
+#endif // SMTAVF_SIM_JOURNAL_HH

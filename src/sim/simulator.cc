@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
 #include "base/logging.hh"
+#include "sim/errors.hh"
+#include "sim/invariants.hh"
 
 namespace smtavf
 {
@@ -127,9 +129,11 @@ Simulator::run(std::uint64_t instr_budget)
     if (instr_budget == 0)
         SMTAVF_FATAL("zero instruction budget");
 
-    // Watchdog: a correct model always commits something within the
-    // longest dependence stall (a few memory round trips).
-    constexpr Cycle watchdog_window = 100000;
+    // Livelock watchdog: a correct model always commits something within
+    // the longest dependence stall (a few memory round trips). Raising a
+    // structured, catchable error instead of spinning forever (or
+    // aborting the process) lets a campaign classify the run and move on.
+    const Cycle watchdog_window = cfg_.livelockCycles;
     std::uint64_t last_committed = 0;
     Cycle last_progress = 0;
 
@@ -148,15 +152,28 @@ Simulator::run(std::uint64_t instr_budget)
         core_->tick();
         if (timeline)
             timeline->tick(core_->now());
+        if (cfg_.invariantCheckCycles > 0 &&
+            core_->now() % cfg_.invariantCheckCycles == 0)
+            checkInvariants(*core_, ledger_, core_->now());
         if (core_->totalCommitted() != last_committed) {
             last_committed = core_->totalCommitted();
             last_progress = core_->now();
-        } else if (core_->now() - last_progress > watchdog_window) {
-            SMTAVF_PANIC("no commit for ", watchdog_window,
-                         " cycles at cycle ", core_->now(), " (", mix_.name,
-                         ")\n", core_->stateDump());
+        } else if (watchdog_window > 0 &&
+                   core_->now() - last_progress > watchdog_window) {
+            std::vector<ThreadProgress> progress;
+            for (unsigned t = 0; t < cfg_.contexts; ++t) {
+                auto tid = static_cast<ThreadId>(t);
+                progress.push_back({core_->fetched(tid), core_->issued(tid),
+                                    core_->committed(tid)});
+            }
+            throw LivelockError(core_->now(), watchdog_window, mix_.name,
+                                std::move(progress), core_->stateDump());
         }
     }
+
+    // Final consistency gate before any AVF number leaves this run.
+    if (cfg_.invariantCheckCycles > 0)
+        checkInvariants(*core_, ledger_, core_->now());
 
     Cycle end = core_->now();
     core_->finalizeAvf();

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Build and test every supported configuration: plain release, ASan, and
+# the tsan-labelled concurrency tests under ThreadSanitizer. This is the
+# pre-merge gate; CMakePresets.json defines the same three configurations
+# for interactive use (cmake --preset release, etc.).
+#
+# Usage: tools/check.sh [release|asan|tsan ...]   (default: all three)
+
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${SMTAVF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}
+presets=${*:-"release asan tsan"}
+
+for preset in $presets; do
+    build="$repo/build-$preset"
+    echo "==> [$preset] configure"
+    case $preset in
+      release) cmake -S "$repo" -B "$build" \
+                     -DCMAKE_BUILD_TYPE=RelWithDebInfo ;;
+      asan)    cmake -S "$repo" -B "$build" \
+                     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+                     -DSMTAVF_SANITIZE=address ;;
+      tsan)    cmake -S "$repo" -B "$build" \
+                     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+                     -DSMTAVF_SANITIZE=thread ;;
+      *) echo "unknown preset: $preset (want release, asan or tsan)" >&2
+         exit 2 ;;
+    esac
+
+    echo "==> [$preset] build"
+    cmake --build "$build" -j "$jobs"
+
+    echo "==> [$preset] test"
+    if [ "$preset" = tsan ]; then
+        # Only the concurrency surface needs the (slow) TSan pass.
+        (cd "$build" && ctest -L tsan --output-on-failure -j "$jobs")
+    else
+        (cd "$build" && ctest --output-on-failure -j "$jobs")
+    fi
+done
+
+echo "==> all checks passed"

@@ -12,23 +12,39 @@
  *
  * The `campaign` subcommand fans a whole experiment list over a worker
  * pool with per-run progress/timing lines; results are bit-identical for
- * any --jobs value (see sim/campaign.hh):
+ * any --jobs value (see sim/campaign.hh). Campaigns are fault tolerant:
+ * failing runs are retried, deterministic failures quarantined, and with
+ * --journal every finished run is persisted so an interrupted campaign
+ * resumes where it left off (docs/ROBUSTNESS.md):
  *   smtavf_cli campaign --jobs 4
  *   smtavf_cli campaign --contexts 4 --policy all
  *   smtavf_cli campaign --mix 4ctx-mem-A --mix 4ctx-cpu-A --master-seed 7
+ *   smtavf_cli campaign --journal runs.journal --retries 2
+ *   smtavf_cli campaign --journal runs.journal --resume
+ *
+ * Exit codes: 0 success; 1 the simulation itself failed (livelock,
+ * invariant violation); 2 bad usage or configuration; 3 a campaign
+ * completed but some runs did not produce results. 130 on forced SIGINT.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "base/env.hh"
+#include "base/logging.hh"
 #include "base/table.hh"
 #include "metrics/metrics.hh"
 #include "sim/campaign.hh"
 #include "sim/config.hh"
+#include "sim/errors.hh"
 #include "sim/experiment.hh"
 
 namespace
@@ -68,26 +84,72 @@ usage()
         "                        'all' crosses mixes with every policy)\n"
         "  --instructions N      per-run committed-instruction budget\n"
         "  --master-seed N       derive run i's seed as splitSeed(N, i)\n"
-        "  --csv                 per-run CSV summary instead of a table\n");
+        "  --retries N           extra attempts per failing run (default 1)\n"
+        "  --journal FILE        append finished runs to FILE as they land\n"
+        "  --resume              replay journaled runs instead of re-running\n"
+        "  --timeout SECONDS     stop dispatching new runs after this long\n"
+        "  --csv                 per-run CSV summary instead of a table\n"
+        "\n"
+        "exit codes: 0 ok, 1 simulation failure, 2 bad usage/config,\n"
+        "            3 campaign completed with failed runs\n");
 }
 
+/** Usage and configuration mistakes exit 2, distinct from sim failures. */
 [[noreturn]] void
 die(const std::string &msg)
 {
     std::fprintf(stderr, "smtavf_cli: %s\n", msg.c_str());
-    std::exit(1);
+    std::exit(2);
 }
 
+/**
+ * Strict numeric flag parsing: "abc", "", "12x" and negative values like
+ * "--seed -3" are usage errors, never silently wrapped or truncated.
+ */
 std::uint64_t
 parseNum(const char *flag, const char *value)
 {
     if (!value)
         die(std::string(flag) + " needs a value");
-    char *end = nullptr;
-    auto v = std::strtoull(value, &end, 10);
-    if (!end || *end != '\0')
-        die(std::string("bad number for ") + flag + ": " + value);
+    std::uint64_t v = 0;
+    if (!strictParseU64(value, v))
+        die(std::string("bad number for ") + flag + ": '" + value +
+            "' (need a non-negative integer)");
     return v;
+}
+
+/** Strict non-negative seconds (plain decimal, fractions allowed). */
+double
+parseSeconds(const char *flag, const char *value)
+{
+    if (!value)
+        die(std::string(flag) + " needs a value");
+    char *end = nullptr;
+    double v = std::strtod(value, &end);
+    if (!end || end == value || *end != '\0' || !(v >= 0.0))
+        die(std::string("bad duration for ") + flag + ": '" + value + "'");
+    return v;
+}
+
+/**
+ * First Ctrl-C asks the campaign to stop dispatching and drain (the
+ * journal keeps everything already finished); the second aborts hard.
+ * Only async-signal-safe calls here.
+ */
+std::atomic<bool> interrupted{false};
+
+extern "C" void
+onSigint(int)
+{
+    if (interrupted.exchange(true)) {
+        const char hard[] = "\nsmtavf_cli: hard exit\n";
+        [[maybe_unused]] auto n = write(STDERR_FILENO, hard, sizeof(hard) - 1);
+        _exit(130);
+    }
+    const char soft[] =
+        "\nsmtavf_cli: stopping dispatch, draining in-flight runs "
+        "(Ctrl-C again to abort)\n";
+    [[maybe_unused]] auto n = write(STDERR_FILENO, soft, sizeof(soft) - 1);
 }
 
 int
@@ -101,6 +163,7 @@ campaignMain(int argc, char **argv)
     std::uint64_t master_seed = 0;
     bool use_master_seed = false;
     bool csv = false;
+    CampaignOptions opt;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -132,6 +195,18 @@ campaignMain(int argc, char **argv)
         } else if (arg == "--master-seed") {
             master_seed = parseNum("--master-seed", next());
             use_master_seed = true;
+        } else if (arg == "--retries") {
+            opt.retries =
+                static_cast<unsigned>(parseNum("--retries", next()));
+        } else if (arg == "--journal") {
+            const char *v = next();
+            if (!v)
+                die("--journal needs a file name");
+            opt.journalPath = v;
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--timeout") {
+            opt.softTimeoutSeconds = parseSeconds("--timeout", next());
         } else if (arg == "--csv") {
             csv = true;
         } else {
@@ -139,6 +214,8 @@ campaignMain(int argc, char **argv)
             die("unknown campaign option: " + arg);
         }
     }
+    if (opt.resume && opt.journalPath.empty())
+        die("--resume needs --journal FILE to resume from");
 
     std::vector<FetchPolicyKind> policies;
     if (policy_name == "all" || policy_name == "ALL") {
@@ -169,64 +246,101 @@ campaignMain(int argc, char **argv)
     if (use_master_seed)
         deriveSeeds(exps, master_seed);
 
+    // Reject a bad configuration before spinning up the pool: every
+    // experiment must pass the same validation a Simulator would apply.
+    for (const auto &e : exps)
+        if (auto msg = e.cfg.validateMsg(); !msg.empty())
+            die("invalid configuration for " + e.label + ": " + msg);
+
+    opt.cancel = &interrupted;
+    std::signal(SIGINT, onSigint);
+
     CampaignRunner pool(jobs);
     std::printf("campaign: %zu runs on %u workers\n", exps.size(),
                 pool.jobs());
 
     auto t0 = std::chrono::steady_clock::now();
-    auto results = pool.run(exps, [](const CampaignProgress &p) {
-        std::printf("[%3zu/%zu] %-22s IPC %.3f  %6.2fs\n", p.completed,
-                    p.total, p.experiment->label.c_str(), p.result->ipc,
-                    p.seconds);
+    auto report = runTolerant(pool, exps, opt,
+                              [](const CampaignProgress &p) {
+        if (p.result) {
+            std::printf("[%3zu/%zu] %-22s IPC %.3f  %6.2fs%s\n", p.completed,
+                        p.total, p.experiment->label.c_str(), p.result->ipc,
+                        p.seconds,
+                        p.outcome && p.outcome->fromJournal ? "  (journal)"
+                                                            : "");
+        } else {
+            std::printf("[%3zu/%zu] %-22s %s\n", p.completed, p.total,
+                        p.experiment->label.c_str(),
+                        p.outcome ? runStatusName(p.outcome->status)
+                                  : "failed");
+        }
         std::fflush(stdout);
     });
+    std::signal(SIGINT, SIG_DFL);
     std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
     std::printf("campaign finished in %.2fs\n\n", dt.count());
 
     if (csv) {
-        std::fputs("label,seed,ipc,cycles,instructions", stdout);
+        std::fputs("label,seed,status,attempts,ipc,cycles,instructions",
+                   stdout);
         for (auto s : AvfReport::figureStructs())
             std::printf(",%s", hwStructName(s));
         std::puts("");
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const auto &r = results[i];
-            std::printf("%s,%llu,%.6f,%llu,%llu",
-                        exps[i].label.c_str(),
+        for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+            const RunOutcome &o = report.outcomes[i];
+            std::printf("%s,%llu,%s,%u", exps[i].label.c_str(),
                         static_cast<unsigned long long>(exps[i].cfg.seed),
-                        r.ipc,
-                        static_cast<unsigned long long>(r.cycles),
-                        static_cast<unsigned long long>(r.totalCommitted));
-            for (auto s : AvfReport::figureStructs())
-                std::printf(",%.6f", r.avf.avf(s));
+                        runStatusName(o.status), o.attempts);
+            if (o.status == RunStatus::Ok) {
+                const auto &r = o.result;
+                std::printf(",%.6f,%llu,%llu", r.ipc,
+                            static_cast<unsigned long long>(r.cycles),
+                            static_cast<unsigned long long>(
+                                r.totalCommitted));
+                for (auto s : AvfReport::figureStructs())
+                    std::printf(",%.6f", r.avf.avf(s));
+            }
             std::puts("");
         }
-        return 0;
+    } else {
+        std::vector<std::string> header = {"experiment", "IPC"};
+        for (auto s : AvfReport::figureStructs())
+            header.push_back(hwStructName(s));
+        TextTable t(std::move(header));
+        for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+            const RunOutcome &o = report.outcomes[i];
+            std::vector<std::string> row = {exps[i].label};
+            if (o.status == RunStatus::Ok) {
+                row.push_back(TextTable::num(o.result.ipc, 3));
+                for (auto s : AvfReport::figureStructs())
+                    row.push_back(TextTable::pct(o.result.avf.avf(s), 1));
+            } else {
+                row.push_back(runStatusName(o.status));
+                for (std::size_t c = 0; c < AvfReport::figureStructs().size();
+                     ++c)
+                    row.push_back("-");
+            }
+            t.addRow(std::move(row));
+        }
+        std::fputs(t.str().c_str(), stdout);
     }
 
-    std::vector<std::string> header = {"experiment", "IPC"};
-    for (auto s : AvfReport::figureStructs())
-        header.push_back(hwStructName(s));
-    TextTable t(std::move(header));
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto &r = results[i];
-        std::vector<std::string> row = {exps[i].label,
-                                        TextTable::num(r.ipc, 3)};
-        for (auto s : AvfReport::figureStructs())
-            row.push_back(TextTable::pct(r.avf.avf(s), 1));
-        t.addRow(std::move(row));
+    if (!report.allOk()) {
+        std::fputs("\n", stderr);
+        std::fputs(report.failureReport().c_str(), stderr);
+        if (!opt.journalPath.empty())
+            std::fprintf(stderr,
+                         "finished runs are journaled; resume with:\n"
+                         "  smtavf_cli campaign ... --journal %s --resume\n",
+                         opt.journalPath.c_str());
+        return 3;
     }
-    std::fputs(t.str().c_str(), stdout);
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+singleMain(int argc, char **argv)
 {
-    if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
-        return campaignMain(argc, argv);
-
     std::string mix_name = "4ctx-mix-A";
     std::string policy_name = "ICOUNT";
     std::uint64_t instructions = 0;
@@ -313,6 +427,8 @@ main(int argc, char **argv)
     if (timeline_csv && sample == 0)
         sample = 5000;
     cfg.avfSampleCycles = sample;
+    if (auto msg = cfg.validateMsg(); !msg.empty())
+        die("invalid configuration: " + msg);
 
     if (replicas > 1) {
         auto runs = runMixReplicated(cfg, mix,
@@ -372,4 +488,34 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Redirect fatal/panic into exceptions so a config mistake deep in
+    // construction surfaces as a clean message + exit code instead of
+    // std::exit mid-library. runTolerant() installs its own redirect for
+    // campaign workers; this one covers single-run mode.
+    setLoggingThrows(true);
+    try {
+        if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
+            return campaignMain(argc, argv);
+        return singleMain(argc, argv);
+    } catch (const LivelockError &e) {
+        std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
+        return 1;
+    } catch (const SimulationError &e) {
+        std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
+        return 1;
+    } catch (const SimError &e) {
+        // SMTAVF_FATAL/PANIC: configuration or usage problem.
+        std::fprintf(stderr, "smtavf_cli: %s\n", e.message.c_str());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "smtavf_cli: unexpected error: %s\n", e.what());
+        return 1;
+    }
 }
