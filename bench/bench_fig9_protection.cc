@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 9 (extension): the paper's Section-4.1 vulnerability ranking
+ * turned actionable. The structures with the highest raw AVF are the
+ * protection priorities; sweeping parity / SECDED / SECDED+scrubbing
+ * over the top-k hotspots yields the machine's reliability-cost Pareto
+ * frontier (residual SER vs. area/energy overhead vs. IPC).
+ *
+ * Everything runs over the campaign pool, so the table is bit-identical
+ * for any SMTAVF_JOBS value. Wall-clock timing goes to stderr to keep
+ * stdout deterministic.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "protect/explorer.hh"
+
+int
+main()
+{
+    using namespace smtavf;
+    using namespace smtavf::bench;
+
+    banner("Figure 9: Protection Priority and Reliability-Cost Frontier "
+           "(4 contexts, ICOUNT)");
+
+    const auto &mix = findMix("4ctx-mix-A");
+    auto cfg = table1Config(mix.contexts);
+    const auto bits = structureBitCapacities(cfg);
+
+    CampaignRunner pool;
+    auto t0 = std::chrono::steady_clock::now();
+
+    ProtectionExplorer explorer(cfg, mix);
+    auto result = explorer.explore(pool);
+
+    std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    std::fprintf(stderr,
+                 "(campaign: %zu runs on %u workers in %.2fs; set "
+                 "SMTAVF_JOBS to change the pool)\n",
+                 result.points.size(), pool.jobs(), dt.count());
+
+    // Section 4.1 as a priority list: protect in this order. The bit
+    // capacity next to each hotspot is what that protection costs.
+    std::puts("-- protection priority (raw AVF, descending) --");
+    TextTable p({"rank", "structure", "bits"});
+    for (std::size_t i = 0; i < result.priority.size(); ++i) {
+        auto s = result.priority[i];
+        p.addRow({std::to_string(i + 1), hwStructName(s),
+                  std::to_string(bits[static_cast<std::size_t>(s)])});
+    }
+    std::fputs(p.str().c_str(), stdout);
+
+    std::printf("\n-- Pareto frontier (%zu of %zu assignments "
+                "non-dominated) --\n",
+                result.frontier.size(), result.points.size());
+    std::fputs(result.table().c_str(), stdout);
+
+    std::size_t protected_on_frontier = 0;
+    for (auto i : result.frontier)
+        if (result.points[i].protection.any())
+            ++protected_on_frontier;
+    std::printf("\nnon-dominated protected assignments: %zu\n",
+                protected_on_frontier);
+    std::puts("takeaway: the AVF ranking is the protection shopping list "
+              "-- a few\nhot structures buy most of the residual-SER "
+              "reduction at a fraction\nof whole-machine ECC cost.");
+    return 0;
+}

@@ -13,7 +13,22 @@ AvfLedger::AvfLedger(unsigned num_threads)
     for (std::size_t s = 0; s < numHwStructs; ++s) {
         ace_[s].assign(num_threads, 0);
         unAce_[s].assign(num_threads, 0);
+        aceCovered_[s].assign(num_threads, 0);
+        aceResidual_[s].assign(num_threads, 0);
     }
+}
+
+void
+AvfLedger::setProtection(const ProtectionConfig &protection)
+{
+    if (auto msg = protection.validateMsg(); !msg.empty())
+        SMTAVF_FATAL("invalid protection config: ", msg);
+    for (std::size_t s = 0; s < numHwStructs; ++s)
+        for (unsigned t = 0; t < numThreads_; ++t)
+            if (ace_[s][t] != 0 || unAce_[s][t] != 0)
+                SMTAVF_FATAL("setProtection after intervals were recorded "
+                             "in ", hwStructName(static_cast<HwStruct>(s)));
+    protection_ = protection;
 }
 
 void
@@ -37,10 +52,19 @@ AvfLedger::addInterval(HwStruct s, ThreadId tid, std::uint32_t bits,
         SMTAVF_PANIC("interval from unknown thread ", tid);
     std::uint64_t bit_cycles = static_cast<std::uint64_t>(bits) *
                                (end - start);
-    if (ace)
+    if (ace) {
         ace_[idx(s)][tid] += bit_cycles;
-    else
+        std::uint64_t covered = smtavf::coveredAceBitCycles(
+            protection_.schemeFor(s), protection_.scrubInterval, bits,
+            start, end);
+        if (covered > bit_cycles)
+            SMTAVF_PANIC("protection covers ", covered, " of ", bit_cycles,
+                         " bit-cycles in ", hwStructName(s));
+        aceCovered_[idx(s)][tid] += covered;
+        aceResidual_[idx(s)][tid] += bit_cycles - covered;
+    } else {
         unAce_[idx(s)][tid] += bit_cycles;
+    }
 }
 
 void
@@ -77,6 +101,36 @@ AvfLedger::unAceBitCycles(HwStruct s) const
 }
 
 std::uint64_t
+AvfLedger::coveredAceBitCycles(HwStruct s) const
+{
+    std::uint64_t sum = 0;
+    for (auto v : aceCovered_[idx(s)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+AvfLedger::coveredAceBitCycles(HwStruct s, ThreadId tid) const
+{
+    return aceCovered_[idx(s)].at(tid);
+}
+
+std::uint64_t
+AvfLedger::residualAceBitCycles(HwStruct s) const
+{
+    std::uint64_t sum = 0;
+    for (auto v : aceResidual_[idx(s)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+AvfLedger::residualAceBitCycles(HwStruct s, ThreadId tid) const
+{
+    return aceResidual_[idx(s)].at(tid);
+}
+
+std::uint64_t
 AvfLedger::structureBits(HwStruct s) const
 {
     return structBits_[idx(s)];
@@ -91,6 +145,18 @@ AvfLedger::avf(HwStruct s) const
     if (bits == 0)
         return 0.0;
     return static_cast<double>(aceBitCycles(s)) /
+           (static_cast<double>(bits) * static_cast<double>(totalCycles_));
+}
+
+double
+AvfLedger::residualAvf(HwStruct s) const
+{
+    if (!finalized_)
+        SMTAVF_PANIC("residualAvf() before finalize()");
+    auto bits = structBits_[idx(s)];
+    if (bits == 0)
+        return 0.0;
+    return static_cast<double>(residualAceBitCycles(s)) /
            (static_cast<double>(bits) * static_cast<double>(totalCycles_));
 }
 

@@ -24,6 +24,7 @@
 
 #include "avf/structures.hh"
 #include "base/types.hh"
+#include "protect/scheme.hh"
 
 namespace smtavf
 {
@@ -45,6 +46,19 @@ class AvfLedger
                           std::uint64_t per_thread_bits = 0);
 
     /**
+     * Attach the protection assignment (protect/scheme.hh). Every ACE
+     * interval recorded afterwards is split into covered vs. residual
+     * bit-cycles per the per-structure scheme; the two tallies are
+     * accumulated independently so the conservation identity
+     * covered + residual == total ACE is a checkable invariant, not a
+     * definition. Must be called before any interval lands (fatal
+     * otherwise) — protection is a property of the whole run.
+     */
+    void setProtection(const ProtectionConfig &protection);
+
+    const ProtectionConfig &protection() const { return protection_; }
+
+    /**
      * Record a closed residency interval [start, end) of @p bits bits
      * belonging to thread @p tid in structure @p s, already classified.
      */
@@ -56,6 +70,13 @@ class AvfLedger
 
     /** Aggregate AVF of a structure over the whole run. */
     double avf(HwStruct s) const;
+
+    /**
+     * Residual AVF: the fraction of bits still vulnerable once the
+     * structure's protection scheme is accounted for. Equals avf()
+     * bit-exactly for unprotected structures.
+     */
+    double residualAvf(HwStruct s) const;
 
     /** The AVF contribution of one thread to a structure. */
     double threadAvf(HwStruct s, ThreadId tid) const;
@@ -76,6 +97,14 @@ class AvfLedger
     std::uint64_t aceBitCycles(HwStruct s, ThreadId tid) const;
     std::uint64_t unAceBitCycles(HwStruct s) const;
 
+    /** ACE bit-cycles covered by the structure's protection scheme. */
+    std::uint64_t coveredAceBitCycles(HwStruct s) const;
+    std::uint64_t coveredAceBitCycles(HwStruct s, ThreadId tid) const;
+
+    /** ACE bit-cycles left vulnerable after protection. */
+    std::uint64_t residualAceBitCycles(HwStruct s) const;
+    std::uint64_t residualAceBitCycles(HwStruct s, ThreadId tid) const;
+
   private:
     std::size_t idx(HwStruct s) const
     {
@@ -88,6 +117,11 @@ class AvfLedger
     // [structure][thread]
     std::array<std::vector<std::uint64_t>, numHwStructs> ace_;
     std::array<std::vector<std::uint64_t>, numHwStructs> unAce_;
+    // ACE split by protection; aceCovered_ + aceResidual_ must equal ace_
+    // (sim/invariants.cc proves the conservation every check period).
+    std::array<std::vector<std::uint64_t>, numHwStructs> aceCovered_;
+    std::array<std::vector<std::uint64_t>, numHwStructs> aceResidual_;
+    ProtectionConfig protection_{};
     Cycle totalCycles_ = 0;
     bool finalized_ = false;
 };

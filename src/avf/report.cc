@@ -21,6 +21,7 @@ AvfReport::fromLedger(const AvfLedger &ledger)
             continue;
         r.avf_[i] = ledger.avf(s);
         r.occupancy_[i] = ledger.occupancy(s);
+        r.residual_[i] = ledger.residualAvf(s);
         for (ThreadId t = 0; t < r.numThreads_; ++t)
             r.threadAvf_[i][t] = ledger.threadAvf(s, t);
     }
@@ -32,6 +33,7 @@ AvfReport::restore(
     unsigned num_threads, Cycle cycles,
     const std::array<double, numHwStructs> &avf,
     const std::array<double, numHwStructs> &occupancy,
+    const std::array<double, numHwStructs> &residual,
     const std::array<std::array<double, maxContexts>, numHwStructs>
         &thread_avf)
 {
@@ -42,6 +44,7 @@ AvfReport::restore(
     r.cycles_ = cycles;
     r.avf_ = avf;
     r.occupancy_ = occupancy;
+    r.residual_ = residual;
     r.threadAvf_ = thread_avf;
     return r;
 }
@@ -50,6 +53,12 @@ double
 AvfReport::avf(HwStruct s) const
 {
     return avf_[static_cast<std::size_t>(s)];
+}
+
+double
+AvfReport::residualAvf(HwStruct s) const
+{
+    return residual_[static_cast<std::size_t>(s)];
 }
 
 double
@@ -80,7 +89,8 @@ AvfReport::figureStructs()
 std::string
 AvfReport::str() const
 {
-    std::vector<std::string> header = {"structure", "AVF", "occupancy"};
+    std::vector<std::string> header = {"structure", "AVF", "residual",
+                                       "occupancy"};
     for (ThreadId t = 0; t < numThreads_; ++t)
         header.push_back("T" + std::to_string(t));
     TextTable table(std::move(header));
@@ -91,6 +101,7 @@ AvfReport::str() const
             continue;
         std::vector<std::string> row = {hwStructName(s),
                                         TextTable::pct(avf_[i], 2),
+                                        TextTable::pct(residual_[i], 2),
                                         TextTable::pct(occupancy_[i], 2)};
         for (ThreadId t = 0; t < numThreads_; ++t)
             row.push_back(TextTable::pct(threadAvf_[i][t], 2));

@@ -35,11 +35,19 @@ class AvfReport
     restore(unsigned num_threads, Cycle cycles,
             const std::array<double, numHwStructs> &avf,
             const std::array<double, numHwStructs> &occupancy,
+            const std::array<double, numHwStructs> &residual,
             const std::array<std::array<double, maxContexts>, numHwStructs>
                 &thread_avf);
 
     /** Aggregate AVF of a structure. */
     double avf(HwStruct s) const;
+
+    /**
+     * Residual AVF after the run's protection assignment
+     * (protect/scheme.hh). Equals avf() bit-exactly for unprotected
+     * structures.
+     */
+    double residualAvf(HwStruct s) const;
 
     /** One thread's AVF contribution to a structure. */
     double threadAvf(HwStruct s, ThreadId tid) const;
@@ -64,6 +72,7 @@ class AvfReport
     Cycle cycles_ = 0;
     std::array<double, numHwStructs> avf_{};
     std::array<double, numHwStructs> occupancy_{};
+    std::array<double, numHwStructs> residual_{};
     std::array<std::array<double, maxContexts>, numHwStructs> threadAvf_{};
 };
 

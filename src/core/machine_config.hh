@@ -22,6 +22,7 @@
 #include "core/fu_pool.hh"
 #include "mem/hierarchy.hh"
 #include "policy/fetch_policy.hh"
+#include "protect/scheme.hh"
 
 namespace smtavf
 {
@@ -92,6 +93,14 @@ struct MachineConfig
     bool prewarmCaches = true;
 
     AvfOptions avf{};
+
+    /**
+     * Per-structure protection assignment (protect/scheme.hh). An
+     * analytical overlay: it splits each ACE bit-cycle into covered vs.
+     * residual without perturbing timing, so raw AVF and IPC are
+     * bit-identical to the unprotected run. Default: nothing protected.
+     */
+    ProtectionConfig protection{};
 
     /**
      * Sample the per-structure AVF every this many cycles into a timeline
@@ -180,6 +189,8 @@ struct MachineConfig
         if (livelockCycles != 0 && livelockCycles < 16)
             return concat("livelock window too small to clear the ",
                           "pipeline: ", livelockCycles, " (minimum 16)");
+        if (auto msg = protection.validateMsg(); !msg.empty())
+            return msg;
         return "";
     }
 

@@ -1,0 +1,132 @@
+#include "protect/cost.hh"
+
+#include <bit>
+
+namespace smtavf
+{
+
+double
+areaOverheadFactor(ProtScheme s)
+{
+    switch (s) {
+      case ProtScheme::None: return 0.0;
+      case ProtScheme::Parity: return 0.035;
+      case ProtScheme::Secded: return 0.125;
+      case ProtScheme::SecdedScrub: return 0.13;
+      default: return 0.0;
+    }
+}
+
+double
+energyOverheadFactor(ProtScheme s, Cycle scrub_interval)
+{
+    switch (s) {
+      case ProtScheme::None:
+        return 0.0;
+      case ProtScheme::Parity:
+        return 0.02;
+      case ProtScheme::Secded:
+        return 0.10;
+      case ProtScheme::SecdedScrub:
+        // Sweep energy amortizes over the interval: scrubbing every 10k
+        // cycles adds 1%, every 1k cycles 10%.
+        return 0.10 + (scrub_interval > 0
+                           ? 100.0 / static_cast<double>(scrub_interval)
+                           : 0.0);
+      default:
+        return 0.0;
+    }
+}
+
+namespace
+{
+
+std::uint64_t
+cacheTagBits(const CacheConfig &c)
+{
+    // Mirror of CacheVulnTracker: 48-bit physical tag minus index/offset
+    // bits, plus valid/dirty/LRU state.
+    std::uint32_t lines = c.sizeBytes / c.lineBytes;
+    std::uint32_t sets = lines / c.ways;
+    std::uint32_t offset_bits = std::countr_zero(c.lineBytes);
+    std::uint32_t index_bits = std::countr_zero(sets);
+    std::uint32_t tag_bits = 48 - offset_bits - index_bits + 4;
+    return static_cast<std::uint64_t>(lines) * tag_bits;
+}
+
+} // namespace
+
+std::array<std::uint64_t, numHwStructs>
+structureBitCapacities(const MachineConfig &cfg)
+{
+    std::array<std::uint64_t, numHwStructs> bits_of{};
+    auto set = [&](HwStruct s, std::uint64_t b) {
+        bits_of[static_cast<std::size_t>(s)] = b;
+    };
+
+    set(HwStruct::IQ, std::uint64_t{cfg.iqSize} * bits::iqEntry);
+    set(HwStruct::RegFile,
+        (std::uint64_t{cfg.intPhysRegs} + cfg.fpPhysRegs) * bits::physReg);
+    set(HwStruct::FU, std::uint64_t{cfg.fu.total()} * bits::fuLatch);
+    set(HwStruct::ROB,
+        std::uint64_t{cfg.contexts} * cfg.robSize * bits::robEntry);
+    set(HwStruct::LsqData,
+        std::uint64_t{cfg.contexts} * cfg.lsqSize * bits::lsqData);
+    set(HwStruct::LsqTag,
+        std::uint64_t{cfg.contexts} * cfg.lsqSize * bits::lsqTag);
+    set(HwStruct::Dl1Data,
+        std::uint64_t{cfg.mem.dl1.sizeBytes} * bits::cacheByte);
+    set(HwStruct::Dl1Tag, cacheTagBits(cfg.mem.dl1));
+    set(HwStruct::Dtlb,
+        std::uint64_t{cfg.mem.dtlb.entries} * bits::tlbEntry);
+    set(HwStruct::Itlb,
+        std::uint64_t{cfg.mem.itlb.entries} * bits::tlbEntry);
+    if (cfg.avf.trackL2Avf) {
+        set(HwStruct::L2Data,
+            std::uint64_t{cfg.mem.l2.sizeBytes} * bits::cacheByte);
+        set(HwStruct::L2Tag, cacheTagBits(cfg.mem.l2));
+    }
+    return bits_of;
+}
+
+ProtectionCost
+protectionCost(const MachineConfig &cfg)
+{
+    auto bits_of = structureBitCapacities(cfg);
+    ProtectionCost cost;
+    double area = 0.0, energy = 0.0;
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        cost.totalBits += bits_of[i];
+        auto scheme = cfg.protection.schemeFor(s);
+        if (scheme == ProtScheme::None || bits_of[i] == 0)
+            continue;
+        cost.protectedBits += bits_of[i];
+        double weight = static_cast<double>(bits_of[i]);
+        area += weight * areaOverheadFactor(scheme);
+        energy += weight *
+                  energyOverheadFactor(scheme, cfg.protection.scrubInterval);
+    }
+    if (cost.totalBits > 0) {
+        cost.areaOverhead = area / static_cast<double>(cost.totalBits);
+        cost.energyOverhead = energy / static_cast<double>(cost.totalBits);
+    }
+    return cost;
+}
+
+double
+serProxy(const AvfReport &report,
+         const std::array<std::uint64_t, numHwStructs> &bits, bool residual)
+{
+    double weighted = 0.0;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        total += bits[i];
+        double avf = residual ? report.residualAvf(s) : report.avf(s);
+        weighted += avf * static_cast<double>(bits[i]);
+    }
+    return total ? weighted / static_cast<double>(total) : 0.0;
+}
+
+} // namespace smtavf

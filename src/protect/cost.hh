@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cost model for the protection schemes: area and energy overhead per
+ * scheme, weighted by each protected structure's bit capacity, plus the
+ * soft-error-rate proxy the reliability-cost explorer optimizes.
+ *
+ * The per-scheme factors are simple published-style constants:
+ *
+ *   scheme          area      energy   rationale
+ *   none            0         0
+ *   parity          3.5%      2%       1 check bit per 32-ish-bit word,
+ *                                      XOR-tree check on access
+ *   secded          12.5%     10%      (72,64) Hamming: 8 bits per 64,
+ *                                      encode/decode logic on every access
+ *   secded+scrub    13%       10% + s  scrub FSM; s = sweep energy,
+ *                                      inversely proportional to the
+ *                                      scrub interval
+ *
+ * Overheads aggregate over the machine as bit-capacity-weighted fractions
+ * of total tracked storage, so protecting a 64KB DL1 costs more than
+ * protecting a 96-entry IQ — the asymmetry the explorer trades against
+ * each structure's AVF contribution.
+ */
+
+#ifndef SMTAVF_PROTECT_COST_HH
+#define SMTAVF_PROTECT_COST_HH
+
+#include <array>
+#include <cstdint>
+
+#include "avf/report.hh"
+#include "core/machine_config.hh"
+#include "protect/scheme.hh"
+
+namespace smtavf
+{
+
+/** Fractional area overhead of protecting one structure with @p s. */
+double areaOverheadFactor(ProtScheme s);
+
+/**
+ * Fractional energy overhead of @p s; for SecdedScrub the sweep term
+ * adds 100/interval (shorter intervals sweep — and burn — more often).
+ */
+double energyOverheadFactor(ProtScheme s, Cycle scrub_interval);
+
+/**
+ * Bit capacity of every tracked structure under @p cfg, mirroring the
+ * ledger wiring in SmtCore / the cache and TLB vulnerability trackers
+ * (tests/test_protect.cc proves the mirror differentially against a real
+ * simulation's ledger).
+ */
+std::array<std::uint64_t, numHwStructs>
+structureBitCapacities(const MachineConfig &cfg);
+
+/** Machine-level protection overhead summary. */
+struct ProtectionCost
+{
+    double areaOverhead = 0.0;   ///< fraction of total tracked bits
+    double energyOverhead = 0.0; ///< fraction of total access energy
+    std::uint64_t protectedBits = 0;
+    std::uint64_t totalBits = 0;
+};
+
+/** Aggregate cost of @p cfg.protection over @p cfg's structures. */
+ProtectionCost protectionCost(const MachineConfig &cfg);
+
+/**
+ * Soft-error-rate proxy: sum over structures of AVF x bit capacity,
+ * normalized by total capacity. With a uniform raw per-bit upset rate
+ * this is proportional to the machine's FIT rate; @p residual selects
+ * residual (post-protection) AVF instead of raw.
+ */
+double serProxy(const AvfReport &report,
+                const std::array<std::uint64_t, numHwStructs> &bits,
+                bool residual);
+
+} // namespace smtavf
+
+#endif // SMTAVF_PROTECT_COST_HH

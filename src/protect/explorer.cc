@@ -1,0 +1,195 @@
+#include "protect/explorer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace smtavf
+{
+
+namespace
+{
+
+std::string
+fixed6(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+/** Weak Pareto dominance over (SER min, area min, energy min, IPC max). */
+bool
+dominates(const ProtectionPoint &a, const ProtectionPoint &b)
+{
+    if (a.residualSer > b.residualSer || a.areaOverhead > b.areaOverhead ||
+        a.energyOverhead > b.energyOverhead || a.ipc < b.ipc)
+        return false;
+    return a.residualSer < b.residualSer || a.areaOverhead < b.areaOverhead ||
+           a.energyOverhead < b.energyOverhead || a.ipc > b.ipc;
+}
+
+} // namespace
+
+std::string
+ExplorationResult::csv() const
+{
+    std::ostringstream os;
+    os << "label,assignment,ipc,raw_ser,residual_ser,area_overhead,"
+          "energy_overhead,pareto\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ProtectionPoint &p = points[i];
+        bool on = std::find(frontier.begin(), frontier.end(), i) !=
+                  frontier.end();
+        std::string assignment = p.protection.str();
+        for (char &c : assignment)
+            if (c == ',')
+                c = ';';
+        os << p.label << ',' << assignment << ',' << fixed6(p.ipc) << ','
+           << fixed6(p.rawSer) << ',' << fixed6(p.residualSer) << ','
+           << fixed6(p.areaOverhead) << ',' << fixed6(p.energyOverhead)
+           << ',' << (on ? 1 : 0) << '\n';
+    }
+    return os.str();
+}
+
+std::string
+ExplorationResult::table() const
+{
+    TextTable t({"assignment", "IPC", "raw SER", "residual SER", "area",
+                 "energy"});
+    for (auto i : frontier) {
+        const ProtectionPoint &p = points[i];
+        t.addRow({p.label, TextTable::num(p.ipc, 3),
+                  TextTable::pct(p.rawSer, 2),
+                  TextTable::pct(p.residualSer, 2),
+                  TextTable::pct(p.areaOverhead, 2),
+                  TextTable::pct(p.energyOverhead, 2)});
+    }
+    return t.str();
+}
+
+ProtectionExplorer::ProtectionExplorer(MachineConfig base, WorkloadMix mix,
+                                       std::uint64_t budget,
+                                       unsigned max_depth)
+    : base_(std::move(base)), mix_(std::move(mix)), budget_(budget),
+      maxDepth_(max_depth)
+{
+    if (maxDepth_ == 0)
+        SMTAVF_FATAL("explorer needs max_depth >= 1");
+    base_.protection = ProtectionConfig{}; // candidates replace it
+}
+
+std::vector<ProtectionConfig>
+ProtectionExplorer::candidates(const std::vector<HwStruct> &priority,
+                               Cycle scrub_interval, unsigned max_depth)
+{
+    static const ProtScheme schemes[] = {
+        ProtScheme::Parity, ProtScheme::Secded, ProtScheme::SecdedScrub};
+    std::vector<ProtectionConfig> out;
+    unsigned depth = std::min<unsigned>(
+        max_depth, static_cast<unsigned>(priority.size()));
+    for (auto scheme : schemes) {
+        for (unsigned k = 1; k <= depth; ++k) {
+            ProtectionConfig p;
+            p.scrubInterval = scrub_interval;
+            for (unsigned i = 0; i < k; ++i)
+                p.assign(priority[i], scheme);
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+ProtectionExplorer::paretoFrontier(const std::vector<ProtectionPoint> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+            if (j != i && dominates(points[j], points[i]))
+                dominated = true;
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+ExplorationResult
+ProtectionExplorer::explore(CampaignRunner &pool) const
+{
+    const auto bits = structureBitCapacities(base_);
+
+    // Stage 1: unprotected baseline, for the hotspot ranking.
+    Experiment baseline;
+    baseline.label = mix_.name + "/unprotected";
+    baseline.cfg = base_;
+    baseline.mix = mix_;
+    baseline.budget = budget_;
+    SimResult base_run = pool.run({baseline}).front();
+
+    ExplorationResult result;
+    for (auto s : AvfReport::figureStructs())
+        if (base_run.avf.avf(s) > 0.0)
+            result.priority.push_back(s);
+    // Descending raw AVF; stable sort keeps the figure order as the
+    // deterministic tie-break.
+    std::stable_sort(result.priority.begin(), result.priority.end(),
+                     [&](HwStruct a, HwStruct b) {
+                         return base_run.avf.avf(a) > base_run.avf.avf(b);
+                     });
+
+    // Stage 2: every candidate assignment as one campaign.
+    auto configs = candidates(result.priority,
+                              base_.protection.scrubInterval
+                                  ? base_.protection.scrubInterval
+                                  : 10000,
+                              maxDepth_);
+    std::vector<Experiment> exps;
+    exps.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        Experiment e = baseline;
+        e.cfg.protection = configs[i];
+        unsigned depth = 0;
+        ProtScheme scheme = ProtScheme::None;
+        for (auto s : result.priority)
+            if (configs[i].schemeFor(s) != ProtScheme::None) {
+                ++depth;
+                scheme = configs[i].schemeFor(s);
+            }
+        e.label = mix_.name + "/" + protSchemeName(scheme) + ":top" +
+                  std::to_string(depth);
+        exps.push_back(std::move(e));
+    }
+    auto runs = pool.run(exps);
+
+    auto to_point = [&](const std::string &label, const Experiment &e,
+                        const SimResult &r) {
+        ProtectionPoint p;
+        p.label = label;
+        p.protection = e.cfg.protection;
+        p.rawSer = serProxy(r.avf, bits, /*residual=*/false);
+        p.residualSer = serProxy(r.avf, bits, /*residual=*/true);
+        auto cost = protectionCost(e.cfg);
+        p.areaOverhead = cost.areaOverhead;
+        p.energyOverhead = cost.energyOverhead;
+        p.ipc = r.ipc;
+        return p;
+    };
+
+    result.points.push_back(to_point("none", baseline, base_run));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        // Strip the mix prefix: the point label is the assignment.
+        auto slash = exps[i].label.find('/');
+        result.points.push_back(to_point(exps[i].label.substr(slash + 1),
+                                         exps[i], runs[i]));
+    }
+    result.frontier = paretoFrontier(result.points);
+    return result;
+}
+
+} // namespace smtavf

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reliability-cost exploration: sweep heterogeneous protection
+ * assignments over the parallel campaign runner and report the Pareto
+ * frontier of residual soft-error rate vs. area/energy overhead vs. IPC.
+ *
+ * The explorer first runs the unprotected baseline to obtain the paper's
+ * Section-4.1 hotspot ranking (structures ordered by raw AVF), then
+ * builds candidate assignments by protecting the top-k hotspots with each
+ * scheme — the actionable form of an AVF study: "protect these, in this
+ * order, at this cost". Every candidate is an independent Experiment, so
+ * the sweep inherits the campaign runner's determinism: points and
+ * frontier are bit-identical for any worker count.
+ */
+
+#ifndef SMTAVF_PROTECT_EXPLORER_HH
+#define SMTAVF_PROTECT_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protect/cost.hh"
+#include "protect/scheme.hh"
+#include "sim/campaign.hh"
+
+namespace smtavf
+{
+
+/** One evaluated protection assignment. */
+struct ProtectionPoint
+{
+    std::string label;           ///< e.g. "secded:top3" or "none"
+    ProtectionConfig protection;
+    double rawSer = 0.0;         ///< bit-weighted raw AVF (FIT proxy)
+    double residualSer = 0.0;    ///< bit-weighted residual AVF
+    double areaOverhead = 0.0;
+    double energyOverhead = 0.0;
+    double ipc = 0.0;
+};
+
+/** Everything one exploration reports. */
+struct ExplorationResult
+{
+    /** Hotspot ranking: figure structures by raw AVF, descending. */
+    std::vector<HwStruct> priority;
+    /** All candidates in submission order (index 0 = unprotected). */
+    std::vector<ProtectionPoint> points;
+    /** Indices of non-dominated points, in submission order. */
+    std::vector<std::size_t> frontier;
+
+    /** Machine-readable dump (one row per point, frontier flagged). */
+    std::string csv() const;
+
+    /** Human-readable frontier table. */
+    std::string table() const;
+};
+
+/** Sweep of heterogeneous protection assignments for one workload. */
+class ProtectionExplorer
+{
+  public:
+    /**
+     * @param base   configuration the sweep perturbs (its own protection
+     *               assignment is ignored; candidates replace it)
+     * @param mix    workload to evaluate under
+     * @param budget per-run instruction budget (0 = default)
+     * @param max_depth protect at most this many hotspots per candidate
+     */
+    ProtectionExplorer(MachineConfig base, WorkloadMix mix,
+                       std::uint64_t budget = 0, unsigned max_depth = 4);
+
+    /** Run baseline + all candidates over @p pool; deterministic. */
+    ExplorationResult explore(CampaignRunner &pool) const;
+
+    /**
+     * Candidate assignments for a hotspot ranking: for each scheme and
+     * each depth k, protect the top-k structures of @p priority. Exposed
+     * for tests and for callers that want the sweep without the runs.
+     */
+    static std::vector<ProtectionConfig>
+    candidates(const std::vector<HwStruct> &priority, Cycle scrub_interval,
+               unsigned max_depth);
+
+    /**
+     * Indices of the non-dominated points: no other point is at least as
+     * good on residual SER, area, energy and IPC and strictly better on
+     * one of them.
+     */
+    static std::vector<std::size_t>
+    paretoFrontier(const std::vector<ProtectionPoint> &points);
+
+  private:
+    MachineConfig base_;
+    WorkloadMix mix_;
+    std::uint64_t budget_;
+    unsigned maxDepth_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_PROTECT_EXPLORER_HH

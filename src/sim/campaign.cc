@@ -1,6 +1,7 @@
 #include "sim/campaign.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
@@ -251,6 +252,57 @@ CampaignReport::failureReport() const
             // multi-line state dumps meant for logs, not summaries.
             auto nl = o.error.find('\n');
             os << " -- " << o.error.substr(0, nl);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+campaignCsv(const std::vector<Experiment> &exps, const CampaignReport &report)
+{
+    if (exps.size() != report.outcomes.size())
+        SMTAVF_FATAL("campaignCsv: ", exps.size(), " experiments but ",
+                     report.outcomes.size(), " outcomes");
+
+    std::ostringstream os;
+    os << "label,seed,status,attempts,ipc,cycles,instructions";
+    for (auto s : AvfReport::figureStructs())
+        os << ',' << hwStructName(s);
+    for (auto s : AvfReport::figureStructs())
+        os << ",residual_" << hwStructName(s);
+    os << ",error\n";
+
+    auto fixed6 = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", v);
+        return std::string(buf);
+    };
+
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const RunOutcome &o = report.outcomes[i];
+        os << exps[i].label << ',' << exps[i].cfg.seed << ','
+           << runStatusName(o.status) << ',' << o.attempts;
+        const std::size_t figs = AvfReport::figureStructs().size();
+        if (o.status == RunStatus::Ok) {
+            const SimResult &r = o.result;
+            os << ',' << fixed6(r.ipc) << ',' << r.cycles << ','
+               << r.totalCommitted;
+            for (auto s : AvfReport::figureStructs())
+                os << ',' << fixed6(r.avf.avf(s));
+            for (auto s : AvfReport::figureStructs())
+                os << ',' << fixed6(r.avf.residualAvf(s));
+            os << ',';
+        } else {
+            // Same arity as an Ok row: empty numeric cells, then the
+            // first line of the error with commas/newlines sanitized.
+            for (std::size_t c = 0; c < 3 + 2 * figs; ++c)
+                os << ',';
+            std::string err = o.error.substr(0, o.error.find('\n'));
+            for (char &c : err)
+                if (c == ',')
+                    c = ';';
+            os << ',' << err;
         }
         os << '\n';
     }

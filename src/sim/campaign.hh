@@ -237,6 +237,21 @@ struct CampaignReport
 };
 
 /**
+ * Machine-readable campaign summary: a CSV with one row per submitted
+ * experiment — including failed, timed-out and quarantined runs, so a
+ * sweep is auditable end-to-end. Every row has the same arity; the
+ * numeric cells of non-Ok runs are empty and the trailing `error` cell
+ * carries the first line of the failure message (commas replaced so the
+ * CSV stays parseable). Columns:
+ *
+ *   label,seed,status,attempts,ipc,cycles,instructions,
+ *   <one raw-AVF column per AvfReport::figureStructs()>,
+ *   <matching residual-AVF columns>,error
+ */
+std::string campaignCsv(const std::vector<Experiment> &exps,
+                        const CampaignReport &report);
+
+/**
  * Run a campaign that survives failing runs. Each run executes behind an
  * exception boundary (fatal/panic are redirected to exceptions for the
  * campaign's duration); a failure is retried, quarantined or timed out

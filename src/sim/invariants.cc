@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "avf/ledger.hh"
 #include "core/smt_core.hh"
 #include "sim/errors.hh"
 
@@ -291,6 +292,30 @@ checkLedger(const SmtCore &core, const AvfLedger &ledger, Cycle now)
                                     "only ", capacity,
                                     " existed (bits ", bits, " x ", now,
                                     " cycles)"));
+
+        // Protection partition: the covered and residual tallies are
+        // accumulated independently of the ACE total, so their sum
+        // conserving against it (per thread, hence in aggregate) is a
+        // real cross-check of the coverage math, not a tautology. An
+        // unprotected structure must show zero covered bit-cycles.
+        for (unsigned t = 0; t < ledger.numThreads(); ++t) {
+            auto tid = static_cast<ThreadId>(t);
+            std::uint64_t ace = ledger.aceBitCycles(s, tid);
+            std::uint64_t covered = ledger.coveredAceBitCycles(s, tid);
+            std::uint64_t residual = ledger.residualAceBitCycles(s, tid);
+            if (covered + residual != ace)
+                violated(core, now, "ledger.protection",
+                         detail::concat(hwStructName(s), " T", t,
+                                        ": covered ", covered,
+                                        " + residual ", residual,
+                                        " != ACE total ", ace));
+            if (ledger.protection().schemeFor(s) == ProtScheme::None &&
+                covered != 0)
+                violated(core, now, "ledger.protection",
+                         detail::concat(hwStructName(s), " T", t,
+                                        " is unprotected but shows ",
+                                        covered, " covered bit-cycles"));
+        }
     }
 }
 

@@ -181,6 +181,18 @@ experimentFingerprint(const Experiment &e)
     fpField(os, "avfSample", c.avfSampleCycles);
     fpField(os, "trace", c.recordCommitTrace ? 1 : 0);
 
+    // Protection changes residual AVF (part of the SimResult), so it is
+    // result-affecting. The scrub interval only matters when something is
+    // actually scrubbed, and is excluded otherwise so that retuning an
+    // unused knob does not orphan a journal.
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        fpField(os, hwStructKey(s),
+                protSchemeName(c.protection.schemeFor(s)));
+    }
+    if (c.protection.anyScrubbed())
+        fpField(os, "scrub", c.protection.scrubInterval);
+
     return fnv1a(os.str());
 }
 
@@ -190,7 +202,7 @@ serializeRun(std::uint64_t fingerprint, const SimResult &r)
     std::ostringstream os;
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016" PRIx64, fingerprint);
-    os << "run v1 fp=" << fp << " mix=" << r.mixName
+    os << "run v2 fp=" << fp << " mix=" << r.mixName
        << " policy=" << r.policyName << " cycles=" << r.cycles
        << " committed=" << r.totalCommitted << " ipc=" << hexDouble(r.ipc);
 
@@ -210,7 +222,7 @@ serializeRun(std::uint64_t fingerprint, const SimResult &r)
         if (i)
             os << ';';
         os << hexDouble(r.avf.avf(s)) << ':' << hexDouble(r.avf.occupancy(s))
-           << ':';
+           << ':' << hexDouble(r.avf.residualAvf(s)) << ':';
         for (unsigned t = 0; t < nt; ++t) {
             if (t)
                 os << ',';
@@ -233,7 +245,7 @@ bool
 parseRun(const std::string &line, std::uint64_t &fingerprint, SimResult &r)
 {
     auto tokens = split(line, ' ');
-    if (tokens.size() != 11 || tokens[0] != "run" || tokens[1] != "v1")
+    if (tokens.size() != 11 || tokens[0] != "run" || tokens[1] != "v2")
         return false;
 
     auto value_of = [&](std::size_t i, const char *key,
@@ -289,16 +301,19 @@ parseRun(const std::string &line, std::uint64_t &fingerprint, SimResult &r)
         return false;
     std::array<double, numHwStructs> avf_arr{};
     std::array<double, numHwStructs> occ_arr{};
+    std::array<double, numHwStructs> residual_arr{};
     std::array<std::array<double, maxContexts>, numHwStructs> thread_arr{};
     for (std::size_t i = 0; i < numHwStructs; ++i) {
         auto cols = split(rows[i], ':');
-        if (cols.size() != 3)
+        if (cols.size() != 4)
             return false;
         if (!parseDouble(cols[0], avf_arr[i]))
             return false;
         if (!parseDouble(cols[1], occ_arr[i]))
             return false;
-        auto per_thread = split(cols[2], ',');
+        if (!parseDouble(cols[2], residual_arr[i]))
+            return false;
+        auto per_thread = split(cols[3], ',');
         if (per_thread.size() != out.threads.size())
             return false;
         for (std::size_t t = 0; t < per_thread.size(); ++t)
@@ -307,7 +322,7 @@ parseRun(const std::string &line, std::uint64_t &fingerprint, SimResult &r)
     }
     out.avf = AvfReport::restore(
         static_cast<unsigned>(out.threads.size()), out.cycles, avf_arr,
-        occ_arr, thread_arr);
+        occ_arr, residual_arr, thread_arr);
 
     if (!stats.empty()) {
         for (const auto &entry : split(stats, ';')) {
@@ -335,7 +350,7 @@ RunJournal::RunJournal(std::string path) : path_(std::move(path))
     // self-describing without affecting the loader.
     long pos = std::ftell(file_);
     if (pos == 0)
-        std::fputs("# smtavf campaign journal v1\n", file_);
+        std::fputs("# smtavf campaign journal v2\n", file_);
 }
 
 RunJournal::~RunJournal()

@@ -15,11 +15,15 @@
  *
  * Format (docs/ROBUSTNESS.md): one text line per record,
  *
- *   run v1 fp=<hex16> mix=<name> policy=<name> cycles=<u64>
+ *   run v2 fp=<hex16> mix=<name> policy=<name> cycles=<u64>
  *   committed=<u64> ipc=<hexfloat> threads=<bench>,<u64>,<hexfloat>;...
- *   avf=<avf>:<occ>:<t0>,<t1>,...;...   stats=<name>=<hexfloat>;...
+ *   avf=<avf>:<occ>:<residual>:<t0>,<t1>,...;...
+ *   stats=<name>=<hexfloat>;...
  *
- * (single line, single spaces). Doubles are printed as C hexfloats
+ * (single line, single spaces). v2 added the per-structure residual AVF
+ * column and folded the protection assignment into the fingerprint; v1
+ * lines no longer parse, so pre-protection journals simply re-run on
+ * resume. Doubles are printed as C hexfloats
  * ("%a"), which round-trip exactly — the journal must not perturb a
  * single bit of a result. Lines that fail to parse (a crash can leave a
  * torn final line) are skipped on load; '#' lines are comments. Only

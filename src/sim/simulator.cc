@@ -16,6 +16,7 @@ Simulator::Simulator(const MachineConfig &cfg, const WorkloadMix &mix,
       itlbTracker_(hier_.itlb(), ledger_, HwStruct::Itlb)
 {
     cfg_.validate();
+    ledger_.setProtection(cfg_.protection);
     if (cfg_.avf.trackL2Avf)
         l2Tracker_ = std::make_unique<CacheVulnTracker>(
             hier_.l2(), ledger_, HwStruct::L2Data, HwStruct::L2Tag,
@@ -51,6 +52,7 @@ Simulator::Simulator(const MachineConfig &cfg,
       itlbTracker_(hier_.itlb(), ledger_, HwStruct::Itlb)
 {
     cfg_.validate();
+    ledger_.setProtection(cfg_.protection);
     if (cfg_.avf.trackL2Avf)
         l2Tracker_ = std::make_unique<CacheVulnTracker>(
             hier_.l2(), ledger_, HwStruct::L2Data, HwStruct::L2Tag,

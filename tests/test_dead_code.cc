@@ -207,5 +207,52 @@ TEST(DeadCodeWrongPath, WrongPathResolvesUnAceEvenIfLive)
     EXPECT_EQ(ledger.unAceBitCycles(HwStruct::ROB), 100u);
 }
 
+TEST_F(DeadCodeTest, DeadFractionIsZeroBeforeAnyResolution)
+{
+    EXPECT_EQ(analyzer.resolvedInstructions(), 0u);
+    EXPECT_DOUBLE_EQ(analyzer.deadFraction(), 0.0); // no divide-by-zero
+}
+
+TEST_F(DeadCodeTest, ResolveLiveForwardsAllPendingIntervals)
+{
+    auto a = makeInstr(0, 5);
+    attachInterval(a, 0, 10);
+    attachInterval(a, 20, 25); // a second residency (e.g. replay)
+    analyzer.resolveLive(a);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::ROB), 100u + 50u);
+    EXPECT_TRUE(a->pending.empty());
+}
+
+TEST_F(DeadCodeTest, DeadIntervalsNeverReachProtectionTallies)
+{
+    // A dead instruction's interval resolves un-ACE; protection must not
+    // count it as covered — only live ACE exposure can be covered.
+    ledger.setProtection(uniformProtection(ProtScheme::Secded));
+    auto a = makeInstr(0, 5);
+    attachInterval(a, 0, 10);
+    analyzer.onCommit(a);
+    auto b = makeInstr(0, 5); // kills a
+    EXPECT_TRUE(analyzer.onCommit(b));
+    EXPECT_EQ(ledger.coveredAceBitCycles(HwStruct::ROB), 0u);
+    EXPECT_EQ(ledger.residualAceBitCycles(HwStruct::ROB), 0u);
+    EXPECT_EQ(ledger.unAceBitCycles(HwStruct::ROB), 100u);
+}
+
+TEST_F(DeadCodeTest, LiveIntervalsSplitIntoCoveredPlusResidual)
+{
+    ledger.setProtection(uniformProtection(ProtScheme::Parity));
+    auto a = makeInstr(0, 5);
+    attachInterval(a, 0, 10);
+    analyzer.onCommit(a);
+    auto reader = makeInstr(0, 6, 5); // proves a live
+    analyzer.onCommit(reader);
+    EXPECT_EQ(ledger.aceBitCycles(HwStruct::ROB), 100u);
+    EXPECT_EQ(ledger.coveredAceBitCycles(HwStruct::ROB),
+              100u * parityCoverage256 / 256);
+    EXPECT_EQ(ledger.coveredAceBitCycles(HwStruct::ROB) +
+                  ledger.residualAceBitCycles(HwStruct::ROB),
+              ledger.aceBitCycles(HwStruct::ROB));
+}
+
 } // namespace
 } // namespace smtavf

@@ -140,5 +140,129 @@ TEST(LedgerTest, RawBitCycleAccessors)
     EXPECT_EQ(l.unAceBitCycles(HwStruct::FU), 128u * 2);
 }
 
+TEST(LedgerTest, ResidualEqualsRawWhenUnprotected)
+{
+    AvfLedger l(2);
+    l.setStructureBits(HwStruct::IQ, 1000);
+    l.addInterval(HwStruct::IQ, 0, 100, 10, 47, true);
+    l.addInterval(HwStruct::IQ, 1, 33, 5, 91, true);
+    l.finalize(100);
+    // Bit-exact, not approximate: same integer tallies, same division.
+    EXPECT_EQ(l.residualAvf(HwStruct::IQ), l.avf(HwStruct::IQ));
+    EXPECT_EQ(l.coveredAceBitCycles(HwStruct::IQ), 0u);
+    EXPECT_EQ(l.residualAceBitCycles(HwStruct::IQ),
+              l.aceBitCycles(HwStruct::IQ));
+}
+
+TEST(LedgerTest, SchemeOrderingOnIdenticalIntervals)
+{
+    // residual(SECDED) <= residual(parity) <= raw, bit-exactly, on the
+    // exact same residency pattern.
+    auto run = [](ProtScheme scheme) {
+        AvfLedger l(1);
+        l.setStructureBits(HwStruct::ROB, 2048);
+        l.setProtection(uniformProtection(scheme));
+        l.addInterval(HwStruct::ROB, 0, 76, 3, 1009, true);
+        l.addInterval(HwStruct::ROB, 0, 76, 1009, 1010, false);
+        l.addInterval(HwStruct::ROB, 0, 152, 500, 777, true);
+        l.finalize(2000);
+        return l.residualAvf(HwStruct::ROB);
+    };
+    double raw = run(ProtScheme::None);
+    double parity = run(ProtScheme::Parity);
+    double secded = run(ProtScheme::Secded);
+    EXPECT_LT(secded, parity);
+    EXPECT_LT(parity, raw);
+    EXPECT_GT(secded, 0.0); // 1/256 of exposure always leaks through
+}
+
+TEST(LedgerTest, CoveredPlusResidualConservesAce)
+{
+    AvfLedger l(2);
+    l.setStructureBits(HwStruct::LsqData, 4096);
+    ProtectionConfig p;
+    p.assign(HwStruct::LsqData, ProtScheme::Parity);
+    l.setProtection(p);
+    l.addInterval(HwStruct::LsqData, 0, 64, 0, 37, true);
+    l.addInterval(HwStruct::LsqData, 1, 64, 5, 90, true);
+    l.addInterval(HwStruct::LsqData, 1, 64, 90, 95, false);
+    for (ThreadId tid = 0; tid < 2; ++tid)
+        EXPECT_EQ(l.coveredAceBitCycles(HwStruct::LsqData, tid) +
+                      l.residualAceBitCycles(HwStruct::LsqData, tid),
+                  l.aceBitCycles(HwStruct::LsqData, tid));
+    EXPECT_EQ(l.coveredAceBitCycles(HwStruct::LsqData) +
+                  l.residualAceBitCycles(HwStruct::LsqData),
+              l.aceBitCycles(HwStruct::LsqData));
+}
+
+TEST(LedgerTest, ZeroOccupancyResidualIsZero)
+{
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    l.setProtection(uniformProtection(ProtScheme::Secded));
+    l.finalize(50);
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::IQ), 0.0);
+    EXPECT_DOUBLE_EQ(l.residualAvf(HwStruct::IQ), 0.0);
+    EXPECT_DOUBLE_EQ(l.occupancy(HwStruct::IQ), 0.0);
+}
+
+TEST(LedgerTest, FullOccupancySaturation)
+{
+    // Every bit ACE for the whole run: AVF saturates at exactly 1.0 and
+    // the SECDED residual is exactly the 1/256 leak-through, no rounding
+    // drift past either bound.
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::Dtlb, 256);
+    l.setProtection(uniformProtection(ProtScheme::Secded));
+    l.addInterval(HwStruct::Dtlb, 0, 256, 0, 1000, true);
+    l.finalize(1000);
+    EXPECT_DOUBLE_EQ(l.avf(HwStruct::Dtlb), 1.0);
+    EXPECT_DOUBLE_EQ(l.occupancy(HwStruct::Dtlb), 1.0);
+    std::uint64_t bc = 256u * 1000;
+    EXPECT_EQ(l.coveredAceBitCycles(HwStruct::Dtlb), bc * 255 / 256);
+    EXPECT_DOUBLE_EQ(l.residualAvf(HwStruct::Dtlb),
+                     static_cast<double>(bc - bc * 255 / 256) / bc);
+}
+
+TEST(LedgerTest, ScrubbingClipsLongResidencies)
+{
+    // A residency much longer than the scrub interval: scrubbing covers
+    // everything but the exposed tail, beating plain SECDED.
+    auto residual = [](ProtScheme scheme) {
+        AvfLedger l(1);
+        l.setStructureBits(HwStruct::Dl1Data, 8192);
+        l.setProtection(uniformProtection(scheme, /*scrub_interval=*/100));
+        l.addInterval(HwStruct::Dl1Data, 0, 512, 0, 10000, true);
+        l.finalize(10000);
+        return l.residualAceBitCycles(HwStruct::Dl1Data);
+    };
+    EXPECT_LT(residual(ProtScheme::SecdedScrub),
+              residual(ProtScheme::Secded));
+    // Exposed tail = 100 of 10000 cycles, SECDED-covered at 255/256.
+    std::uint64_t exposed = 512u * 100;
+    EXPECT_EQ(residual(ProtScheme::SecdedScrub),
+              exposed - exposed * 255 / 256);
+}
+
+TEST(LedgerTest, SetProtectionAfterIntervalIsFatal)
+{
+    ThrowGuard guard;
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    l.addInterval(HwStruct::IQ, 0, 10, 0, 5, true);
+    EXPECT_THROW(l.setProtection(uniformProtection(ProtScheme::Parity)),
+                 SimError);
+}
+
+TEST(LedgerTest, InvalidProtectionConfigIsFatal)
+{
+    ThrowGuard guard;
+    AvfLedger l(1);
+    l.setStructureBits(HwStruct::IQ, 100);
+    ProtectionConfig p = uniformProtection(ProtScheme::SecdedScrub);
+    p.scrubInterval = 0;
+    EXPECT_THROW(l.setProtection(p), SimError);
+}
+
 } // namespace
 } // namespace smtavf

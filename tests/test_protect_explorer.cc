@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Campaign-level tests for the protection explorer and the campaign CSV:
+ * exploration must be bit-identical for any worker count (the
+ * bench_fig9_protection determinism contract), the Pareto frontier must
+ * hold its guaranteed shape, a protection change must invalidate
+ * journaled results on resume, and campaignCsv() must emit full-arity
+ * rows for failed runs (the historical ragged-row bug).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "protect/explorer.hh"
+#include "sim/journal.hh"
+#include "test_util.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+constexpr std::uint64_t kBudget = 3000;
+
+ProtectionExplorer
+smallExplorer(unsigned max_depth = 3)
+{
+    const auto &mix = findMix("2ctx-mix-A");
+    return ProtectionExplorer(table1Config(mix.contexts), mix, kBudget,
+                              max_depth);
+}
+
+void
+expectSamePoint(const ProtectionPoint &a, const ProtectionPoint &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.protection.str(), b.protection.str());
+    EXPECT_EQ(a.rawSer, b.rawSer); // bit-exact, not approximate
+    EXPECT_EQ(a.residualSer, b.residualSer);
+    EXPECT_EQ(a.areaOverhead, b.areaOverhead);
+    EXPECT_EQ(a.energyOverhead, b.energyOverhead);
+    EXPECT_EQ(a.ipc, b.ipc);
+}
+
+TEST(Explorer, BitIdenticalAcrossWorkerCounts)
+{
+    auto explorer = smallExplorer();
+    CampaignRunner serial(1);
+    auto a = explorer.explore(serial);
+    CampaignRunner parallel(4);
+    auto b = explorer.explore(parallel);
+
+    ASSERT_EQ(a.priority, b.priority);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        SCOPED_TRACE(a.points[i].label);
+        expectSamePoint(a.points[i], b.points[i]);
+    }
+    EXPECT_EQ(a.frontier, b.frontier);
+    EXPECT_EQ(a.csv(), b.csv());
+}
+
+TEST(Explorer, FrontierShapeAndSerIdentities)
+{
+    auto explorer = smallExplorer();
+    CampaignRunner pool(2);
+    auto result = explorer.explore(pool);
+
+    // Baseline first, then 3 schemes x depth candidates.
+    ASSERT_FALSE(result.points.empty());
+    EXPECT_EQ(result.points[0].label, "none");
+    EXPECT_FALSE(result.points[0].protection.any());
+    ASSERT_GE(result.priority.size(), 3u);
+    EXPECT_EQ(result.points.size(), 1u + 3u * 3u);
+
+    std::size_t protected_on_frontier = 0;
+    for (auto i : result.frontier) {
+        ASSERT_LT(i, result.points.size());
+        if (result.points[i].protection.any())
+            ++protected_on_frontier;
+    }
+    // The guaranteed shape: the unprotected point is non-dominated (zero
+    // overhead) and at least three protected assignments survive.
+    EXPECT_NE(std::find(result.frontier.begin(), result.frontier.end(),
+                        std::size_t{0}),
+              result.frontier.end());
+    EXPECT_GE(protected_on_frontier, 3u);
+
+    for (const auto &p : result.points) {
+        SCOPED_TRACE(p.label);
+        // The overlay never perturbs timing: every candidate reruns the
+        // same workload, so raw SER and IPC match the baseline exactly.
+        EXPECT_EQ(p.rawSer, result.points[0].rawSer);
+        EXPECT_EQ(p.ipc, result.points[0].ipc);
+        EXPECT_LE(p.residualSer, p.rawSer);
+        if (!p.protection.any())
+            EXPECT_EQ(p.residualSer, p.rawSer);
+        else
+            EXPECT_LT(p.residualSer, p.rawSer);
+    }
+}
+
+TEST(Explorer, CandidatesCoverSchemesTimesDepth)
+{
+    std::vector<HwStruct> priority = {HwStruct::ROB, HwStruct::IQ,
+                                      HwStruct::LsqTag};
+    auto configs = ProtectionExplorer::candidates(priority, 500, 2);
+    ASSERT_EQ(configs.size(), 3u * 2u); // 3 schemes x depth 2
+    for (const auto &c : configs) {
+        EXPECT_TRUE(c.any());
+        EXPECT_EQ(c.scrubInterval, 500u);
+        // Depth-k candidates protect a prefix of the priority list.
+        EXPECT_NE(c.schemeFor(HwStruct::ROB), ProtScheme::None);
+        EXPECT_EQ(c.schemeFor(HwStruct::LsqTag), ProtScheme::None);
+    }
+    // Depth never exceeds the priority list.
+    EXPECT_EQ(ProtectionExplorer::candidates(priority, 500, 9).size(),
+              3u * 3u);
+}
+
+TEST(Explorer, ParetoFrontierFiltersDominatedPoints)
+{
+    auto point = [](double ser, double area, double energy, double ipc) {
+        ProtectionPoint p;
+        p.residualSer = ser;
+        p.areaOverhead = area;
+        p.energyOverhead = energy;
+        p.ipc = ipc;
+        return p;
+    };
+    std::vector<ProtectionPoint> pts = {
+        point(0.20, 0.00, 0.00, 1.0), // cheapest, worst SER: frontier
+        point(0.10, 0.05, 0.04, 1.0), // strictly between: frontier
+        point(0.10, 0.06, 0.05, 1.0), // dominated by [1]
+        point(0.05, 0.12, 0.10, 1.0), // best SER, priciest: frontier
+        point(0.20, 0.01, 0.01, 1.0), // dominated by [0]
+    };
+    auto frontier = ProtectionExplorer::paretoFrontier(pts);
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Explorer, ProtectionChangeInvalidatesJournaledRuns)
+{
+    auto path = ::testing::TempDir() + "protect-resume.journal";
+    std::remove(path.c_str());
+
+    std::vector<Experiment> exps;
+    for (const char *name : {"2ctx-cpu-A", "2ctx-mix-A"})
+        exps.push_back(makeExperiment(findMix(name),
+                                      FetchPolicyKind::Icount, kBudget));
+
+    CampaignRunner pool(2);
+    CampaignOptions opt;
+    opt.journalPath = path;
+    ASSERT_TRUE(runTolerant(pool, exps, opt).allOk());
+
+    // Re-key one experiment by protecting a structure; resume must
+    // replay only the untouched one and honestly re-run the other.
+    exps[1].cfg.protection.assign(HwStruct::IQ, ProtScheme::Secded);
+    CampaignOptions ropt;
+    ropt.journalPath = path;
+    ropt.resume = true;
+    auto resumed = runTolerant(pool, exps, ropt);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_TRUE(resumed.outcomes[0].fromJournal);
+    EXPECT_FALSE(resumed.outcomes[1].fromJournal);
+    EXPECT_GT(resumed.outcomes[1].result.avf.avf(HwStruct::IQ),
+              resumed.outcomes[1].result.avf.residualAvf(HwStruct::IQ));
+    std::remove(path.c_str());
+}
+
+// --- campaign CSV (the ragged-row regression) ---------------------------
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::size_t
+commas(const std::string &line)
+{
+    return static_cast<std::size_t>(
+        std::count(line.begin(), line.end(), ','));
+}
+
+TEST(CampaignCsv, EveryRowHasFullArity)
+{
+    std::vector<Experiment> exps;
+    for (const char *name : {"2ctx-cpu-A", "2ctx-mix-A", "2ctx-mem-A"})
+        exps.push_back(makeExperiment(findMix(name),
+                                      FetchPolicyKind::Icount, kBudget));
+
+    CampaignOptions opt;
+    opt.retries = 0;
+    opt.runFn = [](const Experiment &e, std::size_t i) -> SimResult {
+        if (i == 1)
+            throw std::runtime_error("exploded: stage 2, cause unknown");
+        return runExperiment(e);
+    };
+    CampaignRunner pool(1);
+    auto report = runTolerant(pool, exps, opt);
+    ASSERT_FALSE(report.allOk());
+
+    auto lines = splitLines(campaignCsv(exps, report));
+    ASSERT_EQ(lines.size(), 1u + exps.size());
+
+    // Header declares status, residual columns and the error cell.
+    EXPECT_NE(lines[0].find("label,seed,status,attempts"),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("residual_IQ"), std::string::npos);
+    EXPECT_NE(lines[0].find(",error"), std::string::npos);
+
+    // The bug this guards against: non-Ok rows used to stop after the
+    // attempts column. Every row must now match the header's arity.
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_EQ(commas(lines[i]), commas(lines[0])) << lines[i];
+
+    // The failed row carries its status and a comma-free error message.
+    EXPECT_NE(lines[2].find(",failed,"), std::string::npos);
+    EXPECT_NE(lines[2].find("exploded: stage 2; cause unknown"),
+              std::string::npos);
+    // Ok rows end with an empty error cell.
+    EXPECT_EQ(lines[1].back(), ',');
+}
+
+TEST(CampaignCsv, MismatchedSizesAreFatal)
+{
+    std::vector<Experiment> exps = {makeExperiment(
+        findMix("2ctx-cpu-A"), FetchPolicyKind::Icount, kBudget)};
+    CampaignReport empty;
+    ThrowGuard guard;
+    EXPECT_THROW(campaignCsv(exps, empty), SimError);
+}
+
+} // namespace
+} // namespace smtavf

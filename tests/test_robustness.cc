@@ -82,6 +82,8 @@ expectIdentical(const SimResult &a, const SimResult &b)
     for (std::size_t i = 0; i < numHwStructs; ++i) {
         auto s = static_cast<HwStruct>(i);
         EXPECT_EQ(a.avf.avf(s), b.avf.avf(s)) << hwStructName(s);
+        EXPECT_EQ(a.avf.residualAvf(s), b.avf.residualAvf(s))
+            << hwStructName(s);
         EXPECT_EQ(a.avf.occupancy(s), b.avf.occupancy(s)) << hwStructName(s);
         for (std::size_t t = 0; t < a.threads.size(); ++t) {
             auto tid = static_cast<ThreadId>(t);

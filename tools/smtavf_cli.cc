@@ -22,6 +22,14 @@
  *   smtavf_cli campaign --journal runs.journal --retries 2
  *   smtavf_cli campaign --journal runs.journal --resume
  *
+ * The `protect` subcommand attaches a protection assignment (parity,
+ * SECDED ECC, scrubbing; per structure) and reports residual AVF and
+ * the area/energy cost, or sweeps assignments for the Pareto frontier
+ * (docs/PROTECTION.md):
+ *   smtavf_cli protect --mix 4ctx-mix-A --scheme secded
+ *   smtavf_cli protect --assign iq=ecc,regfile=parity --csv
+ *   smtavf_cli protect --mix 4ctx-mem-A --explore --jobs 4
+ *
  * Exit codes: 0 success; 1 the simulation itself failed (livelock,
  * invariant violation); 2 bad usage or configuration; 3 a campaign
  * completed but some runs did not produce results. 130 on forced SIGINT.
@@ -42,6 +50,9 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "metrics/metrics.hh"
+#include "protect/cost.hh"
+#include "protect/explorer.hh"
+#include "protect/scheme.hh"
 #include "sim/campaign.hh"
 #include "sim/config.hh"
 #include "sim/errors.hh"
@@ -58,6 +69,7 @@ usage()
     std::puts(
         "usage: smtavf_cli [options]\n"
         "       smtavf_cli campaign [campaign options]\n"
+        "       smtavf_cli protect [protect options]\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
         "  --policy NAME         fetch policy: RR ICOUNT FLUSH STALL DG\n"
         "                        PDG DWarn PSTALL RAT (default ICOUNT)\n"
@@ -71,6 +83,7 @@ usage()
         "  --per-line-cache      per-line (not per-byte) DL1 tracking\n"
         "  --no-prewarm          skip cache/TLB pre-warming\n"
         "  --csv                 machine-readable per-structure output\n"
+        "  --json                full result as JSON on stdout\n"
         "  --timeline-csv        dump the AVF timeline as CSV\n"
         "  --table1              print the machine configuration and exit\n"
         "  --list                list mixes and policies and exit\n"
@@ -89,6 +102,24 @@ usage()
         "  --resume              replay journaled runs instead of re-running\n"
         "  --timeout SECONDS     stop dispatching new runs after this long\n"
         "  --csv                 per-run CSV summary instead of a table\n"
+        "\n"
+        "protect options (docs/PROTECTION.md):\n"
+        "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
+        "  --policy NAME         fetch policy (default ICOUNT)\n"
+        "  --instructions N      committed-instruction budget per run\n"
+        "  --seed N              simulation seed (default 1)\n"
+        "  --scheme NAME         uniform scheme for every structure:\n"
+        "                        none parity secded secded+scrub\n"
+        "  --assign LIST         per-structure schemes, e.g.\n"
+        "                        iq=secded,regfile=parity,rob=scrub\n"
+        "  --scrub-interval N    scrubbing period in cycles (default 10000)\n"
+        "  --explore             sweep scheme x top-k hotspot assignments\n"
+        "                        and print the Pareto frontier\n"
+        "  --depth N             explore at most the top-N hotspots "
+        "(default 4)\n"
+        "  --jobs N              worker threads for --explore\n"
+        "  --csv                 machine-readable output\n"
+        "  --json                full result as JSON (single run)\n"
         "\n"
         "exit codes: 0 ok, 1 simulation failure, 2 bad usage/config,\n"
         "            3 campaign completed with failed runs\n");
@@ -129,6 +160,89 @@ parseSeconds(const char *flag, const char *value)
     if (!end || end == value || *end != '\0' || !(v >= 0.0))
         die(std::string("bad duration for ") + flag + ": '" + value + "'");
     return v;
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Full single-run result as JSON: run summary, per-thread IPC, every
+ * tracked structure's raw/residual AVF with its protection scheme, and
+ * the auxiliary statistics. Structures that never held state are
+ * skipped, matching the CSV and table output.
+ */
+void
+printResultJson(const SimResult &r, const ProtectionConfig &prot)
+{
+    std::printf("{\n");
+    std::printf("  \"mix\": %s,\n", jsonStr(r.mixName).c_str());
+    std::printf("  \"policy\": %s,\n", jsonStr(r.policyName).c_str());
+    std::printf("  \"ipc\": %.6f,\n", r.ipc);
+    std::printf("  \"cycles\": %llu,\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("  \"instructions\": %llu,\n",
+                static_cast<unsigned long long>(r.totalCommitted));
+    std::printf("  \"protection\": %s,\n", jsonStr(prot.str()).c_str());
+
+    std::printf("  \"threads\": [");
+    for (std::size_t i = 0; i < r.threads.size(); ++i) {
+        const auto &t = r.threads[i];
+        std::printf("%s\n    {\"benchmark\": %s, \"ipc\": %.6f, "
+                    "\"committed\": %llu}",
+                    i ? "," : "", jsonStr(t.benchmark).c_str(), t.ipc,
+                    static_cast<unsigned long long>(t.committed));
+    }
+    std::printf("\n  ],\n");
+
+    std::printf("  \"structures\": [");
+    bool first = true;
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        if (r.avf.occupancy(s) == 0.0 && r.avf.avf(s) == 0.0)
+            continue;
+        std::printf("%s\n    {\"name\": %s, \"scheme\": %s, "
+                    "\"avf\": %.6f, \"residual_avf\": %.6f, "
+                    "\"occupancy\": %.6f, \"mitf\": %.4f, \"thread_avf\": [",
+                    first ? "" : ",", jsonStr(hwStructName(s)).c_str(),
+                    jsonStr(protSchemeName(prot.schemeFor(s))).c_str(),
+                    r.avf.avf(s), r.avf.residualAvf(s), r.avf.occupancy(s),
+                    r.mitf(s));
+        for (unsigned tid = 0; tid < r.avf.numThreads(); ++tid)
+            std::printf("%s%.6f", tid ? ", " : "",
+                        r.avf.threadAvf(s, static_cast<ThreadId>(tid)));
+        std::printf("]}");
+        first = false;
+    }
+    std::printf("\n  ],\n");
+
+    std::printf("  \"stats\": {");
+    first = true;
+    for (const auto &[name, value] : r.stats.all()) {
+        std::printf("%s\n    %s: %.6f", first ? "" : ",",
+                    jsonStr(name).c_str(), value);
+        first = false;
+    }
+    std::printf("\n  }\n}\n");
 }
 
 /**
@@ -281,27 +395,10 @@ campaignMain(int argc, char **argv)
     std::printf("campaign finished in %.2fs\n\n", dt.count());
 
     if (csv) {
-        std::fputs("label,seed,status,attempts,ipc,cycles,instructions",
-                   stdout);
-        for (auto s : AvfReport::figureStructs())
-            std::printf(",%s", hwStructName(s));
-        std::puts("");
-        for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
-            const RunOutcome &o = report.outcomes[i];
-            std::printf("%s,%llu,%s,%u", exps[i].label.c_str(),
-                        static_cast<unsigned long long>(exps[i].cfg.seed),
-                        runStatusName(o.status), o.attempts);
-            if (o.status == RunStatus::Ok) {
-                const auto &r = o.result;
-                std::printf(",%.6f,%llu,%llu", r.ipc,
-                            static_cast<unsigned long long>(r.cycles),
-                            static_cast<unsigned long long>(
-                                r.totalCommitted));
-                for (auto s : AvfReport::figureStructs())
-                    std::printf(",%.6f", r.avf.avf(s));
-            }
-            std::puts("");
-        }
+        // campaignCsv keeps every row at full arity: failed/timed-out/
+        // quarantined runs get empty metric cells plus the error column
+        // instead of a short (ragged) row.
+        std::fputs(campaignCsv(exps, report).c_str(), stdout);
     } else {
         std::vector<std::string> header = {"experiment", "IPC"};
         for (auto s : AvfReport::figureStructs())
@@ -339,6 +436,171 @@ campaignMain(int argc, char **argv)
 }
 
 int
+protectMain(int argc, char **argv)
+{
+    std::string mix_name = "4ctx-mix-A";
+    std::string policy_name = "ICOUNT";
+    std::uint64_t instructions = 0;
+    std::uint64_t seed = 1;
+    std::string scheme_name;
+    std::string assign_spec;
+    std::uint64_t scrub_interval = 10000;
+    bool explore = false;
+    unsigned depth = 4;
+    unsigned jobs = 0;
+    bool csv = false;
+    bool json = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--mix") {
+            const char *v = next();
+            if (!v)
+                die("--mix needs a value");
+            mix_name = v;
+        } else if (arg == "--policy") {
+            const char *v = next();
+            if (!v)
+                die("--policy needs a value");
+            policy_name = v;
+        } else if (arg == "--instructions") {
+            instructions = parseNum("--instructions", next());
+        } else if (arg == "--seed") {
+            seed = parseNum("--seed", next());
+        } else if (arg == "--scheme") {
+            const char *v = next();
+            if (!v)
+                die("--scheme needs a value");
+            scheme_name = v;
+        } else if (arg == "--assign") {
+            const char *v = next();
+            if (!v)
+                die("--assign needs a value");
+            if (!assign_spec.empty())
+                assign_spec += ',';
+            assign_spec += v;
+        } else if (arg == "--scrub-interval") {
+            scrub_interval = parseNum("--scrub-interval", next());
+        } else if (arg == "--explore") {
+            explore = true;
+        } else if (arg == "--depth") {
+            depth = static_cast<unsigned>(parseNum("--depth", next()));
+            if (depth == 0)
+                die("--depth must be positive");
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(parseNum("--jobs", next()));
+            if (jobs == 0)
+                die("--jobs must be positive");
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            usage();
+            die("unknown protect option: " + arg);
+        }
+    }
+    if (explore && (!scheme_name.empty() || !assign_spec.empty()))
+        die("--explore sweeps assignments itself; drop --scheme/--assign");
+
+    FetchPolicyKind policy;
+    if (!parseFetchPolicy(policy_name, policy))
+        die("unknown policy: " + policy_name + " (try --list)");
+
+    const auto &mix = findMix(mix_name);
+    auto cfg = table1Config(mix.contexts);
+    cfg.fetchPolicy = policy;
+    cfg.seed = seed;
+
+    ProtectionConfig prot;
+    prot.scrubInterval = scrub_interval;
+    if (!scheme_name.empty()) {
+        ProtScheme s;
+        if (!parseProtScheme(scheme_name, s))
+            die("unknown scheme: " + scheme_name +
+                " (none parity secded secded+scrub)");
+        prot = uniformProtection(s, scrub_interval);
+    }
+    if (!assign_spec.empty()) {
+        std::string err;
+        if (!parseAssignment(assign_spec, prot, err))
+            die("bad --assign: " + err);
+    }
+    cfg.protection = prot;
+    if (auto msg = cfg.validateMsg(); !msg.empty())
+        die("invalid configuration: " + msg);
+
+    if (explore) {
+        ProtectionExplorer explorer(cfg, mix, instructions, depth);
+        CampaignRunner pool(jobs);
+        auto result = explorer.explore(pool);
+        if (csv) {
+            std::fputs(result.csv().c_str(), stdout);
+        } else {
+            std::fputs("hotspot priority (raw AVF, descending):", stdout);
+            for (auto s : result.priority)
+                std::printf(" %s", hwStructName(s));
+            std::printf("\n\n%zu assignments evaluated, %zu on the Pareto "
+                        "frontier:\n",
+                        result.points.size(), result.frontier.size());
+            std::fputs(result.table().c_str(), stdout);
+        }
+        return 0;
+    }
+
+    auto r = runMix(cfg, mix, instructions);
+    const auto bits = structureBitCapacities(cfg);
+    auto cost = protectionCost(cfg);
+
+    if (json) {
+        printResultJson(r, prot);
+        return 0;
+    }
+    if (csv) {
+        std::puts("structure,scheme,avf,residual_avf,occupancy,mitf");
+        for (std::size_t i = 0; i < numHwStructs; ++i) {
+            auto s = static_cast<HwStruct>(i);
+            if (r.avf.occupancy(s) == 0.0 && r.avf.avf(s) == 0.0)
+                continue;
+            std::printf("%s,%s,%.6f,%.6f,%.6f,%.4f\n", hwStructName(s),
+                        protSchemeName(prot.schemeFor(s)), r.avf.avf(s),
+                        r.avf.residualAvf(s), r.avf.occupancy(s), r.mitf(s));
+        }
+        return 0;
+    }
+
+    std::printf("%s under %s with %s: IPC %.3f over %llu cycles\n",
+                r.mixName.c_str(), r.policyName.c_str(), prot.str().c_str(),
+                r.ipc, static_cast<unsigned long long>(r.cycles));
+    TextTable t({"structure", "scheme", "AVF", "residual", "occupancy"});
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        if (r.avf.occupancy(s) == 0.0 && r.avf.avf(s) == 0.0)
+            continue;
+        t.addRow({hwStructName(s), protSchemeName(prot.schemeFor(s)),
+                  TextTable::pct(r.avf.avf(s), 2),
+                  TextTable::pct(r.avf.residualAvf(s), 2),
+                  TextTable::pct(r.avf.occupancy(s), 2)});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    std::printf("\nprotected %llu of %llu tracked bits\n"
+                "area overhead   %5.2f%%\n"
+                "energy overhead %5.2f%%\n"
+                "SER proxy       %.4f raw -> %.4f residual\n",
+                static_cast<unsigned long long>(cost.protectedBits),
+                static_cast<unsigned long long>(cost.totalBits),
+                100 * cost.areaOverhead, 100 * cost.energyOverhead,
+                serProxy(r.avf, bits, false), serProxy(r.avf, bits, true));
+    return 0;
+}
+
+int
 singleMain(int argc, char **argv)
 {
     std::string mix_name = "4ctx-mix-A";
@@ -349,6 +611,7 @@ singleMain(int argc, char **argv)
     std::uint64_t sample = 0;
     bool iq_partition = false;
     bool csv = false;
+    bool json = false;
     bool timeline_csv = false;
     AvfOptions avf;
     bool prewarm = true;
@@ -405,6 +668,8 @@ singleMain(int argc, char **argv)
             prewarm = false;
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--timeline-csv") {
             timeline_csv = true;
         } else {
@@ -450,7 +715,9 @@ singleMain(int argc, char **argv)
 
     auto r = runMix(cfg, mix, instructions);
 
-    if (csv) {
+    if (json) {
+        printResultJson(r, cfg.protection);
+    } else if (csv) {
         std::puts("structure,avf,occupancy,mitf");
         for (std::size_t i = 0; i < numHwStructs; ++i) {
             auto s = static_cast<HwStruct>(i);
@@ -503,6 +770,8 @@ main(int argc, char **argv)
     try {
         if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
             return campaignMain(argc, argv);
+        if (argc > 1 && std::strcmp(argv[1], "protect") == 0)
+            return protectMain(argc, argv);
         return singleMain(argc, argv);
     } catch (const LivelockError &e) {
         std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
