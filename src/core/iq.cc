@@ -10,6 +10,7 @@ IssueQueue::IssueQueue(std::uint32_t capacity)
 {
     if (capacity == 0)
         SMTAVF_FATAL("IQ capacity must be positive");
+    entries_.reserve(capacity);
 }
 
 void
@@ -34,6 +35,22 @@ IssueQueue::remove(const InstPtr &in)
         }
     }
     SMTAVF_PANIC("removing an instruction not in the IQ");
+}
+
+void
+IssueQueue::removeIssued()
+{
+    auto out = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if ((*it)->issued) {
+            (*it)->inIq = false;
+        } else {
+            if (out != it)
+                *out = std::move(*it);
+            ++out;
+        }
+    }
+    entries_.erase(out, entries_.end());
 }
 
 void

@@ -13,7 +13,7 @@
 #ifndef SMTAVF_CORE_IQ_HH
 #define SMTAVF_CORE_IQ_HH
 
-#include <list>
+#include <vector>
 
 #include "base/types.hh"
 #include "isa/instr.hh"
@@ -41,6 +41,15 @@ class IssueQueue
     /** Remove an issued instruction. */
     void remove(const InstPtr &in);
 
+    /**
+     * Remove every entry whose issued flag is set, in one stable
+     * compaction pass. Entries leave the queue the cycle they issue, so
+     * the flagged entries are exactly the ones the select stage just
+     * picked — this replaces K O(n) shifting erases with one O(n) sweep
+     * on the hottest per-cycle path.
+     */
+    void removeIssued();
+
     /** Remove every entry of @p tid with seq > @p seq (squash). */
     void removeSquashed(ThreadId tid, SeqNum seq);
 
@@ -52,7 +61,14 @@ class IssueQueue
 
   private:
     std::uint32_t capacity_;
-    std::list<InstPtr> entries_;
+    /**
+     * Flat age-ordered storage (oldest at index 0). Entries are inserted
+     * at the tail in global dispatch order and removed by a shifting
+     * erase, which keeps iteration identical to the former
+     * std::list-based queue while staying in one contiguous, reserved
+     * allocation for the life of the core.
+     */
+    std::vector<InstPtr> entries_;
 };
 
 } // namespace smtavf

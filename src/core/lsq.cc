@@ -6,7 +6,7 @@ namespace smtavf
 {
 
 Lsq::Lsq(std::uint32_t capacity)
-    : capacity_(capacity)
+    : capacity_(capacity), entries_(capacity)
 {
     if (capacity == 0)
         SMTAVF_FATAL("LSQ capacity must be positive");
@@ -35,39 +35,6 @@ Lsq::squashAfter(SeqNum seq)
 {
     while (!entries_.empty() && entries_.back()->seq > seq)
         entries_.pop_back();
-}
-
-bool
-Lsq::overlaps(const DynInstr &a, const DynInstr &b)
-{
-    Addr a_end = a.memAddr + a.memSize;
-    Addr b_end = b.memAddr + b.memSize;
-    return a.memAddr < b_end && b.memAddr < a_end;
-}
-
-bool
-Lsq::loadMayIssue(const InstPtr &load) const
-{
-    for (const auto &e : entries_) {
-        if (e->seq >= load->seq)
-            break;
-        if (e->op == OpClass::Store && !e->issued)
-            return false;
-    }
-    return true;
-}
-
-bool
-Lsq::canForward(const InstPtr &load) const
-{
-    bool forward = false;
-    for (const auto &e : entries_) {
-        if (e->seq >= load->seq)
-            break;
-        if (e->op == OpClass::Store && e->issued && overlaps(*e, *load))
-            forward = true; // youngest older overlapping store wins
-    }
-    return forward;
 }
 
 } // namespace smtavf

@@ -9,8 +9,7 @@
 #ifndef SMTAVF_CORE_LSQ_HH
 #define SMTAVF_CORE_LSQ_HH
 
-#include <deque>
-
+#include "base/ring_buffer.hh"
 #include "base/types.hh"
 #include "isa/instr.hh"
 
@@ -38,25 +37,54 @@ class Lsq
 
     /**
      * Disambiguation test: true when every store older than @p load has
-     * issued (addresses and data known).
+     * issued (addresses and data known). Inline: probed once per pending
+     * load per cycle by the issue stage.
      */
-    bool loadMayIssue(const InstPtr &load) const;
+    bool
+    loadMayIssue(const InstPtr &load) const
+    {
+        for (const auto &e : entries_) {
+            if (e->seq >= load->seq)
+                break;
+            if (e->op == OpClass::Store && !e->issued)
+                return false;
+        }
+        return true;
+    }
 
     /**
      * Forwarding test: true when the youngest older store overlapping the
      * load's bytes can supply the data directly (no cache access needed).
      */
-    bool canForward(const InstPtr &load) const;
+    bool
+    canForward(const InstPtr &load) const
+    {
+        bool forward = false;
+        for (const auto &e : entries_) {
+            if (e->seq >= load->seq)
+                break;
+            if (e->op == OpClass::Store && e->issued && overlaps(*e, *load))
+                forward = true; // youngest older overlapping store wins
+        }
+        return forward;
+    }
 
     /** Iterate oldest to youngest (invariant checker, diagnostics). */
     auto begin() const { return entries_.begin(); }
     auto end() const { return entries_.end(); }
 
   private:
-    static bool overlaps(const DynInstr &a, const DynInstr &b);
+    static bool
+    overlaps(const DynInstr &a, const DynInstr &b)
+    {
+        Addr a_end = a.memAddr + a.memSize;
+        Addr b_end = b.memAddr + b.memSize;
+        return a.memAddr < b_end && b.memAddr < a_end;
+    }
 
     std::uint32_t capacity_;
-    std::deque<InstPtr> entries_;
+    /** Ring sized to capacity up front: no allocation after construction. */
+    RingBuffer<InstPtr> entries_;
 };
 
 } // namespace smtavf

@@ -60,14 +60,6 @@ PhysRegFile::markWritten(RegIndex phys, Cycle now)
     r.lastRead = now;
 }
 
-bool
-PhysRegFile::isReady(RegIndex phys) const
-{
-    if (phys == invalidReg)
-        return true;
-    return regs_.at(phys).written;
-}
-
 void
 PhysRegFile::noteRead(RegIndex phys, Cycle read_cycle)
 {

@@ -58,8 +58,16 @@ class PhysRegFile
     /** Value written at writeback: becomes ready for consumers. */
     void markWritten(RegIndex phys, Cycle now);
 
-    /** True once the value has been written (wakeup test). */
-    bool isReady(RegIndex phys) const;
+    /**
+     * True once the value has been written (wakeup test). Inline: the
+     * issue stage probes every IQ entry's sources every cycle, making
+     * this the single hottest call in the simulator.
+     */
+    bool
+    isReady(RegIndex phys) const
+    {
+        return phys == invalidReg || regs_[phys].written;
+    }
 
     /** A committed consumer read the value (read time = its issue). */
     void noteRead(RegIndex phys, Cycle read_cycle);

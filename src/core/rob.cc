@@ -6,7 +6,7 @@ namespace smtavf
 {
 
 Rob::Rob(std::uint32_t capacity)
-    : capacity_(capacity)
+    : capacity_(capacity), entries_(capacity)
 {
     if (capacity == 0)
         SMTAVF_FATAL("ROB capacity must be positive");

@@ -8,8 +8,7 @@
 #ifndef SMTAVF_CORE_ROB_HH
 #define SMTAVF_CORE_ROB_HH
 
-#include <deque>
-
+#include "base/ring_buffer.hh"
 #include "base/types.hh"
 #include "isa/instr.hh"
 
@@ -57,7 +56,8 @@ class Rob
 
   private:
     std::uint32_t capacity_;
-    std::deque<InstPtr> entries_;
+    /** Ring sized to capacity up front: no allocation after construction. */
+    RingBuffer<InstPtr> entries_;
 };
 
 } // namespace smtavf

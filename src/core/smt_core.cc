@@ -37,6 +37,17 @@ SmtCore::SmtCore(const MachineConfig &cfg,
 
     policy_ = makeFetchPolicy(cfg_.fetchPolicy, *this);
 
+    // Size the completion wheel past the worst-case completion delta:
+    // DTLB walk + DL1 + L2 + DRAM for loads, plus FU latency headroom.
+    // Anything beyond the horizon still works via the overflow map.
+    Cycle span = cfg_.mem.dtlb.missPenalty + cfg_.mem.dl1.latency +
+                 cfg_.mem.l2.latency + cfg_.mem.memLatency + 64;
+    Cycle size = 64;
+    while (size < span && size < 4096)
+        size *= 2;
+    wheel_.resize(size);
+    wheelMask_ = size - 1;
+
     ledger_.setStructureBits(HwStruct::IQ,
                              std::uint64_t{cfg_.iqSize} * bits::iqEntry);
     ledger_.setStructureBits(
@@ -152,21 +163,47 @@ SmtCore::scheduleCompletion(const InstPtr &in, Cycle when)
 {
     if (when <= now_)
         SMTAVF_PANIC("completion scheduled in the past");
-    completions_[when].push_back(in);
+    // A delta of exactly the wheel size is safe: that bucket was drained
+    // and cleared earlier this cycle (processCompletions runs before any
+    // scheduling stage) and will next be visited exactly at `when`.
+    if (when - now_ <= wheel_.size())
+        wheel_[when & wheelMask_].append(in);
+    else
+        overflow_[when].append(in);
+}
+
+void
+SmtCore::drainCompletions(CompletionList &list)
+{
+    InstPtr cur = std::move(list.head);
+    list.tail = nullptr;
+    while (cur) {
+        // Unchain before completing: the link must not outlive the
+        // bucket, and a branch completion may squash chained successors
+        // (they stay chained; the squashed check below skips them).
+        InstPtr next = std::move(cur->completionNext);
+        if (!cur->squashed)
+            complete(cur);
+        cur = std::move(next);
+    }
 }
 
 void
 SmtCore::processCompletions()
 {
-    while (!completions_.empty() && completions_.begin()->first <= now_) {
-        auto batch = std::move(completions_.begin()->second);
-        completions_.erase(completions_.begin());
-        for (const auto &in : batch) {
-            if (in->squashed)
-                continue;
-            complete(in);
-        }
+    // Overflow events for this cycle were scheduled strictly earlier than
+    // any wheel event for the same cycle (their delta exceeded the wheel
+    // horizon), so draining them first reproduces the exact batch order of
+    // the former std::map-based schedule.
+    while (!overflow_.empty() && overflow_.begin()->first <= now_) {
+        CompletionList batch = std::move(overflow_.begin()->second);
+        overflow_.erase(overflow_.begin());
+        drainCompletions(batch);
     }
+
+    // complete() never schedules for the current cycle, so the chain
+    // cannot grow mid-drain.
+    drainCompletions(wheel_[now_ & wheelMask_]);
 }
 
 void
@@ -316,33 +353,43 @@ SmtCore::issueStage()
 {
     unsigned issued = 0;
     unsigned mem_ports_used = 0;
-    std::vector<InstPtr> to_remove;
+    issueScratch_.clear();
     for (const auto &in : iq_) {
         if (issued >= cfg_.issueWidth)
             break;
         if (in->dispatchCycle >= now_)
             continue; // dispatched this very cycle
+        // Wakeup prefilter, duplicating tryIssue's first tests: most
+        // entries wait on operands most cycles, and skipping them here
+        // keeps the common case free of the full issue-test call.
+        if (!regfile_.isReady(in->srcPhys1))
+            continue;
+        if (in->op != OpClass::Store && !regfile_.isReady(in->srcPhys2))
+            continue;
         if (tryIssue(in, mem_ports_used)) {
-            to_remove.push_back(in);
+            issueScratch_.push_back(in);
             ++issued;
         }
     }
-    for (const auto &in : to_remove) {
-        iq_.remove(in);
+    for (const auto &in : issueScratch_) {
         auto &th = *threads_[in->tid];
         --th.iqCount;
         if (in->wrongPath)
             --th.wrongPathFrontIq;
     }
+    if (!issueScratch_.empty())
+        iq_.removeIssued();
+    issueScratch_.clear();
 
     // Deliver policy notifications now that the IQ scan is over (FLUSH may
-    // squash, which mutates the IQ).
-    auto notices = std::move(pendingNotices_);
-    pendingNotices_.clear();
-    for (const auto &n : notices) {
+    // squash, which mutates the IQ). Swapped into the scratch buffer so
+    // both vectors keep their capacity across ticks.
+    std::swap(pendingNotices_, noticesScratch_);
+    for (const auto &n : noticesScratch_) {
         if (!n.load->squashed)
             policy_->onLoadIssued(n.load, n.l1Miss, n.l2Miss);
     }
+    noticesScratch_.clear();
 }
 
 void
@@ -397,7 +444,7 @@ SmtCore::dispatchStage()
 void
 SmtCore::fetchStage()
 {
-    auto order = policy_->fetchOrder(now_);
+    const auto &order = policy_->fetchOrder(now_);
     unsigned threads_fetched = 0;
     unsigned remaining = cfg_.fetchWidth;
     for (ThreadId tid : order) {
@@ -424,11 +471,10 @@ SmtCore::fetchThread(ThreadId tid, unsigned budget)
         if (th.wrongPathMode) {
             if (!cfg_.avf.wrongPathModel)
                 break; // ablation: front end idles out mispredictions
-            in = std::make_shared<DynInstr>(
-                th.gen->makeWrongPath(th.wrongPathPc));
+            in = instrPool_.create(th.gen->makeWrongPath(th.wrongPathPc));
             th.wrongPathPc = th.gen->clampToCode(th.wrongPathPc + 4);
         } else {
-            in = std::make_shared<DynInstr>(th.gen->at(th.fetchStreamIdx));
+            in = instrPool_.create(th.gen->at(th.fetchStreamIdx));
         }
 
         if (fetched == 0) {

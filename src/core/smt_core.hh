@@ -21,7 +21,6 @@
 #ifndef SMTAVF_CORE_SMT_CORE_HH
 #define SMTAVF_CORE_SMT_CORE_HH
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -37,6 +36,8 @@
 #include "core/regfile.hh"
 #include "core/rename.hh"
 #include "core/rob.hh"
+#include "base/ring_buffer.hh"
+#include "isa/instr_pool.hh"
 #include "mem/hierarchy.hh"
 #include "policy/fetch_policy.hh"
 #include "workload/generator.hh"
@@ -127,6 +128,9 @@ class SmtCore : public PolicyContext
     /** Append committing instructions to @p trace (nullptr disables). */
     void recordCommits(CommitTrace *trace) { commitTrace_ = trace; }
 
+    /** The DynInstr recycling pool (allocation-accounting tests). */
+    const InstrPool &instrPool() const { return instrPool_; }
+
     // ---- PolicyContext -------------------------------------------------
     unsigned numThreads() const override;
     unsigned inFlightCount(ThreadId tid) const override;
@@ -149,7 +153,7 @@ class SmtCore : public PolicyContext
         ThreadContext(const MachineConfig &cfg, StreamGenerator *g);
 
         StreamGenerator *gen;
-        std::deque<FrontEntry> frontQueue;
+        RingBuffer<FrontEntry> frontQueue;
         std::uint64_t fetchStreamIdx = 0;
         bool wrongPathMode = false;
         Addr wrongPathPc = 0;
@@ -200,6 +204,9 @@ class SmtCore : public PolicyContext
     AvfLedger &ledger_;
     DeadCodeAnalyzer analyzer_;
 
+    /** Recycles DynInstr storage across fetches (see isa/instr_pool.hh). */
+    InstrPool instrPool_;
+
     PhysRegFile regfile_;
     IssueQueue iq_;
     FuPool fuPool_;
@@ -211,7 +218,48 @@ class SmtCore : public PolicyContext
     unsigned commitRR_ = 0;
     unsigned dispatchRR_ = 0;
 
-    std::map<Cycle, std::vector<InstPtr>> completions_;
+    /**
+     * One completion cycle's events, FIFO-chained intrusively through
+     * DynInstr::completionNext: append is O(1) via the tail pointer and
+     * the chain borrows the instructions' own storage, so scheduling
+     * allocates nothing no matter how many events pile onto one cycle.
+     * The chain's shared_ptr links keep every scheduled instruction
+     * alive until its bucket drains, exactly as the former per-bucket
+     * vector did.
+     */
+    struct CompletionList
+    {
+        InstPtr head;             ///< oldest-scheduled event
+        DynInstr *tail = nullptr; ///< append point; null iff head empty
+
+        void
+        append(const InstPtr &in)
+        {
+            if (tail)
+                tail->completionNext = in;
+            else
+                head = in;
+            tail = in.get();
+        }
+    };
+
+    /** Complete (in schedule order) and unchain every event of @p list. */
+    void drainCompletions(CompletionList &list);
+
+    /**
+     * Completion calendar wheel: bucket `c & wheelMask_` holds the
+     * instructions finishing at cycle c. Sized past the worst-case
+     * FU + TLB + cache + memory latency, so in practice every event lands
+     * in a bucket; anything scheduled further out than the wheel horizon
+     * parks in `overflow_` and is drained (first, preserving schedule
+     * order) when its cycle arrives. Together with the intrusive
+     * CompletionList this makes steady-state wakeup scheduling
+     * allocation-free — unlike the std::map<Cycle, vector> it replaces,
+     * which paid a node allocation per distinct completion cycle.
+     */
+    std::vector<CompletionList> wheel_;
+    Cycle wheelMask_ = 0;
+    std::map<Cycle, CompletionList> overflow_;
 
     /** Deferred policy notifications (no IQ mutation mid-issue-scan). */
     struct LoadNotice
@@ -221,6 +269,10 @@ class SmtCore : public PolicyContext
         bool l2Miss;
     };
     std::vector<LoadNotice> pendingNotices_;
+    /** Double buffer for pendingNotices_ delivery (reused every tick). */
+    std::vector<LoadNotice> noticesScratch_;
+    /** Issued-this-cycle scratch for issueStage (reused every tick). */
+    std::vector<InstPtr> issueScratch_;
 
     std::uint64_t wrongPathFetched_ = 0;
     std::uint64_t squashedInstrs_ = 0;

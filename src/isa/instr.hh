@@ -13,9 +13,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "avf/structures.hh"
+#include "base/small_vec.hh"
 #include "base/types.hh"
 
 namespace smtavf
@@ -153,8 +153,21 @@ struct DynInstr
     /** L2 outcome of this memory access (set at execute). */
     bool l2Miss = false;
 
-    /** Residency intervals awaiting dead-code resolution. */
-    std::vector<PendingInterval> pending;
+    /**
+     * Residency intervals awaiting dead-code resolution. An instruction
+     * accrues at most five intervals (IQ and FU at issue; ROB, LSQ tag and
+     * LSQ data at commit or squash), so the inline capacity of six keeps
+     * the list inside the record and off the heap.
+     */
+    SmallVec<PendingInterval, 6> pending;
+
+    /**
+     * Intrusive FIFO link of the core's completion wheel: the next
+     * instruction scheduled to finish in the same cycle. Owned by the
+     * scheduling core; always null outside a scheduled window (the wheel
+     * clears it as it drains).
+     */
+    std::shared_ptr<DynInstr> completionNext;
 
     /** True for instructions that write a non-zero architectural register. */
     bool

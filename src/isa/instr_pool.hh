@@ -1,0 +1,56 @@
+/**
+ * @file
+ * InstrPool: recycling allocator for in-flight dynamic instructions.
+ *
+ * Every dynamic instruction used to cost one global-heap round trip
+ * (std::make_shared at fetch, free at last release). The pool routes the
+ * combined object+control-block node through a per-core SlabPool instead,
+ * so a committed or squashed instruction's slot is reused by a later fetch
+ * without touching the global allocator.
+ *
+ * Correctness notes:
+ *  - create() copy-constructs the full DynInstr from the generator's
+ *    template record, so every field of a recycled slot is overwritten —
+ *    no state can leak from the previous occupant.
+ *  - std::allocate_shared stores a copy of the PoolAlloc (and with it a
+ *    shared_ptr to the SlabPool) in each control block, so instructions
+ *    that outlive the core — e.g. those retained by a CommitTrace — keep
+ *    the backing slabs alive until the last InstPtr drops.
+ */
+
+#ifndef SMTAVF_ISA_INSTR_POOL_HH
+#define SMTAVF_ISA_INSTR_POOL_HH
+
+#include <memory>
+#include <utility>
+
+#include "base/pool_alloc.hh"
+#include "isa/instr.hh"
+
+namespace smtavf
+{
+
+/** Per-core factory recycling DynInstr storage through a SlabPool. */
+class InstrPool
+{
+  public:
+    InstrPool() : pool_(std::make_shared<SlabPool>()) {}
+
+    /** Materialise a pooled copy of @p proto. */
+    InstPtr
+    create(const DynInstr &proto)
+    {
+        return std::allocate_shared<DynInstr>(PoolAlloc<DynInstr>(pool_),
+                                              proto);
+    }
+
+    /** Backing pool, exposed for allocation-accounting tests. */
+    const std::shared_ptr<SlabPool> &slabPool() const { return pool_; }
+
+  private:
+    std::shared_ptr<SlabPool> pool_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_ISA_INSTR_POOL_HH

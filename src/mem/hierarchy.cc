@@ -9,8 +9,17 @@ namespace smtavf
 
 MemHierarchy::MemHierarchy(const MemConfig &cfg)
     : cfg_(cfg), il1_(cfg.il1), dl1_(cfg.dl1), l2_(cfg.l2),
-      itlb_(cfg.itlb), dtlb_(cfg.dtlb)
+      itlb_(cfg.itlb), dtlb_(cfg.dtlb),
+      mshrPool_(std::make_shared<SlabPool>()),
+      il1Mshrs_(PoolAlloc<std::pair<const Addr, Mshr>>(mshrPool_)),
+      dl1Mshrs_(PoolAlloc<std::pair<const Addr, Mshr>>(mshrPool_)),
+      l2Mshrs_(PoolAlloc<std::pair<const Addr, Mshr>>(mshrPool_))
 {
+    // NOTE: do not reserve() these maps. drainMshrs replays fills in map
+    // iteration order, which depends on the bucket count — changing it
+    // reorders same-cycle ledger writes and perturbs the floating-point
+    // AVF sums. Outstanding misses stay far below the default bucket
+    // count anyway, so the maps never rehash in steady state.
 }
 
 Cycle

@@ -12,9 +12,11 @@
 #define SMTAVF_MEM_HIERARCHY_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
-#include <vector>
 
+#include "base/pool_alloc.hh"
+#include "base/small_vec.hh"
 #include "base/types.hh"
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
@@ -97,10 +99,21 @@ class MemHierarchy
         Cycle ready = 0;
         bool l2Miss = false;
         ThreadId tid = invalidThread;
-        std::vector<PendingOp> ops;
+        /** Merged accesses to the in-flight line; inline for short bursts. */
+        SmallVec<PendingOp, 8> ops;
     };
 
-    using MshrMap = std::unordered_map<Addr, Mshr>;
+    /**
+     * MSHR table with pooled hash nodes: every miss used to allocate (and
+     * every fill free) one map node on the global heap; the SlabPool
+     * recycles them instead. In libstdc++ the iteration order of an
+     * unordered_map depends only on hashes and insertion sequence — never
+     * on the allocator — so drain order, and with it every cache-fill
+     * timestamp the AVF observers see, is unchanged.
+     */
+    using MshrMap =
+        std::unordered_map<Addr, Mshr, std::hash<Addr>, std::equal_to<Addr>,
+                           PoolAlloc<std::pair<const Addr, Mshr>>>;
 
     /**
      * Common L1 access path: try @p l1; on miss, merge into or allocate an
@@ -120,6 +133,9 @@ class MemHierarchy
     Cache l2_;
     Tlb itlb_;
     Tlb dtlb_;
+
+    /** Backing storage for the three MSHR maps' nodes (declared first). */
+    std::shared_ptr<SlabPool> mshrPool_;
 
     MshrMap il1Mshrs_;
     MshrMap dl1Mshrs_;

@@ -8,18 +8,18 @@ DgPolicy::DgPolicy(PolicyContext &ctx, unsigned threshold)
 {
 }
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 DgPolicy::fetchOrder(Cycle now)
 {
     (void)now;
-    auto order = icountOrder();
-    std::vector<ThreadId> allowed;
+    const auto &order = icountOrder();
+    order_.clear();
     for (ThreadId tid : order)
         if (ctx_.outstandingL1D(tid) < threshold_)
-            allowed.push_back(tid);
-    if (allowed.empty())
+            order_.push_back(tid);
+    if (order_.empty())
         return order; // keep the pipeline fed
-    return allowed;
+    return order_;
 }
 
 } // namespace smtavf

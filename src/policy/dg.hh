@@ -22,7 +22,7 @@ class DgPolicy : public FetchPolicy
     DgPolicy(PolicyContext &ctx, unsigned threshold = 2);
 
     const char *name() const override { return "DG"; }
-    std::vector<ThreadId> fetchOrder(Cycle now) override;
+    const std::vector<ThreadId> &fetchOrder(Cycle now) override;
 
     unsigned threshold() const { return threshold_; }
 

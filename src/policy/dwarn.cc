@@ -3,21 +3,21 @@
 namespace smtavf
 {
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 DWarnPolicy::fetchOrder(Cycle now)
 {
     (void)now;
-    auto order = icountOrder();
-    std::vector<ThreadId> clean;
-    std::vector<ThreadId> warned;
+    const auto &order = icountOrder();
+    order_.clear();
+    warned_.clear();
     for (ThreadId tid : order) {
         if (ctx_.outstandingL1D(tid) == 0 && ctx_.outstandingL2D(tid) == 0)
-            clean.push_back(tid);
+            order_.push_back(tid);
         else
-            warned.push_back(tid);
+            warned_.push_back(tid);
     }
-    clean.insert(clean.end(), warned.begin(), warned.end());
-    return clean;
+    order_.insert(order_.end(), warned_.begin(), warned_.end());
+    return order_;
 }
 
 } // namespace smtavf

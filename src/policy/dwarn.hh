@@ -20,7 +20,11 @@ class DWarnPolicy : public FetchPolicy
   public:
     using FetchPolicy::FetchPolicy;
     const char *name() const override { return "DWarn"; }
-    std::vector<ThreadId> fetchOrder(Cycle now) override;
+    const std::vector<ThreadId> &fetchOrder(Cycle now) override;
+
+  private:
+    /** Scratch for the deprioritized (missing) group (reused per cycle). */
+    std::vector<ThreadId> warned_;
 };
 
 } // namespace smtavf

@@ -66,18 +66,18 @@ parseFetchPolicy(const std::string &name, FetchPolicyKind &out)
     return false;
 }
 
-std::vector<ThreadId>
-FetchPolicy::icountOrder() const
+const std::vector<ThreadId> &
+FetchPolicy::icountOrder()
 {
     unsigned n = ctx_.numThreads();
-    std::vector<ThreadId> order(n);
-    for (unsigned i = 0; i < n; ++i)
-        order[i] = static_cast<ThreadId>(i);
-    std::stable_sort(order.begin(), order.end(),
-                     [this](ThreadId a, ThreadId b) {
-                         return ctx_.inFlightCount(a) < ctx_.inFlightCount(b);
-                     });
-    return order;
+    rank_.resize(n);
+    keys_.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        rank_[i] = static_cast<ThreadId>(i);
+        keys_[i] = ctx_.inFlightCount(static_cast<ThreadId>(i));
+    }
+    stableSortByKey(rank_, keys_);
+    return rank_;
 }
 
 std::unique_ptr<FetchPolicy>

@@ -116,9 +116,12 @@ class FetchPolicy
 
     /**
      * Threads allowed to fetch this cycle, highest priority first.
-     * Gated threads are omitted.
+     * Gated threads are omitted. The returned reference points into
+     * policy-owned scratch storage and is valid until the next
+     * fetchOrder call — callers must not hold it across cycles. (The
+     * by-reference contract keeps the once-per-cycle call allocation-free.)
      */
-    virtual std::vector<ThreadId> fetchOrder(Cycle now) = 0;
+    virtual const std::vector<ThreadId> &fetchOrder(Cycle now) = 0;
 
     /** A load executed; @p l1_miss / @p l2_miss classify its outcome. */
     virtual void
@@ -138,10 +141,46 @@ class FetchPolicy
     virtual void onFetch(const InstPtr &in) { (void)in; }
 
   protected:
-    /** Threads sorted by ascending in-flight count (ICOUNT order). */
-    std::vector<ThreadId> icountOrder() const;
+    /**
+     * Threads sorted by ascending in-flight count (ICOUNT order). Fills
+     * and returns rank_; like fetchOrder, valid until the next call.
+     */
+    const std::vector<ThreadId> &icountOrder();
+
+    /**
+     * Stable ascending sort of @p ids by keys[id] — insertion sort, which
+     * is both the fastest choice for the <= 8 threads a core runs and
+     * allocation-free (std::stable_sort grabs a temporary buffer from the
+     * heap on every call, which the steady-state tick loop must not do).
+     * Equal keys keep their relative order, matching std::stable_sort
+     * exactly.
+     */
+    static void
+    stableSortByKey(std::vector<ThreadId> &ids,
+                    const std::vector<unsigned> &keys)
+    {
+        for (std::size_t i = 1; i < ids.size(); ++i) {
+            ThreadId t = ids[i];
+            unsigned k = keys[t];
+            std::size_t j = i;
+            for (; j > 0 && keys[ids[j - 1]] > k; --j)
+                ids[j] = ids[j - 1];
+            ids[j] = t;
+        }
+    }
 
     PolicyContext &ctx_;
+    /** Scratch for the full priority ranking (reused every cycle). */
+    std::vector<ThreadId> rank_;
+    /** Scratch for the filtered (gate-applied) order (reused every cycle). */
+    std::vector<ThreadId> order_;
+    /**
+     * Scratch for per-thread sort keys: sampling the occupancy metric once
+     * per thread keeps the (virtual) PolicyContext probes out of the sort
+     * comparator. The metric cannot change mid-sort, so the ordering is
+     * identical to querying inside the comparator.
+     */
+    std::vector<unsigned> keys_;
 };
 
 /** Factory covering every FetchPolicyKind. */

@@ -8,15 +8,15 @@ FlushPolicy::FlushPolicy(PolicyContext &ctx)
 {
 }
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 FlushPolicy::fetchOrder(Cycle now)
 {
     (void)now;
-    std::vector<ThreadId> allowed;
+    order_.clear();
     for (ThreadId tid : icountOrder())
         if (!gates_[tid].active)
-            allowed.push_back(tid);
-    return allowed;
+            order_.push_back(tid);
+    return order_;
 }
 
 void

@@ -24,7 +24,7 @@ class FlushPolicy : public FetchPolicy
     explicit FlushPolicy(PolicyContext &ctx);
 
     const char *name() const override { return "FLUSH"; }
-    std::vector<ThreadId> fetchOrder(Cycle now) override;
+    const std::vector<ThreadId> &fetchOrder(Cycle now) override;
     void onLoadIssued(const InstPtr &load, bool l1_miss,
                       bool l2_miss) override;
     void onLoadDone(const InstPtr &load, bool l1_miss,

@@ -3,7 +3,7 @@
 namespace smtavf
 {
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 IcountPolicy::fetchOrder(Cycle now)
 {
     (void)now;

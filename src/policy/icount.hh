@@ -18,7 +18,7 @@ class IcountPolicy : public FetchPolicy
   public:
     using FetchPolicy::FetchPolicy;
     const char *name() const override { return "ICOUNT"; }
-    std::vector<ThreadId> fetchOrder(Cycle now) override;
+    const std::vector<ThreadId> &fetchOrder(Cycle now) override;
 };
 
 } // namespace smtavf

@@ -21,20 +21,20 @@ PdgPolicy::tableIndex(Addr pc) const
            (static_cast<std::uint32_t>(table_.size()) - 1);
 }
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 PdgPolicy::fetchOrder(Cycle now)
 {
     (void)now;
-    auto order = icountOrder();
-    std::vector<ThreadId> allowed;
+    const auto &order = icountOrder();
+    order_.clear();
     for (ThreadId tid : order) {
         unsigned pressure = predicted_[tid] + ctx_.outstandingL1D(tid);
         if (pressure < threshold_)
-            allowed.push_back(tid);
+            order_.push_back(tid);
     }
-    if (allowed.empty())
+    if (order_.empty())
         return order;
-    return allowed;
+    return order_;
 }
 
 void

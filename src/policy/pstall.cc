@@ -19,22 +19,22 @@ PStallPolicy::tableIndex(Addr pc) const
            (static_cast<std::uint32_t>(table_.size()) - 1);
 }
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 PStallPolicy::fetchOrder(Cycle now)
 {
     (void)now;
-    auto order = icountOrder();
-    std::vector<ThreadId> allowed;
+    const auto &order = icountOrder();
+    order_.clear();
     for (ThreadId tid : order) {
         if (gates_[tid].active)
             continue; // predicted miss in flight
         if (ctx_.outstandingL2D(tid) > 0)
             continue; // actual miss outstanding (STALL behaviour)
-        allowed.push_back(tid);
+        order_.push_back(tid);
     }
-    if (allowed.empty())
+    if (order_.empty())
         return order; // keep at least one thread fetching
-    return allowed;
+    return order_;
 }
 
 void

@@ -30,7 +30,7 @@ class PStallPolicy : public FetchPolicy
                           std::uint32_t table_entries = 1024);
 
     const char *name() const override { return "PSTALL"; }
-    std::vector<ThreadId> fetchOrder(Cycle now) override;
+    const std::vector<ThreadId> &fetchOrder(Cycle now) override;
     void onFetch(const InstPtr &in) override;
     void onLoadIssued(const InstPtr &load, bool l1_miss,
                       bool l2_miss) override;

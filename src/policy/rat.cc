@@ -15,27 +15,26 @@ RatPolicy::RatPolicy(PolicyContext &ctx, unsigned ace_cap)
     }
 }
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 RatPolicy::fetchOrder(Cycle now)
 {
     (void)now;
     unsigned n = ctx_.numThreads();
-    std::vector<ThreadId> order(n);
-    for (unsigned i = 0; i < n; ++i)
-        order[i] = static_cast<ThreadId>(i);
-    std::stable_sort(order.begin(), order.end(),
-                     [this](ThreadId a, ThreadId b) {
-                         return ctx_.inFlightCorrectPath(a) <
-                                ctx_.inFlightCorrectPath(b);
-                     });
+    rank_.resize(n);
+    keys_.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        rank_[i] = static_cast<ThreadId>(i);
+        keys_[i] = ctx_.inFlightCorrectPath(static_cast<ThreadId>(i));
+    }
+    stableSortByKey(rank_, keys_);
 
-    std::vector<ThreadId> allowed;
-    for (ThreadId tid : order)
-        if (ctx_.inFlightCorrectPath(tid) < aceCap_)
-            allowed.push_back(tid);
-    if (allowed.empty())
-        return order; // never silence the whole front end
-    return allowed;
+    order_.clear();
+    for (ThreadId tid : rank_)
+        if (keys_[tid] < aceCap_)
+            order_.push_back(tid);
+    if (order_.empty())
+        return rank_; // never silence the whole front end
+    return order_;
 }
 
 } // namespace smtavf

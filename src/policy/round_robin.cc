@@ -3,14 +3,14 @@
 namespace smtavf
 {
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 RoundRobinPolicy::fetchOrder(Cycle now)
 {
     unsigned n = ctx_.numThreads();
-    std::vector<ThreadId> order(n);
+    order_.resize(n);
     for (unsigned i = 0; i < n; ++i)
-        order[i] = static_cast<ThreadId>((now + i) % n);
-    return order;
+        order_[i] = static_cast<ThreadId>((now + i) % n);
+    return order_;
 }
 
 } // namespace smtavf

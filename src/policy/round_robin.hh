@@ -18,7 +18,7 @@ class RoundRobinPolicy : public FetchPolicy
   public:
     using FetchPolicy::FetchPolicy;
     const char *name() const override { return "RR"; }
-    std::vector<ThreadId> fetchOrder(Cycle now) override;
+    const std::vector<ThreadId> &fetchOrder(Cycle now) override;
 };
 
 } // namespace smtavf

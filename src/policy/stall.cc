@@ -3,18 +3,18 @@
 namespace smtavf
 {
 
-std::vector<ThreadId>
+const std::vector<ThreadId> &
 StallPolicy::fetchOrder(Cycle now)
 {
     (void)now;
-    auto order = icountOrder();
-    std::vector<ThreadId> allowed;
+    const auto &order = icountOrder();
+    order_.clear();
     for (ThreadId tid : order)
         if (ctx_.outstandingL2D(tid) == 0)
-            allowed.push_back(tid);
-    if (allowed.empty())
+            order_.push_back(tid);
+    if (order_.empty())
         return order; // keep at least one thread fetching
-    return allowed;
+    return order_;
 }
 
 } // namespace smtavf

@@ -20,7 +20,7 @@ class StallPolicy : public FetchPolicy
   public:
     using FetchPolicy::FetchPolicy;
     const char *name() const override { return "STALL"; }
-    std::vector<ThreadId> fetchOrder(Cycle now) override;
+    const std::vector<ThreadId> &fetchOrder(Cycle now) override;
 };
 
 } // namespace smtavf

@@ -41,6 +41,21 @@ deriveSeeds(std::vector<Experiment> &exps, std::uint64_t master)
         exps[i].cfg.seed = splitSeed(master, i);
 }
 
+std::vector<Experiment>
+shardExperiments(const std::vector<Experiment> &exps, unsigned shard,
+                 unsigned nshards)
+{
+    if (nshards == 0)
+        SMTAVF_FATAL("shard count must be positive");
+    if (shard >= nshards)
+        SMTAVF_FATAL("shard index ", shard, " out of range for ", nshards,
+                     " shards");
+    std::vector<Experiment> out;
+    for (std::size_t i = shard; i < exps.size(); i += nshards)
+        out.push_back(exps[i]);
+    return out;
+}
+
 /**
  * One in-flight forEach() call. All fields are guarded by the pool
  * mutex; fn runs unlocked. The batch lives on the submitting thread's

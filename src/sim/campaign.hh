@@ -60,6 +60,18 @@ SimResult runExperiment(const Experiment &e);
  */
 void deriveSeeds(std::vector<Experiment> &exps, std::uint64_t master);
 
+/**
+ * Deterministic shard partition: keep every experiment whose index in
+ * @p exps satisfies i % nshards == shard (round-robin striping, so each
+ * shard gets a balanced slice of any systematic mix/policy ordering).
+ * Apply AFTER deriveSeeds: seeds derive from the position in the full
+ * list, so shard runs stay bit-identical to the same runs unsharded —
+ * which is what makes shard journals mergeable. Fatal when nshards == 0
+ * or shard >= nshards.
+ */
+std::vector<Experiment> shardExperiments(const std::vector<Experiment> &exps,
+                                         unsigned shard, unsigned nshards);
+
 struct RunOutcome;
 
 /** Per-run completion notice delivered to the progress callback. */

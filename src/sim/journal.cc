@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -393,6 +394,42 @@ loadJournal(const std::string &path, std::size_t *skipped)
     if (skipped)
         *skipped = bad;
     return out;
+}
+
+std::size_t
+mergeJournals(const std::vector<std::string> &inputs,
+              const std::string &out_path)
+{
+    // Keep the raw line per fingerprint: records round-trip exactly
+    // (hexfloat doubles), so re-serializing would be pointless risk. The
+    // ordered map gives byte-deterministic output independent of shard
+    // completion order.
+    std::map<std::uint64_t, std::string> records;
+    for (const auto &path : inputs) {
+        std::ifstream in(path);
+        if (!in)
+            SMTAVF_FATAL("cannot read journal ", path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            std::uint64_t fp = 0;
+            SimResult r;
+            if (!parseRun(line, fp, r))
+                continue; // torn final line from a crash, or hand edits
+            records.emplace(fp, line); // first occurrence wins
+        }
+    }
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out)
+        SMTAVF_FATAL("cannot write journal ", out_path);
+    for (const auto &[fp, line] : records)
+        out << line << '\n';
+    out.flush();
+    if (!out)
+        SMTAVF_FATAL("failed writing journal ", out_path);
+    return records.size();
 }
 
 } // namespace smtavf

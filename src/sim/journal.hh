@@ -38,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "metrics/metrics.hh"
 #include "sim/campaign.hh"
@@ -92,6 +93,19 @@ class RunJournal
  */
 std::unordered_map<std::uint64_t, SimResult>
 loadJournal(const std::string &path, std::size_t *skipped = nullptr);
+
+/**
+ * Merge shard journals (see shardExperiments) into one file. Records are
+ * deduplicated by fingerprint — the determinism contract guarantees
+ * duplicate fingerprints carry identical results, so the first occurrence
+ * wins — and written sorted by fingerprint, making the merged file
+ * byte-deterministic regardless of shard completion order. Malformed
+ * lines are skipped like loadJournal does. Returns the number of unique
+ * records written; fatal when an input does not exist or the output
+ * cannot be written.
+ */
+std::size_t mergeJournals(const std::vector<std::string> &inputs,
+                          const std::string &out_path);
 
 } // namespace smtavf
 

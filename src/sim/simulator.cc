@@ -150,13 +150,19 @@ Simulator::run(std::uint64_t instr_budget)
         core_->recordCommits(trace.get());
     }
 
+    // Cycle of the most recent invariant sweep; 0 = never checked (there
+    // is nothing in flight at cycle 0, so it needs no sweep).
+    Cycle last_checked = 0;
+
     while (core_->totalCommitted() < instr_budget) {
         core_->tick();
         if (timeline)
             timeline->tick(core_->now());
         if (cfg_.invariantCheckCycles > 0 &&
-            core_->now() % cfg_.invariantCheckCycles == 0)
+            core_->now() % cfg_.invariantCheckCycles == 0) {
             checkInvariants(*core_, ledger_, core_->now());
+            last_checked = core_->now();
+        }
         if (core_->totalCommitted() != last_committed) {
             last_committed = core_->totalCommitted();
             last_progress = core_->now();
@@ -173,8 +179,9 @@ Simulator::run(std::uint64_t instr_budget)
         }
     }
 
-    // Final consistency gate before any AVF number leaves this run.
-    if (cfg_.invariantCheckCycles > 0)
+    // Final consistency gate before any AVF number leaves this run —
+    // skipped when the last loop iteration already swept this very cycle.
+    if (cfg_.invariantCheckCycles > 0 && core_->now() != last_checked)
         checkInvariants(*core_, ledger_, core_->now());
 
     Cycle end = core_->now();

@@ -78,6 +78,11 @@ StreamGenerator::StreamGenerator(const BenchmarkProfile &profile,
 
     pc_ = threadOffset_ + codeBase;
 
+    // The call stack is capped at 24 entries (see the Call emission in
+    // generateOne); reserving the cap keeps its rare late growth out of
+    // the steady-state tick loop's allocation-free window.
+    callStack_.reserve(24);
+
     std::uint32_t chains = profile_.parallelChains;
     intChains_.resize(chains);
     fpChains_.resize(chains);

@@ -17,9 +17,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "base/ring_buffer.hh"
 #include "base/rng.hh"
 #include "base/types.hh"
 #include "isa/instr.hh"
@@ -123,7 +123,8 @@ class StreamGenerator
     Rng rng_;
     Rng wrongRng_;
 
-    std::deque<DynInstr> buffer_;
+    /** Uncommitted window; ring reuse keeps generation allocation-free. */
+    RingBuffer<DynInstr> buffer_;
     std::uint64_t base_ = 0; ///< stream index of buffer_.front()
 
     // cumulative op-class distribution, aligned with opOrder_

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the allocation-free hot-path containers: SmallVec
+ * (inline small-buffer vector) and RingBuffer (flat circular deque).
+ * Both replace node-allocating standard containers on the simulator's
+ * per-cycle path, so their contracts — iteration order above all, since
+ * issue arbitration and AVF residency intervals depend on it — are
+ * pinned here independent of any simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "base/ring_buffer.hh"
+#include "base/small_vec.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+// ---- SmallVec ----------------------------------------------------------
+
+TEST(SmallVec, StaysInlineUpToCapacity)
+{
+    SmallVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_TRUE(v.inlined());
+    EXPECT_EQ(v.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, SpillsToHeapPreservingContents)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 9; ++i)
+        v.push_back(i * 10);
+    EXPECT_FALSE(v.inlined());
+    EXPECT_EQ(v.size(), 9u);
+    int expect = 0;
+    for (int x : v) {
+        EXPECT_EQ(x, expect);
+        expect += 10;
+    }
+    EXPECT_EQ(v.back(), 80);
+}
+
+TEST(SmallVec, ClearKeepsCapacity)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 8; ++i)
+        v.push_back(i);
+    auto cap = v.capacity();
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), cap);
+    v.push_back(42);
+    EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVec, CopyAndMoveRoundTrip)
+{
+    SmallVec<int, 2> small;
+    small.push_back(1);
+    SmallVec<int, 2> big;
+    for (int i = 0; i < 6; ++i)
+        big.push_back(i);
+
+    SmallVec<int, 2> small_copy(small);
+    EXPECT_EQ(small_copy.size(), 1u);
+    EXPECT_EQ(small_copy[0], 1);
+
+    SmallVec<int, 2> big_copy;
+    big_copy = big;
+    EXPECT_EQ(big_copy.size(), 6u);
+    EXPECT_EQ(big_copy[5], 5);
+
+    SmallVec<int, 2> moved(std::move(big));
+    EXPECT_EQ(moved.size(), 6u);
+    EXPECT_EQ(moved[3], 3);
+    EXPECT_TRUE(big.empty()); // NOLINT: moved-from contract is "empty"
+
+    SmallVec<int, 2> move_assigned;
+    move_assigned.push_back(9);
+    move_assigned = std::move(small_copy);
+    EXPECT_EQ(move_assigned.size(), 1u);
+    EXPECT_EQ(move_assigned[0], 1);
+}
+
+TEST(SmallVec, SelfAssignmentIsANoOp)
+{
+    SmallVec<int, 2> v;
+    v.push_back(7);
+    v.push_back(8);
+    auto &alias = v;
+    v = alias;
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 7);
+    EXPECT_EQ(v[1], 8);
+}
+
+// ---- RingBuffer --------------------------------------------------------
+
+TEST(RingBuffer, FifoOrderSurvivesWrapAround)
+{
+    RingBuffer<int> rb(4);
+    // Slide a window of 3 through 50 pushes: head wraps many times.
+    int next_pop = 0;
+    for (int i = 0; i < 50; ++i) {
+        rb.push_back(i);
+        if (rb.size() > 3) {
+            EXPECT_EQ(rb.front(), next_pop);
+            rb.pop_front();
+            ++next_pop;
+        }
+    }
+    // Remaining elements iterate oldest to youngest.
+    std::vector<int> seen(rb.begin(), rb.end());
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 47);
+    EXPECT_EQ(seen[2], 49);
+}
+
+TEST(RingBuffer, GrowsByDoublingAndPreservesOrder)
+{
+    RingBuffer<int> rb(2);
+    // Force a wrapped layout before growth.
+    rb.push_back(0);
+    rb.push_back(1);
+    rb.pop_front();
+    rb.push_back(2); // physically wraps
+    for (int i = 3; i < 20; ++i)
+        rb.push_back(i); // several growth steps from a wrapped state
+    ASSERT_EQ(rb.size(), 19u);
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb[i], static_cast<int>(i) + 1);
+    EXPECT_GE(rb.capacity(), rb.size());
+}
+
+TEST(RingBuffer, PopBackWalksTheTail)
+{
+    RingBuffer<int> rb(8);
+    for (int i = 0; i < 5; ++i)
+        rb.push_back(i);
+    rb.pop_back();
+    rb.pop_back();
+    ASSERT_EQ(rb.size(), 3u);
+    EXPECT_EQ(rb.back(), 2);
+    rb.push_back(77);
+    EXPECT_EQ(rb.back(), 77);
+    EXPECT_EQ(rb.front(), 0);
+}
+
+TEST(RingBuffer, ClearRetainsCapacityAndResetsSlots)
+{
+    RingBuffer<std::vector<int>> rb(2);
+    rb.push_back(std::vector<int>(100, 1));
+    rb.push_back(std::vector<int>(100, 2));
+    rb.push_back(std::vector<int>(100, 3)); // grows
+    auto cap = rb.capacity();
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), cap);
+    rb.push_back(std::vector<int>{5});
+    ASSERT_EQ(rb.size(), 1u);
+    EXPECT_EQ(rb.front().at(0), 5);
+}
+
+TEST(RingBuffer, PopFrontReleasesOwnedResources)
+{
+    auto counter = std::make_shared<int>(0);
+    RingBuffer<std::shared_ptr<int>> rb(4);
+    rb.push_back(counter);
+    EXPECT_EQ(counter.use_count(), 2);
+    rb.pop_front();
+    // The vacated slot must not keep the payload alive.
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(RingBuffer, IteratorMatchesIndexing)
+{
+    RingBuffer<int> rb(3);
+    for (int i = 0; i < 7; ++i) {
+        rb.push_back(i);
+        if (rb.size() > 2)
+            rb.pop_front();
+    }
+    std::size_t i = 0;
+    for (auto it = rb.begin(); it != rb.end(); ++it, ++i)
+        EXPECT_EQ(*it, rb[i]);
+    EXPECT_EQ(i, rb.size());
+}
+
+} // namespace
+} // namespace smtavf

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Sharded campaigns and journal merging. A campaign split with --shard
+ * I/N across N hosts must execute exactly the runs the unsharded
+ * campaign would (same seeds, same results), and merge-journals must
+ * reassemble the shard journals into a byte-deterministic file
+ * equivalent to the journal of the unsharded run. These tests prove
+ * both properties differentially.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "sim/journal.hh"
+#include "test_util.hh"
+#include "workload/mixes.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+constexpr std::uint64_t kBudget = 4000;
+
+std::vector<Experiment>
+smallCampaign()
+{
+    const char *names[] = {"2ctx-cpu-A", "2ctx-mix-A", "2ctx-mem-A",
+                           "2ctx-cpu-B", "2ctx-mix-B"};
+    std::vector<Experiment> exps;
+    for (const char *name : names)
+        exps.push_back(makeExperiment(findMix(name), FetchPolicyKind::Icount,
+                                      kBudget));
+    deriveSeeds(exps, 97);
+    return exps;
+}
+
+/** Non-comment lines of a journal, sorted for order-independent compare. */
+std::vector<std::string>
+sortedRecords(const std::string &path)
+{
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty() && line[0] != '#')
+            lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+TEST(ShardExperiments, PartitionIsCompleteDisjointAndSeedPreserving)
+{
+    auto exps = smallCampaign();
+    const unsigned nshards = 3;
+
+    std::vector<Experiment> reunion;
+    std::size_t total = 0;
+    for (unsigned s = 0; s < nshards; ++s) {
+        auto shard = shardExperiments(exps, s, nshards);
+        total += shard.size();
+        for (const auto &e : shard)
+            reunion.push_back(e);
+    }
+    ASSERT_EQ(total, exps.size());
+
+    // Every experiment appears in exactly one shard, with the seed it got
+    // from its position in the FULL list — the property that makes shard
+    // results identical to the unsharded campaign's.
+    for (const auto &orig : exps) {
+        auto hit = std::count_if(reunion.begin(), reunion.end(),
+                                 [&](const Experiment &e) {
+                                     return e.label == orig.label;
+                                 });
+        ASSERT_EQ(hit, 1) << orig.label;
+        auto it = std::find_if(reunion.begin(), reunion.end(),
+                               [&](const Experiment &e) {
+                                   return e.label == orig.label;
+                               });
+        EXPECT_EQ(it->cfg.seed, orig.cfg.seed) << orig.label;
+    }
+
+    // Round-robin striping: shard s holds indices s, s+N, ...
+    auto shard1 = shardExperiments(exps, 1, nshards);
+    ASSERT_EQ(shard1.size(), 2u);
+    EXPECT_EQ(shard1[0].label, exps[1].label);
+    EXPECT_EQ(shard1[1].label, exps[4].label);
+}
+
+TEST(ShardExperiments, SingleShardIsIdentity)
+{
+    auto exps = smallCampaign();
+    auto only = shardExperiments(exps, 0, 1);
+    ASSERT_EQ(only.size(), exps.size());
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        EXPECT_EQ(only[i].label, exps[i].label);
+        EXPECT_EQ(only[i].cfg.seed, exps[i].cfg.seed);
+    }
+}
+
+TEST(ShardExperiments, RejectsBadArguments)
+{
+    ThrowGuard guard;
+    auto exps = smallCampaign();
+    EXPECT_THROW(shardExperiments(exps, 0, 0), SimError);
+    EXPECT_THROW(shardExperiments(exps, 3, 3), SimError);
+    EXPECT_THROW(shardExperiments(exps, 7, 3), SimError);
+}
+
+/**
+ * The acceptance property: N shard campaigns, journaled separately and
+ * merged, produce a record set identical to the unsharded campaign's
+ * journal — so a fleet of machines can split a sweep and hand back one
+ * resumable file.
+ */
+TEST(ShardMerge, MergedShardJournalsEqualUnshardedJournal)
+{
+    auto exps = smallCampaign();
+    CampaignRunner pool(2);
+
+    auto full_path = ::testing::TempDir() + "shard-full.journal";
+    std::remove(full_path.c_str());
+    CampaignOptions fopt;
+    fopt.journalPath = full_path;
+    ASSERT_TRUE(runTolerant(pool, exps, fopt).allOk());
+
+    const unsigned nshards = 2;
+    std::vector<std::string> shard_paths;
+    for (unsigned s = 0; s < nshards; ++s) {
+        auto path = ::testing::TempDir() + "shard-" + std::to_string(s) +
+                    ".journal";
+        std::remove(path.c_str());
+        CampaignOptions sopt;
+        sopt.journalPath = path;
+        auto shard = shardExperiments(exps, s, nshards);
+        ASSERT_TRUE(runTolerant(pool, shard, sopt).allOk());
+        shard_paths.push_back(path);
+    }
+
+    auto merged_path = ::testing::TempDir() + "shard-merged.journal";
+    std::remove(merged_path.c_str());
+    std::size_t unique = mergeJournals(shard_paths, merged_path);
+    EXPECT_EQ(unique, exps.size());
+
+    // Same record set, byte for byte (hexfloats round-trip exactly).
+    EXPECT_EQ(sortedRecords(merged_path), sortedRecords(full_path));
+
+    // And the merged journal resumes the full campaign without re-running
+    // a single simulation.
+    CampaignOptions ropt;
+    ropt.journalPath = merged_path;
+    ropt.resume = true;
+    auto resumed = runTolerant(pool, exps, ropt);
+    ASSERT_TRUE(resumed.allOk());
+    for (const auto &o : resumed.outcomes)
+        EXPECT_TRUE(o.fromJournal) << o.label;
+}
+
+TEST(ShardMerge, MergeIsIdempotentAndDeduplicates)
+{
+    auto exps = smallCampaign();
+    exps.resize(2);
+    CampaignRunner pool(2);
+
+    auto path = ::testing::TempDir() + "dedupe-src.journal";
+    std::remove(path.c_str());
+    CampaignOptions opt;
+    opt.journalPath = path;
+    ASSERT_TRUE(runTolerant(pool, exps, opt).allOk());
+
+    auto once = ::testing::TempDir() + "dedupe-once.journal";
+    auto twice = ::testing::TempDir() + "dedupe-twice.journal";
+    EXPECT_EQ(mergeJournals({path}, once), 2u);
+    // Feeding the same journal twice must change nothing: records dedupe
+    // by fingerprint and the sorted output is byte-deterministic.
+    EXPECT_EQ(mergeJournals({path, path}, twice), 2u);
+    EXPECT_EQ(sortedRecords(once), sortedRecords(twice));
+
+    auto first = sortedRecords(once);
+    EXPECT_EQ(first.size(), 2u);
+}
+
+TEST(ShardMerge, MissingInputIsFatal)
+{
+    ThrowGuard guard;
+    auto out = ::testing::TempDir() + "merge-out.journal";
+    EXPECT_THROW(
+        mergeJournals({::testing::TempDir() + "nope.journal"}, out),
+        SimError);
+}
+
+} // namespace
+} // namespace smtavf

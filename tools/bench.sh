@@ -1,0 +1,44 @@
+#!/bin/sh
+# Run the end-to-end microbenchmark suite (bench_micro_sim) and write the
+# machine-readable results to BENCH_micro.json at the repo root. This is
+# the number the performance work is held to: simulated instructions per
+# second at 1/2/4/8 contexts (see docs/PERFORMANCE.md for how to read it).
+#
+# Usage: tools/bench.sh [build-dir]      (default: <repo>/build-release,
+#                                         falling back to <repo>/build)
+#
+# Environment:
+#   SMTAVF_BENCH_MIN_TIME     seconds per measurement   (default 4)
+#   SMTAVF_BENCH_REPETITIONS  repetitions per benchmark (default 3)
+
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${SMTAVF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}
+min_time=${SMTAVF_BENCH_MIN_TIME:-4}
+reps=${SMTAVF_BENCH_REPETITIONS:-3}
+
+if [ $# -ge 1 ]; then
+    build=$1
+elif [ -x "$repo/build-release/bench/bench_micro_sim" ]; then
+    build=$repo/build-release
+else
+    build=$repo/build
+fi
+
+if [ ! -x "$build/bench/bench_micro_sim" ]; then
+    echo "==> bench_micro_sim not built; configuring $build (Release)"
+    cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build" -j "$jobs" --target bench_micro_sim
+fi
+
+echo "==> running bench_micro_sim (min_time=${min_time}s x${reps})"
+"$build/bench/bench_micro_sim" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_repetitions="$reps" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out="$repo/BENCH_micro.json" \
+    --benchmark_out_format=json
+
+echo "==> wrote $repo/BENCH_micro.json"

@@ -38,6 +38,15 @@ for preset in $presets; do
     else
         (cd "$build" && ctest --output-on-failure -j "$jobs")
     fi
+
+    if [ "$preset" = release ]; then
+        # Smoke-run the throughput benchmark so a perf-harness regression
+        # (link error, crashed fixture) is caught pre-merge. Full timed
+        # runs live in tools/bench.sh / the nightly CI job.
+        echo "==> [$preset] bench smoke"
+        "$build/bench/bench_micro_sim" --benchmark_min_time=0.05 \
+            --benchmark_filter='BM_SimulatedInstructions' >/dev/null
+    fi
 done
 
 echo "==> all checks passed"

@@ -57,6 +57,7 @@
 #include "sim/config.hh"
 #include "sim/errors.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 
 namespace
 {
@@ -70,6 +71,7 @@ usage()
         "usage: smtavf_cli [options]\n"
         "       smtavf_cli campaign [campaign options]\n"
         "       smtavf_cli protect [protect options]\n"
+        "       smtavf_cli merge-journals --out FILE IN1 [IN2 ...]\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
         "  --policy NAME         fetch policy: RR ICOUNT FLUSH STALL DG\n"
         "                        PDG DWarn PSTALL RAT (default ICOUNT)\n"
@@ -101,7 +103,14 @@ usage()
         "  --journal FILE        append finished runs to FILE as they land\n"
         "  --resume              replay journaled runs instead of re-running\n"
         "  --timeout SECONDS     stop dispatching new runs after this long\n"
+        "  --shard I/N           run only every N-th experiment starting\n"
+        "                        at I (0-based); seeds match the unsharded\n"
+        "                        campaign, so shard journals merge losslessly\n"
+        "                        with merge-journals\n"
         "  --csv                 per-run CSV summary instead of a table\n"
+        "\n"
+        "merge-journals: combine shard journals into one deduplicated,\n"
+        "fingerprint-sorted journal usable with campaign --resume.\n"
         "\n"
         "protect options (docs/PROTECTION.md):\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
@@ -277,6 +286,8 @@ campaignMain(int argc, char **argv)
     std::uint64_t master_seed = 0;
     bool use_master_seed = false;
     bool csv = false;
+    unsigned shard = 0;
+    unsigned nshards = 0; // 0 = no sharding requested
     CampaignOptions opt;
 
     for (int i = 2; i < argc; ++i) {
@@ -323,6 +334,14 @@ campaignMain(int argc, char **argv)
             opt.softTimeoutSeconds = parseSeconds("--timeout", next());
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--shard") {
+            const char *v = next();
+            unsigned s = 0, n = 0;
+            if (!v || std::sscanf(v, "%u/%u", &s, &n) != 2 || n == 0 ||
+                s >= n)
+                die("--shard wants I/N with 0 <= I < N, e.g. --shard 0/4");
+            shard = s;
+            nshards = n;
         } else {
             usage();
             die("unknown campaign option: " + arg);
@@ -359,6 +378,16 @@ campaignMain(int argc, char **argv)
             exps.push_back(makeExperiment(mix, policy, instructions));
     if (use_master_seed)
         deriveSeeds(exps, master_seed);
+    // Shard after seed derivation: a run's seed depends on its index in
+    // the full campaign, so every shard executes exactly the runs an
+    // unsharded campaign would — which is what makes the shard journals
+    // mergeable (see merge-journals).
+    if (nshards > 0) {
+        exps = shardExperiments(exps, shard, nshards);
+        if (exps.empty())
+            die("shard " + std::to_string(shard) + "/" +
+                std::to_string(nshards) + " selects no runs");
+    }
 
     // Reject a bad configuration before spinning up the pool: every
     // experiment must pass the same validation a Simulator would apply.
@@ -757,6 +786,39 @@ singleMain(int argc, char **argv)
     return 0;
 }
 
+int
+mergeJournalsMain(int argc, char **argv)
+{
+    std::string out_path;
+    std::vector<std::string> inputs;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--out") {
+            if (i + 1 >= argc)
+                die("--out needs a file name");
+            out_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            die("unknown merge-journals option: " + arg);
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (out_path.empty())
+        die("merge-journals needs --out FILE");
+    if (inputs.empty())
+        die("merge-journals needs at least one input journal");
+
+    std::size_t n = mergeJournals(inputs, out_path);
+    std::printf("merged %zu journal%s into %s: %zu unique run%s\n",
+                inputs.size(), inputs.size() == 1 ? "" : "s",
+                out_path.c_str(), n, n == 1 ? "" : "s");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -772,6 +834,8 @@ main(int argc, char **argv)
             return campaignMain(argc, argv);
         if (argc > 1 && std::strcmp(argv[1], "protect") == 0)
             return protectMain(argc, argv);
+        if (argc > 1 && std::strcmp(argv[1], "merge-journals") == 0)
+            return mergeJournalsMain(argc, argv);
         return singleMain(argc, argv);
     } catch (const LivelockError &e) {
         std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
