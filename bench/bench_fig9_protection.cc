@@ -64,8 +64,69 @@ main()
             ++protected_on_frontier;
     std::printf("\nnon-dominated protected assignments: %zu\n",
                 protected_on_frontier);
-    std::puts("takeaway: the AVF ranking is the protection shopping list "
+
+    // -- beam search over mixed per-structure schemes ---------------------
+    // The prefix sweep can only buy protection in ranking order with one
+    // scheme; the beam search mixes schemes and per-structure scrub
+    // intervals, and should find at least one assignment that strictly
+    // dominates the sweep's best point.
+    t0 = std::chrono::steady_clock::now();
+    BeamOptions bo;
+    bo.beamWidth = 4;
+    bo.generations = 1;
+    bo.maxStructures = 4; // match the prefix sweep's default depth
+    auto beam = explorer.exploreBeam(pool, bo);
+    dt = std::chrono::steady_clock::now() - t0;
+    std::fprintf(stderr,
+                 "(beam: %llu evaluations, %llu pruned unsimulated, "
+                 "%.2fs)\n",
+                 static_cast<unsigned long long>(beam.evaluations),
+                 static_cast<unsigned long long>(beam.prunedCount),
+                 dt.count());
+
+    std::printf("\n-- beam search (width %u, %u generation%s): %zu of %zu "
+                "non-dominated --\n",
+                bo.beamWidth, bo.generations,
+                bo.generations == 1 ? "" : "s", beam.frontier.size(),
+                beam.points.size());
+    std::fputs(beam.table().c_str(), stdout);
+
+    // Best prefix point: lowest residual SER, cheapest energy tie-break.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < result.points.size(); ++i) {
+        const auto &p = result.points[i];
+        const auto &b = result.points[best];
+        if (p.residualSer < b.residualSer ||
+            (p.residualSer == b.residualSer &&
+             p.energyOverhead < b.energyOverhead))
+            best = i;
+    }
+    const ProtectionPoint &bp = result.points[best];
+    // Lexicographically-smallest beam assignment dominating it, so the
+    // line below is deterministic.
+    const ProtectionPoint *dom = nullptr;
+    for (const auto &p : beam.points)
+        if (ProtectionExplorer::dominates(p, bp) &&
+            (!dom || p.label < dom->label))
+            dom = &p;
+    if (dom) {
+        std::printf("\nbeam strictly dominates the best prefix point "
+                    "(%s):\n  %s\n  residual %.4f <= %.4f, area %.4f%% <= "
+                    "%.4f%%, energy %.4f%% < %.4f%%\n",
+                    bp.label.c_str(), dom->label.c_str(), dom->residualSer,
+                    bp.residualSer, 100 * dom->areaOverhead,
+                    100 * bp.areaOverhead, 100 * dom->energyOverhead,
+                    100 * bp.energyOverhead);
+    } else {
+        std::puts("\nbeam found no assignment dominating the best prefix "
+                  "point");
+    }
+
+    std::puts("\ntakeaway: the AVF ranking is the protection shopping list "
               "-- a few\nhot structures buy most of the residual-SER "
-              "reduction at a fraction\nof whole-machine ECC cost.");
+              "reduction at a fraction\nof whole-machine ECC cost; mixing "
+              "schemes and scrub intervals per\nstructure buys the same "
+              "residual SER strictly cheaper than any\nsingle-scheme "
+              "prefix.");
     return 0;
 }

@@ -55,7 +55,7 @@ AvfLedger::addInterval(HwStruct s, ThreadId tid, std::uint32_t bits,
     if (ace) {
         ace_[idx(s)][tid] += bit_cycles;
         std::uint64_t covered = smtavf::coveredAceBitCycles(
-            protection_.schemeFor(s), protection_.scrubInterval, bits,
+            protection_.schemeFor(s), protection_.scrubIntervalFor(s), bits,
             start, end);
         if (covered > bit_cycles)
             SMTAVF_PANIC("protection covers ", covered, " of ", bit_cycles,

@@ -104,8 +104,8 @@ protectionCost(const MachineConfig &cfg)
         cost.protectedBits += bits_of[i];
         double weight = static_cast<double>(bits_of[i]);
         area += weight * areaOverheadFactor(scheme);
-        energy += weight *
-                  energyOverheadFactor(scheme, cfg.protection.scrubInterval);
+        energy += weight * energyOverheadFactor(
+                               scheme, cfg.protection.scrubIntervalFor(s));
     }
     if (cost.totalBits > 0) {
         cost.areaOverhead = area / static_cast<double>(cost.totalBits);

@@ -1,0 +1,186 @@
+#include "protect/options.hh"
+
+#include <limits>
+
+#include "base/env.hh"
+
+namespace smtavf
+{
+
+namespace
+{
+
+bool
+parseNum(const std::string &flag, const char *value, std::uint64_t &out,
+         std::string &err)
+{
+    if (!value) {
+        err = flag + " needs a value";
+        return false;
+    }
+    if (!strictParseU64(value, out)) {
+        err = "bad number for " + flag + ": '" + value +
+              "' (need a non-negative integer)";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseCount(const std::string &flag, const char *value, unsigned &out,
+           bool positive, std::string &err)
+{
+    std::uint64_t v = 0;
+    if (!parseNum(flag, value, v, err))
+        return false;
+    if (positive && v == 0) {
+        err = flag + " must be positive";
+        return false;
+    }
+    if (v > std::numeric_limits<unsigned>::max()) {
+        err = flag + " is out of range: " + value;
+        return false;
+    }
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+parseProtectCli(const std::vector<std::string> &args, ProtectCliOptions &out,
+                std::string &err)
+{
+    bool beam_width_set = false, generations_set = false, budget_set = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < args.size() ? args[++i].c_str() : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            out.help = true;
+            return true;
+        } else if (arg == "--mix") {
+            const char *v = next();
+            if (!v) {
+                err = "--mix needs a value";
+                return false;
+            }
+            out.mixName = v;
+        } else if (arg == "--policy") {
+            const char *v = next();
+            if (!v) {
+                err = "--policy needs a value";
+                return false;
+            }
+            out.policyName = v;
+        } else if (arg == "--instructions") {
+            if (!parseNum(arg, next(), out.instructions, err))
+                return false;
+        } else if (arg == "--seed") {
+            if (!parseNum(arg, next(), out.seed, err))
+                return false;
+        } else if (arg == "--scheme") {
+            const char *v = next();
+            if (!v) {
+                err = "--scheme needs a value";
+                return false;
+            }
+            out.schemeName = v;
+        } else if (arg == "--assign") {
+            const char *v = next();
+            if (!v) {
+                err = "--assign needs a value";
+                return false;
+            }
+            if (!out.assignSpec.empty())
+                out.assignSpec += ',';
+            out.assignSpec += v;
+        } else if (arg == "--scrub-interval") {
+            if (!parseNum(arg, next(), out.scrubInterval, err))
+                return false;
+            if (out.scrubInterval == 0 ||
+                out.scrubInterval > (std::uint64_t{1} << 30)) {
+                err = "--scrub-interval must be in [1, 2^30] cycles";
+                return false;
+            }
+        } else if (arg == "--explore") {
+            out.explore = true;
+            out.exploreMode = ExploreMode::Prefix;
+        } else if (arg.rfind("--explore=", 0) == 0) {
+            out.explore = true;
+            std::string mode = arg.substr(10);
+            if (!parseExploreMode(mode, out.exploreMode)) {
+                err = "unknown explore mode: '" + mode +
+                      "' (prefix or beam)";
+                return false;
+            }
+        } else if (arg == "--depth") {
+            if (!parseCount(arg, next(), out.depth, /*positive=*/true, err))
+                return false;
+            out.depthSet = true;
+        } else if (arg == "--beam-width") {
+            if (!parseCount(arg, next(), out.beamWidth, /*positive=*/true,
+                            err))
+                return false;
+            beam_width_set = true;
+        } else if (arg == "--generations") {
+            if (!parseCount(arg, next(), out.generations,
+                            /*positive=*/false, err))
+                return false;
+            generations_set = true;
+        } else if (arg == "--budget") {
+            if (!parseNum(arg, next(), out.evalBudget, err))
+                return false;
+            budget_set = true;
+        } else if (arg == "--journal") {
+            const char *v = next();
+            if (!v) {
+                err = "--journal needs a file name";
+                return false;
+            }
+            out.journalPath = v;
+        } else if (arg == "--resume") {
+            out.resume = true;
+        } else if (arg == "--jobs") {
+            if (!parseCount(arg, next(), out.jobs, /*positive=*/true, err))
+                return false;
+        } else if (arg == "--csv") {
+            out.csv = true;
+        } else if (arg == "--json") {
+            out.json = true;
+        } else {
+            err = "unknown protect option: " + arg;
+            return false;
+        }
+    }
+
+    bool beam = out.explore && out.exploreMode == ExploreMode::Beam;
+    if (out.explore && (!out.schemeName.empty() || !out.assignSpec.empty())) {
+        err = "--explore sweeps assignments itself; drop --scheme/--assign";
+        return false;
+    }
+    if (!beam && beam_width_set) {
+        err = "--beam-width needs --explore=beam";
+        return false;
+    }
+    if (!beam && generations_set) {
+        err = "--generations needs --explore=beam";
+        return false;
+    }
+    if (!beam && budget_set) {
+        err = "--budget needs --explore=beam";
+        return false;
+    }
+    if (!beam && !out.journalPath.empty()) {
+        err = "protect --journal needs --explore=beam";
+        return false;
+    }
+    if (out.resume && out.journalPath.empty()) {
+        err = "--resume needs --journal FILE to resume from";
+        return false;
+    }
+    return true;
+}
+
+} // namespace smtavf

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flag parsing for the `smtavf_cli protect` subcommand, factored out of
+ * the CLI so the fuzz harness (tests/test_explorer_fuzz.cc) can drive the
+ * exact production parser with adversarial flag vectors. The parser is a
+ * pure function: it never prints, never exits, and never starts a
+ * simulation — malformed input returns false with a diagnostic, which the
+ * CLI maps to exit code 2.
+ */
+
+#ifndef SMTAVF_PROTECT_OPTIONS_HH
+#define SMTAVF_PROTECT_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protect/explorer.hh"
+
+namespace smtavf
+{
+
+/** Validated `protect` subcommand flags (defaults = no flags given). */
+struct ProtectCliOptions
+{
+    std::string mixName = "4ctx-mix-A";
+    std::string policyName = "ICOUNT";
+    std::uint64_t instructions = 0;
+    std::uint64_t seed = 1;
+
+    std::string schemeName;  ///< --scheme (uniform), "" = none given
+    std::string assignSpec;  ///< --assign specs, comma-joined
+    std::uint64_t scrubInterval = 10000;
+
+    bool explore = false;
+    ExploreMode exploreMode = ExploreMode::Prefix;
+    unsigned depth = 4;          ///< prefix depth / beam structure cap
+    bool depthSet = false;
+    unsigned beamWidth = 8;      ///< --beam-width
+    unsigned generations = 3;    ///< --generations
+    std::uint64_t evalBudget = 0; ///< --budget, 0 = unlimited
+    std::string journalPath;     ///< --journal
+    bool resume = false;         ///< --resume
+
+    unsigned jobs = 0;
+    bool csv = false;
+    bool json = false;
+    bool help = false; ///< --help seen; caller prints usage and exits 0
+};
+
+/**
+ * Parse the argument vector of `smtavf_cli protect` (everything after the
+ * subcommand word). Numeric flags use strictParseU64: "12x", "", "-3" and
+ * anything that overflows are errors, never truncated. Cross-flag
+ * constraints (--resume needs --journal, --beam-width needs
+ * --explore=beam, --explore excludes --scheme/--assign, scrub-interval
+ * range) are enforced here too, so a true return means the options are
+ * internally consistent. On failure returns false and leaves a
+ * description in @p err; @p out may be partially written.
+ */
+bool parseProtectCli(const std::vector<std::string> &args,
+                     ProtectCliOptions &out, std::string &err);
+
+} // namespace smtavf
+
+#endif // SMTAVF_PROTECT_OPTIONS_HH

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "base/env.hh"
+
 namespace smtavf
 {
 
@@ -151,6 +153,7 @@ ProtectionConfig::str() const
         return "none";
     std::ostringstream os;
     bool first = true;
+    bool global_scrub = false;
     for (std::size_t i = 0; i < numHwStructs; ++i) {
         auto s = static_cast<HwStruct>(i);
         if (schemeFor(s) == ProtScheme::None)
@@ -158,9 +161,15 @@ ProtectionConfig::str() const
         if (!first)
             os << ',';
         os << hwStructKey(s) << '=' << protSchemeName(schemeFor(s));
+        if (schemeFor(s) == ProtScheme::SecdedScrub) {
+            if (Cycle o = scrubOverride[i])
+                os << '@' << o;
+            else
+                global_scrub = true;
+        }
         first = false;
     }
-    if (anyScrubbed())
+    if (global_scrub)
         os << ",scrub=" << scrubInterval;
     return os.str();
 }
@@ -168,9 +177,19 @@ ProtectionConfig::str() const
 std::string
 ProtectionConfig::validateMsg() const
 {
-    if (anyScrubbed() && scrubInterval == 0)
-        return "scrubInterval must be positive when a structure uses "
-               "secded+scrub";
+    for (std::size_t i = 0; i < numHwStructs; ++i) {
+        auto s = static_cast<HwStruct>(i);
+        if (schemeFor(s) != ProtScheme::SecdedScrub)
+            continue;
+        Cycle interval = scrubIntervalFor(s);
+        if (interval == 0)
+            return "scrubInterval must be positive when a structure uses "
+                   "secded+scrub";
+        if (interval > (Cycle{1} << 30))
+            return std::string("absurd scrub interval for ") +
+                   hwStructKey(s) + ": " + std::to_string(interval) +
+                   " cycles (limit 2^30)";
+    }
     if (scrubInterval > (Cycle{1} << 30))
         return "absurd scrubInterval: " + std::to_string(scrubInterval) +
                " cycles (limit 2^30)";
@@ -211,13 +230,32 @@ parseAssignment(const std::string &spec, ProtectionConfig &out,
                   "l2data, l2tag)";
             return false;
         }
+        // "scrub@N" / "secded+scrub@N": per-structure scrub interval.
+        Cycle interval = 0;
+        auto at = value.find('@');
+        if (at != std::string::npos) {
+            std::uint64_t n = 0;
+            if (!strictParseU64(value.substr(at + 1).c_str(), n) || n == 0) {
+                err = "bad scrub interval in '" + pair +
+                      "' (want scheme@cycles with cycles > 0)";
+                return false;
+            }
+            interval = n;
+            value = value.substr(0, at);
+        }
         ProtScheme p;
         if (!parseProtScheme(value, p)) {
             err = "unknown scheme '" + value +
                   "' (try none, parity, secded/ecc, secded+scrub)";
             return false;
         }
+        if (interval != 0 && p != ProtScheme::SecdedScrub) {
+            err = "scrub interval '" + pair +
+                  "' only applies to secded+scrub";
+            return false;
+        }
         out.assign(s, p);
+        out.scrubOverride[static_cast<std::size_t>(s)] = interval;
         saw_any = true;
     }
     if (!saw_any) {

@@ -90,8 +90,16 @@ struct ProtectionConfig
     /** Scheme per tracked structure; default all None. */
     std::array<ProtScheme, numHwStructs> scheme{};
 
-    /** Scrubbing sweep period in cycles (SecdedScrub structures only). */
+    /** Default scrubbing sweep period in cycles (SecdedScrub only). */
     Cycle scrubInterval = 10000;
+
+    /**
+     * Per-structure scrub-interval override; 0 means "use the global
+     * scrubInterval". Lets the explorer price sweep energy per structure
+     * (long intervals for short-residency structures, short ones for
+     * long-lived cache lines) instead of one machine-wide period.
+     */
+    std::array<Cycle, numHwStructs> scrubOverride{};
 
     ProtScheme
     schemeFor(HwStruct s) const
@@ -99,10 +107,26 @@ struct ProtectionConfig
         return scheme[static_cast<std::size_t>(s)];
     }
 
+    /** Effective scrub period of @p s (override, else the global). */
+    Cycle
+    scrubIntervalFor(HwStruct s) const
+    {
+        Cycle o = scrubOverride[static_cast<std::size_t>(s)];
+        return o ? o : scrubInterval;
+    }
+
     void
     assign(HwStruct s, ProtScheme p)
     {
         scheme[static_cast<std::size_t>(s)] = p;
+    }
+
+    /** Assign SecdedScrub with an explicit per-structure period. */
+    void
+    assignScrub(HwStruct s, Cycle interval)
+    {
+        scheme[static_cast<std::size_t>(s)] = ProtScheme::SecdedScrub;
+        scrubOverride[static_cast<std::size_t>(s)] = interval;
     }
 
     /** True when any structure is protected at all. */
@@ -127,8 +151,9 @@ ProtectionConfig uniformProtection(ProtScheme s, Cycle scrub_interval = 10000);
 
 /**
  * Parse "iq=ecc,regfile=parity,..." into @p out (on top of whatever
- * @p out already assigns). On failure returns false and leaves a
- * description in @p err.
+ * @p out already assigns). A scrubbed structure may carry an explicit
+ * per-structure period: "dl1data=scrub@2000". On failure returns false
+ * and leaves a description in @p err.
  */
 bool parseAssignment(const std::string &spec, ProtectionConfig &out,
                      std::string &err);

@@ -183,16 +183,19 @@ experimentFingerprint(const Experiment &e)
     fpField(os, "trace", c.recordCommitTrace ? 1 : 0);
 
     // Protection changes residual AVF (part of the SimResult), so it is
-    // result-affecting. The scrub interval only matters when something is
-    // actually scrubbed, and is excluded otherwise so that retuning an
-    // unused knob does not orphan a journal.
+    // result-affecting. A scrub interval only matters for a structure that
+    // actually scrubs, and is excluded otherwise so that retuning an
+    // unused knob does not orphan a journal. The *effective* per-structure
+    // interval is fingerprinted, so moving a structure between the global
+    // period and an equal override changes nothing, while any change that
+    // alters its coverage forces a re-run.
     for (std::size_t i = 0; i < numHwStructs; ++i) {
         auto s = static_cast<HwStruct>(i);
         fpField(os, hwStructKey(s),
                 protSchemeName(c.protection.schemeFor(s)));
+        if (c.protection.schemeFor(s) == ProtScheme::SecdedScrub)
+            fpField(os, "scrub", c.protection.scrubIntervalFor(s));
     }
-    if (c.protection.anyScrubbed())
-        fpField(os, "scrub", c.protection.scrubInterval);
 
     return fnv1a(os.str());
 }
@@ -369,6 +372,18 @@ RunJournal::append(std::uint64_t fingerprint, const SimResult &r)
     std::fputc('\n', file_);
     // Flush per record: the journal exists precisely for the case where
     // the process dies before exit, so buffered records are worthless.
+    std::fflush(file_);
+}
+
+void
+RunJournal::comment(const std::string &text)
+{
+    if (text.find('\n') != std::string::npos)
+        SMTAVF_FATAL("journal comment with embedded newline: ", text);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fputs("# ", file_);
+    std::fputs(text.c_str(), file_);
+    std::fputc('\n', file_);
     std::fflush(file_);
 }
 

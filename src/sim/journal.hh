@@ -78,6 +78,13 @@ class RunJournal
     /** Persist one completed run; safe from any campaign worker. */
     void append(std::uint64_t fingerprint, const SimResult &r);
 
+    /**
+     * Append a '#' comment line (the explorer's search trace rides along
+     * this way). Loaders skip comments, so annotations never affect
+     * replay; embedded newlines would corrupt the format and are fatal.
+     */
+    void comment(const std::string &text);
+
     const std::string &path() const { return path_; }
 
   private:

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The simulation-free candidate evaluator shared by the explorer property
+ * tests and the golden-file determinism test: a pure value function of
+ * the protection assignment, built entirely from exact dyadic rationals
+ * so every downstream comparison — and the committed golden fixtures —
+ * are bit-exact across compilers and optimization levels.
+ *
+ * It honors the two invariants the beam search's pruning proof relies on:
+ * IPC and raw AVF are candidate-independent (the protection overlay never
+ * perturbs timing), and residual AVF never falls below the scheme's
+ * coverage floor used by optimisticResidualSer (parity 40/256 > 32/256,
+ * SECDED 2/256 > 1/256, scrubbing interval/2^20/256 > 0).
+ */
+
+#ifndef SMTAVF_TESTS_EXPLORER_SYNTHETIC_HH
+#define SMTAVF_TESTS_EXPLORER_SYNTHETIC_HH
+
+#include <array>
+
+#include "avf/report.hh"
+#include "policy/fetch_policy.hh"
+#include "sim/campaign.hh"
+
+namespace smtavf
+{
+
+/**
+ * Evaluate @p e without simulating. Raw AVF of figure structure i is an
+ * exact multiple of 1/64, perturbed by @p space_seed to randomize the
+ * search space; residual is raw times an exact dyadic per-scheme factor
+ * (interval-sensitive for scrubbing, exact for power-of-two ladder
+ * rungs). IPC is constant across candidates.
+ */
+inline SimResult
+syntheticExplorerRun(const Experiment &e, unsigned space_seed)
+{
+    std::array<double, numHwStructs> raw{}, occ{}, residual{};
+    std::array<std::array<double, maxContexts>, numHwStructs> tavf{};
+    auto fill = [&](HwStruct s, double raw_avf) {
+        auto i = static_cast<std::size_t>(s);
+        raw[i] = raw_avf;
+        occ[i] = raw_avf;
+        double frac;
+        switch (e.cfg.protection.schemeFor(s)) {
+          case ProtScheme::Parity:
+            frac = 40.0 / 256.0;
+            break;
+          case ProtScheme::Secded:
+            frac = 2.0 / 256.0;
+            break;
+          case ProtScheme::SecdedScrub:
+            frac = static_cast<double>(
+                       e.cfg.protection.scrubIntervalFor(s)) /
+                   (1024.0 * 1024.0) / 256.0;
+            break;
+          default:
+            frac = 1.0;
+            break;
+        }
+        residual[i] = raw_avf * frac;
+        for (unsigned t = 0; t < e.mix.contexts; ++t)
+            tavf[i][t] = raw_avf;
+    };
+    for (auto s : AvfReport::figureStructs()) {
+        auto i = static_cast<std::size_t>(s);
+        fill(s, static_cast<double>((i * 7 + space_seed * 5) % 29 + 3) /
+                    64.0);
+    }
+    // When L2 tracking is on, the L2 arrays are hotspots too — ranked
+    // last (smallest raw AVF) so small-maxStructures searches never
+    // reach them, which is what the pricing-tripwire tests pivot on.
+    if (e.cfg.avf.trackL2Avf) {
+        fill(HwStruct::L2Data, 2.0 / 64.0);
+        fill(HwStruct::L2Tag, 1.0 / 64.0);
+    }
+
+    SimResult r;
+    r.mixName = e.mix.name;
+    r.policyName = fetchPolicyName(e.cfg.fetchPolicy);
+    r.cycles = 1024;
+    r.totalCommitted = 1536;
+    r.ipc = 1.5;
+    for (const auto &bench : e.mix.benchmarks)
+        r.threads.push_back({bench, 768, 1.5});
+    r.avf = AvfReport::restore(e.mix.contexts, r.cycles, raw, occ, residual,
+                               tavf);
+    return r;
+}
+
+} // namespace smtavf
+
+#endif // SMTAVF_TESTS_EXPLORER_SYNTHETIC_HH

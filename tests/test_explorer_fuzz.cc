@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Adversarial flag vectors against the `protect` subcommand parser
+ * (protect/options.hh) — the exact function the CLI calls, factored out
+ * so malformed input can be proven to fail *before* any simulation
+ * state exists. parseProtectCli returning false is what smtavf_cli maps
+ * to exit code 2; the parser itself must never crash, never accept an
+ * internally inconsistent option set, and always leave a diagnostic.
+ *
+ * Directed cases pin every rejection path; the randomized sweep throws
+ * thousands of seeded token soups at the parser and checks the
+ * postcondition invariants on whatever it accepts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "protect/options.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+using Args = std::vector<std::string>;
+
+/** Parse expecting rejection; the diagnostic must name the problem. */
+void
+expectReject(const Args &args, const std::string &err_substr)
+{
+    ProtectCliOptions out;
+    std::string err;
+    EXPECT_FALSE(parseProtectCli(args, out, err)) << "accepted bad args";
+    EXPECT_NE(err.find(err_substr), std::string::npos)
+        << "diagnostic '" << err << "' does not mention '" << err_substr
+        << "'";
+}
+
+ProtectCliOptions
+expectAccept(const Args &args)
+{
+    ProtectCliOptions out;
+    std::string err;
+    EXPECT_TRUE(parseProtectCli(args, out, err)) << err;
+    EXPECT_TRUE(err.empty()) << "diagnostic on success: " << err;
+    return out;
+}
+
+TEST(ProtectCliFuzz, MalformedNumbersAreRejectedNotTruncated)
+{
+    for (const char *bad : {"", "x", "12x", "-3", "3.5", "0x10", " 4",
+                            "99999999999999999999999"}) {
+        SCOPED_TRACE(std::string("value '") + bad + "'");
+        expectReject({"--explore=beam", "--beam-width", bad}, "--beam-width");
+        expectReject({"--explore=beam", "--generations", bad},
+                     "--generations");
+        expectReject({"--explore=beam", "--budget", bad}, "--budget");
+        expectReject({"--scrub-interval", bad}, "--scrub-interval");
+        expectReject({"--seed", bad}, "--seed");
+        expectReject({"--instructions", bad}, "--instructions");
+        expectReject({"--jobs", bad}, "--jobs");
+    }
+}
+
+TEST(ProtectCliFuzz, MissingValuesAreRejected)
+{
+    for (const char *flag :
+         {"--mix", "--policy", "--scheme", "--assign", "--journal",
+          "--scrub-interval", "--seed", "--instructions", "--jobs",
+          "--depth"}) {
+        SCOPED_TRACE(flag);
+        expectReject({flag}, flag);
+    }
+    expectReject({"--explore=beam", "--beam-width"}, "--beam-width");
+    expectReject({"--explore=beam", "--generations"}, "--generations");
+    expectReject({"--explore=beam", "--budget"}, "--budget");
+}
+
+TEST(ProtectCliFuzz, ZeroAndRangeViolationsAreRejected)
+{
+    expectReject({"--explore=beam", "--beam-width", "0"}, "--beam-width");
+    expectReject({"--depth", "0"}, "--depth");
+    expectReject({"--jobs", "0"}, "--jobs");
+    expectReject({"--scrub-interval", "0"}, "--scrub-interval");
+    expectReject({"--scrub-interval", "1073741825"}, "--scrub-interval");
+    // 2^30 exactly is the inclusive ceiling.
+    auto ok = expectAccept({"--scrub-interval", "1073741824"});
+    EXPECT_EQ(ok.scrubInterval, std::uint64_t{1} << 30);
+    // --generations 0 is legal: seeds only, no expansion.
+    auto g0 = expectAccept({"--explore=beam", "--generations", "0"});
+    EXPECT_EQ(g0.generations, 0u);
+}
+
+TEST(ProtectCliFuzz, UnknownModesAndFlagsAreRejected)
+{
+    expectReject({"--explore=bogus"}, "bogus");
+    expectReject({"--explore="}, "explore mode");
+    expectReject({"--explore=Beam"}, "Beam");    // modes are lower-case
+    expectReject({"--explore=beam "}, "beam ");  // no trailing junk
+    expectReject({"--frobnicate"}, "--frobnicate");
+    expectReject({"--beamwidth", "4"}, "--beamwidth");
+    expectReject({"protect"}, "protect"); // subcommand word not re-eaten
+}
+
+TEST(ProtectCliFuzz, CrossFlagConstraintsAreEnforced)
+{
+    expectReject({"--explore", "--scheme", "parity"}, "--scheme");
+    expectReject({"--explore=beam", "--assign", "iq=parity"}, "--assign");
+    expectReject({"--beam-width", "4"}, "--explore=beam");
+    expectReject({"--explore", "--beam-width", "4"}, "--explore=beam");
+    expectReject({"--explore=prefix", "--generations", "2"},
+                 "--explore=beam");
+    expectReject({"--budget", "10"}, "--explore=beam");
+    expectReject({"--journal", "j.journal"}, "--explore=beam");
+    expectReject({"--explore", "--journal", "j.journal"}, "--explore=beam");
+    expectReject({"--explore=beam", "--resume"}, "--journal");
+    expectReject({"--resume"}, "--journal");
+    // Constraint checks run after the whole vector: order must not matter.
+    expectReject({"--scheme", "parity", "--explore=beam"}, "--scheme");
+    expectReject({"--generations", "2", "--explore=prefix"},
+                 "--explore=beam");
+}
+
+TEST(ProtectCliFuzz, WellFormedVectorsParse)
+{
+    auto beam = expectAccept({"--mix", "2ctx-mix-A", "--explore=beam",
+                              "--beam-width", "4", "--generations", "2",
+                              "--budget", "100", "--journal", "b.journal",
+                              "--resume", "--depth", "3", "--jobs", "2",
+                              "--csv"});
+    EXPECT_TRUE(beam.explore);
+    EXPECT_EQ(beam.exploreMode, ExploreMode::Beam);
+    EXPECT_EQ(beam.beamWidth, 4u);
+    EXPECT_EQ(beam.generations, 2u);
+    EXPECT_EQ(beam.evalBudget, 100u);
+    EXPECT_EQ(beam.journalPath, "b.journal");
+    EXPECT_TRUE(beam.resume);
+    EXPECT_TRUE(beam.depthSet);
+    EXPECT_EQ(beam.depth, 3u);
+    EXPECT_TRUE(beam.csv);
+
+    auto prefix = expectAccept({"--explore", "--depth", "2"});
+    EXPECT_EQ(prefix.exploreMode, ExploreMode::Prefix);
+
+    auto single = expectAccept({"--assign", "iq=secded+scrub@5000",
+                                "--assign", "rob=parity"});
+    EXPECT_FALSE(single.explore);
+    EXPECT_EQ(single.assignSpec, "iq=secded+scrub@5000,rob=parity");
+
+    // --help short-circuits: junk after it is never reached, matching the
+    // CLI's print-usage-and-exit-0 behavior.
+    auto help = expectAccept({"--help", "--beam-width"});
+    EXPECT_TRUE(help.help);
+}
+
+// Seeded token soup: the parser must never crash, reject with a
+// diagnostic, or accept an option set violating its own invariants.
+TEST(ProtectCliFuzz, RandomTokenSoupNeverCrashesOrLiesAboutConsistency)
+{
+    const std::vector<std::string> tokens = {
+        "--mix", "--policy", "--instructions", "--seed", "--scheme",
+        "--assign", "--scrub-interval", "--explore", "--explore=prefix",
+        "--explore=beam", "--explore=bogus", "--depth", "--beam-width",
+        "--generations", "--budget", "--journal", "--resume", "--jobs",
+        "--csv", "--json", "4ctx-mix-A", "ICOUNT", "parity",
+        "iq=secded+scrub@5000", "0", "1", "4", "10000", "1073741824",
+        "1073741825", "-1", "12x", "", "99999999999999999999999",
+        "b.journal", "--frobnicate", "--explore=", "protect"};
+
+    Rng rng(0x5ee0u);
+    unsigned accepted = 0, rejected = 0;
+    for (int iter = 0; iter < 5000; ++iter) {
+        Args args;
+        auto len = rng.uniform(8);
+        for (std::uint64_t i = 0; i < len; ++i)
+            args.push_back(tokens[rng.uniform(tokens.size())]);
+
+        ProtectCliOptions out;
+        std::string err;
+        bool ok = parseProtectCli(args, out, err);
+        if (!ok) {
+            ++rejected;
+            EXPECT_FALSE(err.empty())
+                << "rejected without a diagnostic: iter " << iter;
+            continue;
+        }
+        ++accepted;
+        // Accepted option sets are internally consistent by contract.
+        if (out.help)
+            continue;
+        EXPECT_TRUE(err.empty());
+        bool beam = out.explore && out.exploreMode == ExploreMode::Beam;
+        if (!beam) {
+            EXPECT_TRUE(out.journalPath.empty());
+        }
+        if (out.resume) {
+            EXPECT_FALSE(out.journalPath.empty());
+        }
+        if (out.explore) {
+            EXPECT_TRUE(out.schemeName.empty());
+            EXPECT_TRUE(out.assignSpec.empty());
+        }
+        EXPECT_GE(out.scrubInterval, 1u);
+        EXPECT_LE(out.scrubInterval, std::uint64_t{1} << 30);
+        EXPECT_GE(out.beamWidth, 1u);
+        EXPECT_GE(out.depth, 1u);
+    }
+    // The soup must actually exercise both outcomes.
+    EXPECT_GT(accepted, 100u);
+    EXPECT_GT(rejected, 1000u);
+}
+
+} // namespace
+} // namespace smtavf

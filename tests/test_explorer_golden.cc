@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Golden-file determinism for the beam-search explorer: a fixed search
+ * over the synthetic evaluator (explorer_synthetic.hh, exact dyadics
+ * only) must reproduce the committed journal and CSV fixtures under
+ * tests/data/ byte for byte. Any change to the search trajectory, the
+ * journal wire format, the trace comments, or the CSV layout shows up
+ * here as a readable diff instead of a silent behavior change.
+ *
+ * To bless an intentional change, rerun with SMTAVF_REGEN_GOLDEN=1 and
+ * commit the rewritten fixtures alongside the code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "explorer_synthetic.hh"
+#include "protect/explorer.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+constexpr unsigned kSpaceSeed = 2;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << bytes;
+}
+
+/** Diff-friendly mismatch report: first differing line, not a byte dump. */
+void
+expectSameBytes(const std::string &fixture, const std::string &got,
+                const std::string &name)
+{
+    if (got == fixture)
+        return;
+    std::istringstream a(fixture), b(got);
+    std::string la, lb;
+    std::size_t line = 0;
+    while (true) {
+        ++line;
+        bool ha = static_cast<bool>(std::getline(a, la));
+        bool hb = static_cast<bool>(std::getline(b, lb));
+        if (!ha && !hb)
+            break;
+        if (!ha || !hb || la != lb) {
+            ADD_FAILURE() << name << " differs from fixture at line "
+                          << line << "\n  fixture: "
+                          << (ha ? la : std::string("<eof>"))
+                          << "\n  got:     "
+                          << (hb ? lb : std::string("<eof>"))
+                          << "\nrerun with SMTAVF_REGEN_GOLDEN=1 to bless "
+                             "an intentional change";
+            return;
+        }
+    }
+    ADD_FAILURE() << name << " differs from fixture (whitespace only?)";
+}
+
+// One fixed beam search; journal and CSV must match the committed bytes.
+TEST(ExplorerGolden, BeamJournalAndCsvMatchFixtures)
+{
+    const auto &mix = findMix("2ctx-mix-A");
+    ProtectionExplorer explorer(table1Config(mix.contexts), mix,
+                                /*budget=*/3000);
+    // One worker: journal append order == submission order, so the file
+    // is byte-deterministic (the *results* are worker-count invariant —
+    // that is BeamProperties.BitIdenticalAcrossWorkerCountsAndOrder).
+    CampaignRunner pool(1);
+
+    auto journal_path = ::testing::TempDir() + "beam-golden.journal";
+    std::remove(journal_path.c_str());
+
+    BeamOptions opt;
+    opt.beamWidth = 3;
+    opt.generations = 2;
+    opt.maxStructures = 3;
+    opt.scrubLadder = {4096, 65536}; // powers of two: exact dyadics
+    opt.journalPath = journal_path;
+    opt.runFn = [](const Experiment &e, std::size_t) {
+        return syntheticExplorerRun(e, kSpaceSeed);
+    };
+    auto result = explorer.exploreBeam(pool, opt);
+
+    std::string journal = slurp(journal_path);
+    std::string csv = result.csv();
+    std::remove(journal_path.c_str());
+    ASSERT_FALSE(journal.empty());
+    ASSERT_FALSE(result.frontier.empty());
+
+    const std::string dir = SMTAVF_TEST_DATA_DIR;
+    const std::string journal_fixture = dir + "/beam_golden.journal";
+    const std::string csv_fixture = dir + "/beam_golden.csv";
+
+    if (std::getenv("SMTAVF_REGEN_GOLDEN")) {
+        spit(journal_fixture, journal);
+        spit(csv_fixture, csv);
+        GTEST_SKIP() << "regenerated " << journal_fixture << " and "
+                     << csv_fixture;
+    }
+
+    std::string want_journal = slurp(journal_fixture);
+    std::string want_csv = slurp(csv_fixture);
+    ASSERT_FALSE(want_journal.empty())
+        << "missing fixture " << journal_fixture
+        << "; run once with SMTAVF_REGEN_GOLDEN=1";
+    ASSERT_FALSE(want_csv.empty())
+        << "missing fixture " << csv_fixture
+        << "; run once with SMTAVF_REGEN_GOLDEN=1";
+
+    expectSameBytes(want_journal, journal, "journal");
+    expectSameBytes(want_csv, csv, "csv");
+}
+
+// The fixture journal is loadable: resuming from it replays every run
+// (nothing re-simulates) and reports the identical frontier — the
+// committed file doubles as a wire-format compatibility check.
+TEST(ExplorerGolden, FixtureJournalResumesBitIdentical)
+{
+    const std::string journal_fixture =
+        std::string(SMTAVF_TEST_DATA_DIR) + "/beam_golden.journal";
+    auto fixture_bytes = slurp(journal_fixture);
+    if (fixture_bytes.empty())
+        GTEST_SKIP() << "fixture not generated yet";
+    // Resume from a copy: the journal is append-mode, so a live search
+    // would add its own trace comments to the committed fixture.
+    auto copy = ::testing::TempDir() + "beam-golden-resume.journal";
+    spit(copy, fixture_bytes);
+
+    const auto &mix = findMix("2ctx-mix-A");
+    ProtectionExplorer explorer(table1Config(mix.contexts), mix,
+                                /*budget=*/3000);
+    CampaignRunner pool(4);
+
+    auto run = [&](bool resume) {
+        BeamOptions opt;
+        opt.beamWidth = 3;
+        opt.generations = 2;
+        opt.maxStructures = 3;
+        opt.scrubLadder = {4096, 65536};
+        opt.runFn = [resume](const Experiment &e, std::size_t) {
+            EXPECT_FALSE(resume)
+                << "resume re-simulated " << e.cfg.protection.str();
+            return syntheticExplorerRun(e, kSpaceSeed);
+        };
+        if (resume) {
+            opt.journalPath = copy;
+            opt.resume = true;
+        }
+        return explorer.exploreBeam(pool, opt);
+    };
+
+    auto fresh = run(/*resume=*/false);
+    auto resumed = run(/*resume=*/true);
+
+    EXPECT_EQ(resumed.journalHits, resumed.evaluations);
+    ASSERT_EQ(resumed.points.size(), fresh.points.size());
+    for (std::size_t i = 0; i < resumed.points.size(); ++i) {
+        SCOPED_TRACE(fresh.points[i].label);
+        EXPECT_EQ(resumed.points[i].label, fresh.points[i].label);
+        EXPECT_EQ(resumed.points[i].residualSer,
+                  fresh.points[i].residualSer);
+        EXPECT_EQ(resumed.points[i].energyOverhead,
+                  fresh.points[i].energyOverhead);
+    }
+    EXPECT_EQ(resumed.frontier, fresh.frontier);
+    EXPECT_EQ(resumed.prunedCount, fresh.prunedCount);
+    // The resumed search appends only trace comments, never run lines:
+    // every candidate was a replay.
+    auto after = slurp(copy);
+    ASSERT_EQ(after.substr(0, fixture_bytes.size()), fixture_bytes);
+    std::istringstream tail(after.substr(fixture_bytes.size()));
+    std::string line;
+    while (std::getline(tail, line))
+        EXPECT_EQ(line.rfind("# ", 0), 0u) << "unexpected run line: "
+                                           << line;
+    std::remove(copy.c_str());
+}
+
+} // namespace
+} // namespace smtavf

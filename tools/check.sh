@@ -1,16 +1,24 @@
 #!/bin/sh
-# Build and test every supported configuration: plain release, ASan, and
-# the tsan-labelled concurrency tests under ThreadSanitizer. This is the
-# pre-merge gate; CMakePresets.json defines the same three configurations
-# for interactive use (cmake --preset release, etc.).
+# Build and test every supported configuration: plain release, ASan, the
+# tsan-labelled concurrency tests under ThreadSanitizer, and a gcov
+# line-coverage gate on the protection subsystem. This is the pre-merge
+# gate; CMakePresets.json defines the same configurations for interactive
+# use (cmake --preset release, etc.).
 #
-# Usage: tools/check.sh [release|asan|tsan ...]   (default: all three)
+# Usage: tools/check.sh [release|asan|tsan|coverage ...]
+#        (default: all four)
 
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=${SMTAVF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}
-presets=${*:-"release asan tsan"}
+presets=${*:-"release asan tsan coverage"}
+
+# The protection subsystem (search, pruning proof, cost model, CLI
+# parsing) carries correctness arguments that only hold if its branches
+# stay exercised; the gate fails the build when src/protect/ line
+# coverage drops below this floor (measured 95.6% at gate introduction).
+coverage_gate=94
 
 for preset in $presets; do
     build="$repo/build-$preset"
@@ -24,7 +32,11 @@ for preset in $presets; do
       tsan)    cmake -S "$repo" -B "$build" \
                      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
                      -DSMTAVF_SANITIZE=thread ;;
-      *) echo "unknown preset: $preset (want release, asan or tsan)" >&2
+      coverage) cmake -S "$repo" -B "$build" \
+                      -DCMAKE_BUILD_TYPE=Debug \
+                      -DSMTAVF_COVERAGE=ON ;;
+      *) echo "unknown preset: $preset (want release, asan, tsan or" \
+              "coverage)" >&2
          exit 2 ;;
     esac
 
@@ -35,6 +47,15 @@ for preset in $presets; do
     if [ "$preset" = tsan ]; then
         # Only the concurrency surface needs the (slow) TSan pass.
         (cd "$build" && ctest -L tsan --output-on-failure -j "$jobs")
+    elif [ "$preset" = coverage ]; then
+        # An unoptimized instrumented full suite would be slow for no
+        # extra signal: the gate prices src/protect/ only, so run the
+        # tests that exercise that surface.
+        (cd "$build" && ctest --output-on-failure -j "$jobs" -R \
+            'ProtScheme|ProtectionConfig|ProtectedRun|CostModel|Coverage|Explorer|BeamProperties|ProtectCliFuzz|CampaignCsv')
+        echo "==> [$preset] gate"
+        python3 "$repo/tools/coverage_gate.py" "$build" src/protect/ \
+            "$coverage_gate"
     else
         (cd "$build" && ctest --output-on-failure -j "$jobs")
     fi
@@ -46,6 +67,25 @@ for preset in $presets; do
         echo "==> [$preset] bench smoke"
         "$build/bench/bench_micro_sim" --benchmark_min_time=0.05 \
             --benchmark_filter='BM_SimulatedInstructions' >/dev/null
+
+        # End-to-end flag validation: malformed protect invocations must
+        # exit 2 (usage error) without starting a campaign. The unit-level
+        # equivalent is tests/test_explorer_fuzz.cc; this leg pins the
+        # parser-to-exit-code wiring in the installed binary.
+        echo "==> [$preset] cli flag smoke"
+        for bad in '--explore=bogus' '--beam-width 4' '--resume' \
+                   '--explore=beam --beam-width 0' '--scrub-interval 0' \
+                   '--explore --scheme parity'; do
+            set +e
+            # shellcheck disable=SC2086  # word splitting is the point
+            "$build/tools/smtavf_cli" protect $bad >/dev/null 2>&1
+            st=$?
+            set -e
+            if [ "$st" -ne 2 ]; then
+                echo "protect $bad: expected exit 2, got $st" >&2
+                exit 1
+            fi
+        done
     fi
 done
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Line-coverage gate on gcov's JSON output, no gcovr required.
+
+Usage: coverage_gate.py BUILD_DIR SOURCE_PREFIX MIN_PERCENT
+
+Walks BUILD_DIR for .gcda files left behind by a --coverage test run
+(CMake option SMTAVF_COVERAGE, driven by `tools/check.sh coverage`),
+asks gcov for JSON intermediate output, and aggregates executable-line
+coverage over every source file whose repo-relative path starts with
+SOURCE_PREFIX. A line is covered when any translation unit executed it,
+so headers shared across TUs are priced once, at their best count.
+
+Exits 1 with a per-file table when aggregate coverage is below
+MIN_PERCENT, 2 on usage/tooling errors.
+"""
+
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda, scratch):
+    """Run gcov on one .gcda and yield the parsed per-TU JSON blobs."""
+    subprocess.run(
+        ["gcov", "--json-format", "--branch-probabilities", gcda],
+        cwd=scratch,
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    for name in os.listdir(scratch):
+        if not name.endswith(".gcov.json.gz"):
+            continue
+        path = os.path.join(scratch, name)
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            yield json.load(fh)
+        os.remove(path)
+
+
+def main(argv):
+    if len(argv) != 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    build_dir, prefix, min_percent = argv[1], argv[2], float(argv[3])
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(argv[0])))
+
+    # line_hits[(file, line)] = max execution count over all TUs.
+    line_hits = {}
+    gcda_count = 0
+    with tempfile.TemporaryDirectory() as scratch:
+        for gcda in find_gcda(build_dir):
+            gcda_count += 1
+            for blob in gcov_json(gcda, scratch):
+                for f in blob.get("files", []):
+                    path = f["file"]
+                    if not os.path.isabs(path):
+                        path = os.path.join(build_dir, path)
+                    rel = os.path.relpath(os.path.realpath(path), repo)
+                    if not rel.startswith(prefix):
+                        continue
+                    for line in f.get("lines", []):
+                        key = (rel, line["line_number"])
+                        count = line["count"]
+                        line_hits[key] = max(
+                            line_hits.get(key, 0), count)
+    if gcda_count == 0:
+        print(f"coverage_gate: no .gcda under {build_dir} — "
+              "was the build configured with -DSMTAVF_COVERAGE=ON "
+              "and the tests run?", file=sys.stderr)
+        return 2
+    if not line_hits:
+        print(f"coverage_gate: no executable lines under {prefix}",
+              file=sys.stderr)
+        return 2
+
+    per_file = {}
+    for (rel, _line), count in line_hits.items():
+        covered, total = per_file.get(rel, (0, 0))
+        per_file[rel] = (covered + (1 if count > 0 else 0), total + 1)
+
+    covered = sum(c for c, _t in per_file.values())
+    total = sum(t for _c, t in per_file.values())
+    percent = 100.0 * covered / total
+
+    width = max(len(rel) for rel in per_file)
+    for rel in sorted(per_file):
+        c, t = per_file[rel]
+        print(f"  {rel:<{width}}  {100.0 * c / t:6.2f}%  ({c}/{t})")
+    print(f"{prefix} line coverage: {percent:.2f}% "
+          f"({covered}/{total}), gate {min_percent:.2f}%")
+
+    if percent < min_percent:
+        print(f"coverage_gate: {percent:.2f}% < {min_percent:.2f}% — "
+              "new code under "
+              f"{prefix} needs tests (or an agreed gate change)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -52,6 +52,7 @@
 #include "metrics/metrics.hh"
 #include "protect/cost.hh"
 #include "protect/explorer.hh"
+#include "protect/options.hh"
 #include "protect/scheme.hh"
 #include "sim/campaign.hh"
 #include "sim/config.hh"
@@ -122,13 +123,23 @@ usage()
         "  --assign LIST         per-structure schemes, e.g.\n"
         "                        iq=secded,regfile=parity,rob=scrub\n"
         "  --scrub-interval N    scrubbing period in cycles (default 10000)\n"
-        "  --explore             sweep scheme x top-k hotspot assignments\n"
-        "                        and print the Pareto frontier\n"
-        "  --depth N             explore at most the top-N hotspots "
-        "(default 4)\n"
+        "  --explore[=MODE]      sweep assignments and print the Pareto\n"
+        "                        frontier; MODE is 'prefix' (scheme x top-k\n"
+        "                        hotspots, the default) or 'beam' (beam\n"
+        "                        search over mixed per-structure schemes\n"
+        "                        with per-structure scrub intervals)\n"
+        "  --depth N             prefix: top-N hotspots (default 4);\n"
+        "                        beam: search the top-N hotspots (default 6)\n"
+        "  --beam-width N        beam candidates kept per generation "
+        "(default 8)\n"
+        "  --generations N       beam expansion rounds (default 3)\n"
+        "  --budget N            beam: at most N candidate evaluations,\n"
+        "                        journal replays included (0 = unlimited)\n"
+        "  --journal FILE        beam: journal evaluated runs + search trace\n"
+        "  --resume              beam: replay journaled candidates\n"
         "  --jobs N              worker threads for --explore\n"
         "  --csv                 machine-readable output\n"
-        "  --json                full result as JSON (single run)\n"
+        "  --json                full result as JSON\n"
         "\n"
         "exit codes: 0 ok, 1 simulation failure, 2 bad usage/config,\n"
         "            3 campaign completed with failed runs\n");
@@ -467,123 +478,88 @@ campaignMain(int argc, char **argv)
 int
 protectMain(int argc, char **argv)
 {
-    std::string mix_name = "4ctx-mix-A";
-    std::string policy_name = "ICOUNT";
-    std::uint64_t instructions = 0;
-    std::uint64_t seed = 1;
-    std::string scheme_name;
-    std::string assign_spec;
-    std::uint64_t scrub_interval = 10000;
-    bool explore = false;
-    unsigned depth = 4;
-    unsigned jobs = 0;
-    bool csv = false;
-    bool json = false;
-
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (arg == "--mix") {
-            const char *v = next();
-            if (!v)
-                die("--mix needs a value");
-            mix_name = v;
-        } else if (arg == "--policy") {
-            const char *v = next();
-            if (!v)
-                die("--policy needs a value");
-            policy_name = v;
-        } else if (arg == "--instructions") {
-            instructions = parseNum("--instructions", next());
-        } else if (arg == "--seed") {
-            seed = parseNum("--seed", next());
-        } else if (arg == "--scheme") {
-            const char *v = next();
-            if (!v)
-                die("--scheme needs a value");
-            scheme_name = v;
-        } else if (arg == "--assign") {
-            const char *v = next();
-            if (!v)
-                die("--assign needs a value");
-            if (!assign_spec.empty())
-                assign_spec += ',';
-            assign_spec += v;
-        } else if (arg == "--scrub-interval") {
-            scrub_interval = parseNum("--scrub-interval", next());
-        } else if (arg == "--explore") {
-            explore = true;
-        } else if (arg == "--depth") {
-            depth = static_cast<unsigned>(parseNum("--depth", next()));
-            if (depth == 0)
-                die("--depth must be positive");
-        } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(parseNum("--jobs", next()));
-            if (jobs == 0)
-                die("--jobs must be positive");
-        } else if (arg == "--csv") {
-            csv = true;
-        } else if (arg == "--json") {
-            json = true;
-        } else {
-            usage();
-            die("unknown protect option: " + arg);
-        }
+    ProtectCliOptions po;
+    std::string err;
+    if (!parseProtectCli(std::vector<std::string>(argv + 2, argv + argc),
+                         po, err)) {
+        usage();
+        die(err);
     }
-    if (explore && (!scheme_name.empty() || !assign_spec.empty()))
-        die("--explore sweeps assignments itself; drop --scheme/--assign");
+    if (po.help) {
+        usage();
+        return 0;
+    }
 
     FetchPolicyKind policy;
-    if (!parseFetchPolicy(policy_name, policy))
-        die("unknown policy: " + policy_name + " (try --list)");
+    if (!parseFetchPolicy(po.policyName, policy))
+        die("unknown policy: " + po.policyName + " (try --list)");
 
-    const auto &mix = findMix(mix_name);
+    const auto &mix = findMix(po.mixName);
     auto cfg = table1Config(mix.contexts);
     cfg.fetchPolicy = policy;
-    cfg.seed = seed;
+    cfg.seed = po.seed;
 
     ProtectionConfig prot;
-    prot.scrubInterval = scrub_interval;
-    if (!scheme_name.empty()) {
+    prot.scrubInterval = po.scrubInterval;
+    if (!po.schemeName.empty()) {
         ProtScheme s;
-        if (!parseProtScheme(scheme_name, s))
-            die("unknown scheme: " + scheme_name +
+        if (!parseProtScheme(po.schemeName, s))
+            die("unknown scheme: " + po.schemeName +
                 " (none parity secded secded+scrub)");
-        prot = uniformProtection(s, scrub_interval);
+        prot = uniformProtection(s, po.scrubInterval);
     }
-    if (!assign_spec.empty()) {
-        std::string err;
-        if (!parseAssignment(assign_spec, prot, err))
-            die("bad --assign: " + err);
+    if (!po.assignSpec.empty()) {
+        std::string aerr;
+        if (!parseAssignment(po.assignSpec, prot, aerr))
+            die("bad --assign: " + aerr);
     }
     cfg.protection = prot;
     if (auto msg = cfg.validateMsg(); !msg.empty())
         die("invalid configuration: " + msg);
 
-    if (explore) {
-        ProtectionExplorer explorer(cfg, mix, instructions, depth);
-        CampaignRunner pool(jobs);
-        auto result = explorer.explore(pool);
-        if (csv) {
+    if (po.explore) {
+        ProtectionExplorer explorer(cfg, mix, po.instructions, po.depth);
+        CampaignRunner pool(po.jobs);
+        ExplorationResult result;
+        if (po.exploreMode == ExploreMode::Beam) {
+            BeamOptions bo;
+            bo.beamWidth = po.beamWidth;
+            bo.generations = po.generations;
+            bo.evalBudget = po.evalBudget;
+            if (po.depthSet)
+                bo.maxStructures = po.depth;
+            bo.scrubLadder =
+                ProtectionExplorer::defaultScrubLadder(po.scrubInterval);
+            bo.journalPath = po.journalPath;
+            bo.resume = po.resume;
+            result = explorer.exploreBeam(pool, bo);
+        } else {
+            result = explorer.explore(pool);
+        }
+        if (po.json) {
+            std::fputs(result.json().c_str(), stdout);
+        } else if (po.csv) {
             std::fputs(result.csv().c_str(), stdout);
         } else {
             std::fputs("hotspot priority (raw AVF, descending):", stdout);
             for (auto s : result.priority)
                 std::printf(" %s", hwStructName(s));
-            std::printf("\n\n%zu assignments evaluated, %zu on the Pareto "
-                        "frontier:\n",
-                        result.points.size(), result.frontier.size());
+            std::printf("\n\n%llu assignments evaluated (%llu from the "
+                        "journal, %llu pruned unsimulated), %zu on the "
+                        "Pareto frontier:\n",
+                        static_cast<unsigned long long>(result.evaluations),
+                        static_cast<unsigned long long>(result.journalHits),
+                        static_cast<unsigned long long>(result.prunedCount),
+                        result.frontier.size());
             std::fputs(result.table().c_str(), stdout);
+            for (const auto &w : result.warnings)
+                std::fprintf(stderr, "warning: %s\n", w.c_str());
         }
         return 0;
     }
 
-    auto r = runMix(cfg, mix, instructions);
+    auto r = runMix(cfg, mix, po.instructions);
+    bool csv = po.csv, json = po.json;
     const auto bits = structureBitCapacities(cfg);
     auto cost = protectionCost(cfg);
 
