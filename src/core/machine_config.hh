@@ -12,6 +12,7 @@
 #ifndef SMTAVF_CORE_MACHINE_CONFIG_HH
 #define SMTAVF_CORE_MACHINE_CONFIG_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -134,6 +135,20 @@ struct MachineConfig
      * every simulation in it is checked (tests/CMakeLists.txt).
      */
     Cycle invariantCheckCycles = envInvariantCycles();
+
+    /**
+     * Cooperative cancellation: when @ref cancel is non-null and
+     * cancelCheckCycles > 0, Simulator::run() polls the flag every
+     * cancelCheckCycles cycles and raises CancelledError (sim/errors.hh)
+     * the moment it is set — so a soft-timed-out or Ctrl-C'd campaign
+     * interrupts runaway in-flight runs instead of waiting for them to
+     * finish their whole budget. 0 (the default) disables the poll; like
+     * the watchdog knobs, neither field affects what a run computes, so
+     * both are excluded from the experiment fingerprint. The pointed-to
+     * flag must outlive the run (the campaign layer wires its own).
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    Cycle cancelCheckCycles = 0;
 
     /**
      * First inconsistent parameter as a message, or "" when the

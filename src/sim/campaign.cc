@@ -262,6 +262,8 @@ CampaignReport::failureReport() const
         os << "  run " << i << " [" << o.label << "] seed " << o.seed << ": "
            << runStatusName(o.status) << " after " << o.attempts
            << (o.attempts == 1 ? " attempt" : " attempts");
+        if (o.crash != CrashKind::None)
+            os << " [" << crashKindName(o.crash) << "]";
         if (!o.error.empty()) {
             // First line only: livelock/invariant messages carry
             // multi-line state dumps meant for logs, not summaries.
@@ -390,6 +392,21 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
         auto t0 = std::chrono::steady_clock::now();
         RunOutcome &out = report.outcomes[i];
 
+        // Thread-mode cancel poll: wire the campaign's flag into this
+        // run's config so Simulator::run() can unwind mid-budget. Both
+        // knobs are fingerprint-excluded, so journal keys are unchanged.
+        // (Process mode skips this: the child's copy of the flag never
+        // flips; the supervisor's SIGKILL handles cancellation there.)
+        const Experiment *exp = &exps[i];
+        Experiment wired;
+        if (opt.isolate == IsolateMode::Thread && opt.cancel &&
+            opt.cancelCheckCycles > 0) {
+            wired = exps[i];
+            wired.cfg.cancel = opt.cancel;
+            wired.cfg.cancelCheckCycles = opt.cancelCheckCycles;
+            exp = &wired;
+        }
+
         if (auto it = replay.find(fps[i]); it != replay.end()) {
             out.status = RunStatus::Ok;
             out.result = it->second;
@@ -402,25 +419,85 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
             std::string prev_error;
             for (;;) {
                 ++out.attempts;
+                if (out.attempts > 1 && opt.backoffSeconds > 0.0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(retryBackoffSeconds(
+                            out.attempts - 1, out.seed,
+                            opt.backoffSeconds)));
+                out.crash = CrashKind::None;
                 std::string msg;
-                try {
-                    out.result = run_one(exps[i], i);
-                    out.status = RunStatus::Ok;
-                    out.error.clear();
-                    if (journal)
-                        journal->append(fps[i], out.result);
-                    break;
-                } catch (const LivelockError &err) {
-                    // Deterministic by construction: the same seed spins
-                    // through the same window. Never retried.
-                    out.status = RunStatus::TimedOut;
-                    out.error = err.what();
-                    break;
-                } catch (const std::exception &err) {
-                    msg = err.what();
-                } catch (const SimError &err) {
-                    msg = err.message;
+                bool settled = false;
+                if (opt.isolate == IsolateMode::Process) {
+                    ChildLimits lim;
+                    lim.hardTimeoutSeconds = opt.hardTimeoutSeconds;
+                    lim.cpuSeconds = opt.childCpuSeconds;
+                    lim.memoryBytes = opt.childMemoryBytes;
+                    lim.cancel = opt.cancel;
+                    ChildOutcome co = runInChild(
+                        [&] { return run_one(*exp, i); }, lim);
+                    switch (co.kind) {
+                    case ChildOutcome::Kind::Result:
+                        out.result = std::move(co.result);
+                        out.status = RunStatus::Ok;
+                        out.error.clear();
+                        if (journal)
+                            journal->append(fps[i], out.result);
+                        settled = true;
+                        break;
+                    case ChildOutcome::Kind::Livelock:
+                    case ChildOutcome::Kind::Cancelled:
+                        // Deterministic (livelock) or deliberate
+                        // (cancel): never retried, like thread mode.
+                        out.status = RunStatus::TimedOut;
+                        out.error = std::move(co.message);
+                        settled = true;
+                        break;
+                    case ChildOutcome::Kind::Crash:
+                        out.crash = co.crash;
+                        if (co.crash == CrashKind::CpuLimit ||
+                            co.crash == CrashKind::HardTimeout) {
+                            // A run that burned past its CPU/wall budget
+                            // would burn through it again: timed out,
+                            // not retried.
+                            out.status = RunStatus::TimedOut;
+                            out.error = std::move(co.message);
+                            settled = true;
+                        } else {
+                            msg = std::move(co.message);
+                        }
+                        break;
+                    case ChildOutcome::Kind::Error:
+                        msg = std::move(co.message);
+                        break;
+                    }
+                } else {
+                    try {
+                        out.result = run_one(*exp, i);
+                        out.status = RunStatus::Ok;
+                        out.error.clear();
+                        if (journal)
+                            journal->append(fps[i], out.result);
+                        settled = true;
+                    } catch (const LivelockError &err) {
+                        // Deterministic by construction: the same seed
+                        // spins through the same window. Never retried.
+                        out.status = RunStatus::TimedOut;
+                        out.error = err.what();
+                        settled = true;
+                    } catch (const CancelledError &err) {
+                        // The run was healthy; the campaign was asked to
+                        // stop. Timed out, never retried.
+                        out.status = RunStatus::TimedOut;
+                        out.error = err.what();
+                        settled = true;
+                    } catch (const std::exception &err) {
+                        msg = err.what();
+                    } catch (const SimError &err) {
+                        msg = err.message;
+                    }
                 }
+                if (settled)
+                    break;
                 out.error = msg;
                 if (!prev_error.empty() && msg == prev_error) {
                     // Same seed, same failure, twice: a deterministic

@@ -32,6 +32,7 @@
 #include "core/machine_config.hh"
 #include "metrics/metrics.hh"
 #include "sim/experiment.hh"
+#include "sim/isolate.hh"
 #include "workload/mixes.hh"
 
 namespace smtavf
@@ -207,6 +208,12 @@ struct RunOutcome
     std::string error;      ///< last failure message (empty when Ok)
     unsigned attempts = 0;  ///< simulations actually started (0: skipped)
     bool fromJournal = false; ///< satisfied from the resume journal
+    /**
+     * Crash taxonomy of the *last* attempt, process-isolation campaigns
+     * only (sim/isolate.hh); None for thread-mode runs and for failures
+     * that never killed the child.
+     */
+    CrashKind crash = CrashKind::None;
 };
 
 /** Knobs of a fault-tolerant campaign (all defaults = plain campaign). */
@@ -223,9 +230,41 @@ struct CampaignOptions
     /** Stop dispatching when set (the CLI's SIGINT flag). */
     const std::atomic<bool> *cancel = nullptr;
     /**
+     * Where each run executes. Thread (default) runs in-process on the
+     * pool; Process forks a sandboxed child per run (sim/isolate.hh) so
+     * crashes, runaway allocations and wedged runs are contained and
+     * classified instead of taking the campaign down. Healthy results are
+     * bit-identical across modes (hexfloat wire format).
+     */
+    IsolateMode isolate = IsolateMode::Thread;
+    /**
+     * Process mode: SIGKILL a child past this wall-clock deadline — a
+     * *hard* timeout that needs no cooperation from the run. 0 = none.
+     */
+    double hardTimeoutSeconds = 0.0;
+    /** Process mode: per-child RLIMIT_CPU seconds (0 = inherit). */
+    std::uint64_t childCpuSeconds = 0;
+    /** Process mode: per-child RLIMIT_AS bytes (0 = inherit). */
+    std::uint64_t childMemoryBytes = 0;
+    /**
+     * Base of the exponential retry backoff: attempt k reruns after
+     * retryBackoffSeconds(k-1, run seed, base) — deterministic jitter per
+     * run, so replays behave identically. 0 (default) retries at once.
+     */
+    double backoffSeconds = 0.0;
+    /**
+     * Thread mode: forward @ref cancel into each run's MachineConfig so
+     * Simulator::run() polls it every this many cycles and unwinds with
+     * CancelledError mid-run. 0 (default) keeps the poll off; excluded
+     * from experiment fingerprints either way.
+     */
+    Cycle cancelCheckCycles = 0;
+    /**
      * Test seam: replaces runExperiment(). Receives the experiment and
      * its submission index; whatever it throws is handled exactly like a
-     * real simulation failure.
+     * real simulation failure. In process mode it executes inside the
+     * forked child — which makes it the chaos-injection hook: a runFn
+     * that segfaults exercises the real kill/reap/classify path.
      */
     std::function<SimResult(const Experiment &, std::size_t)> runFn;
 };

@@ -58,4 +58,24 @@ InvariantError::InvariantError(std::string invariant, Cycle cycle,
 {
 }
 
+namespace
+{
+
+std::string
+cancelledMessage(Cycle cycle, const std::string &mix_name)
+{
+    std::ostringstream os;
+    os << "cancelled mid-run at cycle " << cycle << " (" << mix_name
+       << "): campaign cancel flag observed";
+    return os.str();
+}
+
+} // namespace
+
+CancelledError::CancelledError(Cycle cycle, std::string mix_name)
+    : SimulationError(cancelledMessage(cycle, mix_name)), cycle(cycle),
+      mixName(std::move(mix_name))
+{
+}
+
 } // namespace smtavf

@@ -17,8 +17,12 @@
  *    and a state dump. A run that trips this must not contribute AVF
  *    numbers; the campaign layer fails it fast and quarantines it when the
  *    corruption reproduces.
+ *  - CancelledError: the simulation observed the campaign cancel flag
+ *    mid-run (MachineConfig::cancelCheckCycles) and unwound cleanly. The
+ *    campaign layer classifies it timed-out without retry — the run was
+ *    healthy, the user just asked the campaign to stop.
  *
- * Both derive from SimulationError (a std::runtime_error), so a single
+ * All derive from SimulationError (a std::runtime_error), so a single
  * catch clause gives the generic boundary while specific clauses can
  * classify.
  */
@@ -87,6 +91,22 @@ class InvariantError : public SimulationError
     std::string invariant; ///< short name, e.g. "regfile.conservation"
     Cycle cycle;           ///< cycle the check ran
     std::string stateDump; ///< machine state at detection
+};
+
+/**
+ * The simulation noticed the campaign's cancel flag mid-run and stopped
+ * instead of finishing its budget. Raised by Simulator::run() when
+ * MachineConfig::cancel is set and cancelCheckCycles > 0 — the fix for
+ * the soft-timeout blind spot where a runaway run in thread mode could
+ * only be abandoned at completion (docs/ROBUSTNESS.md).
+ */
+class CancelledError : public SimulationError
+{
+  public:
+    CancelledError(Cycle cycle, std::string mix_name);
+
+    Cycle cycle;         ///< cycle at which the flag was observed
+    std::string mixName; ///< workload that was interrupted
 };
 
 } // namespace smtavf

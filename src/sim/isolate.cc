@@ -1,0 +1,403 @@
+#include "sim/isolate.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <new>
+#include <sstream>
+
+#include "base/rng.hh"
+#include "sim/errors.hh"
+#include "sim/journal.hh"
+
+namespace smtavf
+{
+
+namespace
+{
+
+/**
+ * Registry of children currently under supervision, so a hard-exit signal
+ * handler can SIGKILL them all without taking any lock. Slots hold 0 when
+ * free; registration is best-effort (an overflowing slot table only costs
+ * kill coverage, never correctness).
+ */
+constexpr std::size_t kMaxLiveChildren = 256;
+std::atomic<long> g_liveChildren[kMaxLiveChildren];
+
+void
+registerChild(pid_t pid)
+{
+    for (auto &slot : g_liveChildren) {
+        long expected = 0;
+        if (slot.compare_exchange_strong(expected, static_cast<long>(pid)))
+            return;
+    }
+}
+
+void
+unregisterChild(pid_t pid)
+{
+    for (auto &slot : g_liveChildren) {
+        long expected = static_cast<long>(pid);
+        if (slot.compare_exchange_strong(expected, 0))
+            return;
+    }
+}
+
+/** Abbreviated name for the signals the taxonomy cares about. */
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGKILL: return "SIGKILL";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    default: return nullptr;
+    }
+}
+
+/** write(2) the whole buffer, retrying on EINTR; best-effort. */
+void
+writeAll(int fd, const std::string &buf)
+{
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Child-side main: sandbox, run, report, _exit. Never returns and never
+ * lets an exception escape — a throw out of here would unwind into the
+ * forked copy of the parent's stack.
+ *
+ * The report travels as `<tag>\n<payload>`: tag "ok" carries a `run v3`
+ * wire record (hexfloat + CRC, so the parent gets the bit-exact
+ * SimResult), every other tag carries the failure message.
+ */
+[[noreturn]] void
+childMain(const std::function<SimResult()> &fn, const ChildLimits &limits,
+          int fd)
+{
+#ifdef __linux__
+    // Die with the supervisor: no orphaned simulations if the parent is
+    // SIGKILLed (the chaos leg in tools/check.sh does exactly that).
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+    struct rlimit core_off = {0, 0};
+    ::setrlimit(RLIMIT_CORE, &core_off);
+    if (limits.cpuSeconds > 0) {
+        // Hard limit one second above soft: SIGXCPU (classifiable) fires
+        // first, SIGKILL only if the child somehow ignores it.
+        struct rlimit r;
+        r.rlim_cur = static_cast<rlim_t>(limits.cpuSeconds);
+        r.rlim_max = static_cast<rlim_t>(limits.cpuSeconds + 1);
+        ::setrlimit(RLIMIT_CPU, &r);
+    }
+    if (limits.memoryBytes > 0) {
+        struct rlimit r;
+        r.rlim_cur = static_cast<rlim_t>(limits.memoryBytes);
+        r.rlim_max = static_cast<rlim_t>(limits.memoryBytes);
+        ::setrlimit(RLIMIT_AS, &r);
+    }
+
+    std::string tag, payload;
+    try {
+        SimResult result = fn();
+        tag = "ok";
+        payload = serializeRun(0, result);
+    } catch (const CancelledError &e) {
+        tag = "cancelled";
+        payload = e.what();
+    } catch (const LivelockError &e) {
+        tag = "livelock";
+        payload = e.what();
+    } catch (const std::bad_alloc &) {
+        tag = "oom";
+        payload = "allocation failed under the child memory cap "
+                  "(std::bad_alloc)";
+    } catch (const std::exception &e) {
+        tag = "error";
+        payload = e.what();
+    } catch (...) {
+        tag = "error";
+        payload = "unknown exception in isolated child";
+    }
+
+    writeAll(fd, tag + "\n" + payload);
+    ::close(fd);
+    // _exit, not exit: the child must not run the parent's atexit
+    // handlers or flush duplicated stdio buffers.
+    ::_exit(0);
+}
+
+} // namespace
+
+const char *
+isolateModeName(IsolateMode m)
+{
+    return m == IsolateMode::Process ? "process" : "thread";
+}
+
+bool
+parseIsolateMode(const std::string &name, IsolateMode &out)
+{
+    std::string low;
+    for (char c : name)
+        low.push_back(static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    if (low == "thread") {
+        out = IsolateMode::Thread;
+        return true;
+    }
+    if (low == "process") {
+        out = IsolateMode::Process;
+        return true;
+    }
+    return false;
+}
+
+const char *
+crashKindName(CrashKind k)
+{
+    switch (k) {
+    case CrashKind::None: return "none";
+    case CrashKind::ExitCode: return "exit-code";
+    case CrashKind::Segv: return "segv";
+    case CrashKind::Abort: return "abort";
+    case CrashKind::Bus: return "bus";
+    case CrashKind::CpuLimit: return "cpu-limit";
+    case CrashKind::Oom: return "oom";
+    case CrashKind::HardTimeout: return "hard-timeout";
+    case CrashKind::Signal: return "signal";
+    }
+    return "none";
+}
+
+CrashKind
+classifyWaitStatus(int wait_status, bool supervisor_killed)
+{
+    if (WIFEXITED(wait_status))
+        return CrashKind::ExitCode;
+    if (WIFSIGNALED(wait_status)) {
+        switch (WTERMSIG(wait_status)) {
+        case SIGSEGV: return CrashKind::Segv;
+        case SIGABRT: return CrashKind::Abort;
+        case SIGBUS: return CrashKind::Bus;
+        case SIGXCPU: return CrashKind::CpuLimit;
+        // A SIGKILL the supervisor did not send is, in practice, the
+        // kernel OOM killer (or RLIMIT_CPU's hard stop — same remedy).
+        case SIGKILL:
+            return supervisor_killed ? CrashKind::HardTimeout
+                                     : CrashKind::Oom;
+        default: return CrashKind::Signal;
+        }
+    }
+    return CrashKind::Signal;
+}
+
+std::string
+describeChildDeath(int wait_status, bool supervisor_killed)
+{
+    std::ostringstream os;
+    if (WIFEXITED(wait_status)) {
+        os << "child exited with code " << WEXITSTATUS(wait_status);
+        if (WEXITSTATUS(wait_status) == 0)
+            os << " without a result";
+        return os.str();
+    }
+    int sig = WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
+    os << "child killed by signal " << sig;
+    if (const char *name = signalName(sig))
+        os << " (" << name << ")";
+    switch (classifyWaitStatus(wait_status, supervisor_killed)) {
+    case CrashKind::CpuLimit:
+        os << ": CPU rlimit exceeded";
+        break;
+    case CrashKind::HardTimeout:
+        os << ": hard timeout, killed by supervisor";
+        break;
+    case CrashKind::Oom:
+        if (sig == SIGKILL)
+            os << ": unsolicited SIGKILL (likely the kernel OOM killer)";
+        break;
+    default:
+        break;
+    }
+    return os.str();
+}
+
+ChildOutcome
+runInChild(const std::function<SimResult()> &fn, const ChildLimits &limits)
+{
+    ChildOutcome out;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        out.kind = ChildOutcome::Kind::Error;
+        out.message = "pipe() failed for isolated child";
+        return out;
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        out.kind = ChildOutcome::Kind::Error;
+        out.message = "fork() failed for isolated child";
+        return out;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        childMain(fn, limits, fds[1]); // never returns
+    }
+    ::close(fds[1]);
+    registerChild(pid);
+
+    using clock = std::chrono::steady_clock;
+    const bool have_deadline = limits.hardTimeoutSeconds > 0.0;
+    const auto deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(
+                               have_deadline ? limits.hardTimeoutSeconds
+                                             : 0.0));
+
+    std::string buf;
+    bool supervisor_killed = false;
+    bool cancel_killed = false;
+    for (bool eof = false; !eof;) {
+        struct pollfd pfd;
+        pfd.fd = fds[0];
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        // Finite poll granularity only when there is something to watch
+        // besides the pipe; otherwise block until the child speaks/dies.
+        int timeout_ms =
+            (have_deadline || limits.cancel) && !supervisor_killed ? 50 : -1;
+        int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // poll failure: fall through to reap + classify
+        }
+        if (rc > 0) {
+            char tmp[4096];
+            ssize_t n = ::read(fds[0], tmp, sizeof tmp);
+            if (n > 0)
+                buf.append(tmp, static_cast<std::size_t>(n));
+            else if (n == 0)
+                eof = true;
+            else if (errno != EINTR)
+                break;
+        }
+        if (!supervisor_killed) {
+            if (limits.cancel &&
+                limits.cancel->load(std::memory_order_relaxed)) {
+                ::kill(pid, SIGKILL);
+                supervisor_killed = cancel_killed = true;
+            } else if (have_deadline && clock::now() >= deadline) {
+                ::kill(pid, SIGKILL);
+                supervisor_killed = true;
+            }
+        }
+    }
+    ::close(fds[0]);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    unregisterChild(pid);
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0 && !buf.empty()) {
+        auto nl = buf.find('\n');
+        std::string tag = buf.substr(0, nl);
+        std::string payload =
+            nl == std::string::npos ? std::string() : buf.substr(nl + 1);
+        if (tag == "ok") {
+            std::uint64_t fp = 0;
+            if (parseRun(payload, fp, out.result)) {
+                out.kind = ChildOutcome::Kind::Result;
+                return out;
+            }
+            // Corrupted wire record (torn pipe write, bit flip): treat as
+            // a crash so the retry machinery gets a second attempt.
+            out.kind = ChildOutcome::Kind::Crash;
+            out.crash = CrashKind::ExitCode;
+            out.message = "child result failed the wire-format CRC check";
+            return out;
+        }
+        out.message = std::move(payload);
+        if (tag == "livelock") {
+            out.kind = ChildOutcome::Kind::Livelock;
+            return out;
+        }
+        if (tag == "cancelled") {
+            out.kind = ChildOutcome::Kind::Cancelled;
+            return out;
+        }
+        if (tag == "oom") {
+            out.kind = ChildOutcome::Kind::Crash;
+            out.crash = CrashKind::Oom;
+            return out;
+        }
+        out.kind = ChildOutcome::Kind::Error;
+        if (tag != "error")
+            out.message = "unrecognized child protocol tag '" + tag + "'";
+        return out;
+    }
+
+    if (cancel_killed) {
+        out.kind = ChildOutcome::Kind::Cancelled;
+        out.message = "child killed by supervisor: campaign cancelled";
+        return out;
+    }
+    out.kind = ChildOutcome::Kind::Crash;
+    out.crash = classifyWaitStatus(status, supervisor_killed);
+    out.message = describeChildDeath(status, supervisor_killed);
+    return out;
+}
+
+void
+killLiveChildren()
+{
+    for (auto &slot : g_liveChildren) {
+        long pid = slot.load(std::memory_order_relaxed);
+        if (pid > 0)
+            ::kill(static_cast<pid_t>(pid), SIGKILL);
+    }
+}
+
+double
+retryBackoffSeconds(unsigned attempt, std::uint64_t seed, double base)
+{
+    if (attempt == 0 || base <= 0.0)
+        return 0.0;
+    unsigned exp = attempt - 1 < 16 ? attempt - 1 : 16;
+    // 53 high bits of the split seed -> uniform jitter in [0, 1).
+    double jitter =
+        static_cast<double>(splitSeed(seed, attempt) >> 11) * 0x1.0p-53;
+    return base * static_cast<double>(1u << exp) * (1.0 + jitter);
+}
+
+} // namespace smtavf

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Process-level run isolation for fault-tolerant campaigns.
+ *
+ * runTolerant()'s thread mode contains failures that surface as C++
+ * exceptions, but a SIGSEGV, a runaway allocation the OOM killer
+ * resolves, or a run that never polls the cancel flag still takes the
+ * whole campaign down with it. Process mode closes that gap: each run
+ * executes in a forked child with its own rlimits (CPU seconds, address
+ * space, core dumps off) and a supervisor-enforced *hard* timeout —
+ * SIGKILL works on a child that never checks anything. The supervisor
+ * reaps every child and classifies its death into a small crash taxonomy
+ * (CrashKind) that feeds the existing RunOutcome retry/quarantine
+ * machinery (docs/ROBUSTNESS.md).
+ *
+ * Determinism: a healthy child computes exactly what the same run would
+ * compute in-process (same code, same seed-derived RNG streams, no shared
+ * mutable state) and ships its SimResult back over a pipe in the journal
+ * wire format — hexfloat doubles, CRC-checked — so process-mode campaigns
+ * are bit-identical to thread-mode ones. tests/test_isolate.cc proves it
+ * differentially for 1- and 4-worker pools.
+ */
+
+#ifndef SMTAVF_SIM_ISOLATE_HH
+#define SMTAVF_SIM_ISOLATE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "metrics/metrics.hh"
+
+namespace smtavf
+{
+
+/** Where a fault-tolerant campaign executes its runs. */
+enum class IsolateMode
+{
+    Thread, ///< in-process worker threads (exceptions contained, crashes not)
+    Process ///< forked child per run: rlimits, hard kill timeout, taxonomy
+};
+
+/** Canonical lower-case name ("thread", "process"). */
+const char *isolateModeName(IsolateMode m);
+
+/** Parse an isolation mode name (case-insensitive). */
+bool parseIsolateMode(const std::string &name, IsolateMode &out);
+
+/**
+ * How an isolated child died, when it did not deliver a clean protocol
+ * result. The supervisor derives this from the wait status plus its own
+ * knowledge of whether *it* sent the SIGKILL.
+ */
+enum class CrashKind
+{
+    None,        ///< no crash: the child delivered a protocol payload
+    ExitCode,    ///< child exited with a nonzero code (or 0 and no payload)
+    Segv,        ///< SIGSEGV
+    Abort,       ///< SIGABRT (assert, abort(), unhandled exception path)
+    Bus,         ///< SIGBUS
+    CpuLimit,    ///< SIGXCPU: burned past RLIMIT_CPU
+    Oom,         ///< allocation failure under the memory cap, or an
+                 ///< unsolicited SIGKILL (the kernel OOM killer's weapon)
+    HardTimeout, ///< supervisor SIGKILL at the hard wall-clock deadline
+    Signal       ///< any other fatal signal
+};
+
+/** Short lower-case name ("segv", "cpu-limit", "hard-timeout", ...). */
+const char *crashKindName(CrashKind k);
+
+/**
+ * Classify a waitpid() status. @p supervisor_killed must be true iff the
+ * supervisor itself SIGKILLed the child (hard timeout or cancellation) —
+ * it is what distinguishes a deliberate kill from the OOM killer's.
+ * A normally-exited status (code 0) classifies as ExitCode here; callers
+ * only ask after deciding the payload was not a clean result.
+ */
+CrashKind classifyWaitStatus(int wait_status, bool supervisor_killed);
+
+/** Human-readable one-liner for a classified child death. */
+std::string describeChildDeath(int wait_status, bool supervisor_killed);
+
+/** Sandbox knobs applied to each forked child. */
+struct ChildLimits
+{
+    /**
+     * Supervisor-enforced wall-clock deadline per child; past it the
+     * child is SIGKILLed and the run classified HardTimeout. Unlike the
+     * campaign soft timeout this needs no cooperation from the child.
+     * 0 = no hard timeout.
+     */
+    double hardTimeoutSeconds = 0.0;
+    /** RLIMIT_CPU in seconds (SIGXCPU past it); 0 = inherit. */
+    std::uint64_t cpuSeconds = 0;
+    /** RLIMIT_AS in bytes (allocations fail past it); 0 = inherit. */
+    std::uint64_t memoryBytes = 0;
+    /**
+     * When set, the supervisor polls this flag while waiting and
+     * SIGKILLs the child the moment it flips — so Ctrl-C interrupts even
+     * a wedged child immediately. The death is reported as Cancelled,
+     * not HardTimeout.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+};
+
+/** Everything one isolated child execution can come back as. */
+struct ChildOutcome
+{
+    enum class Kind
+    {
+        Result,    ///< clean SimResult, bit-exact via the wire format
+        Livelock,  ///< child reported LivelockError (deterministic)
+        Cancelled, ///< child unwound on the cancel flag, or the
+                   ///< supervisor killed it on cancellation
+        Error,     ///< child caught a structured failure and reported it
+        Crash      ///< child died; see crash for the taxonomy
+    };
+
+    Kind kind = Kind::Crash;
+    SimResult result;             ///< valid when kind == Result
+    std::string message;          ///< failure text (empty for Result)
+    CrashKind crash = CrashKind::None; ///< valid when kind == Crash
+};
+
+/**
+ * Run @p fn in a forked, sandboxed child and collect the outcome.
+ *
+ * The child disables core dumps, applies the rlimits, arranges to die
+ * with its supervisor (PR_SET_PDEATHSIG), executes fn(), and writes a
+ * tagged payload to a pipe: a successful SimResult travels as a
+ * `run v3` journal record (hexfloat-exact + CRC), failures as their
+ * message. The supervisor enforces the hard timeout with SIGKILL, reaps
+ * the child, and classifies any non-protocol death via
+ * classifyWaitStatus(). Exceptions never cross the process boundary —
+ * every path returns a ChildOutcome.
+ *
+ * fn runs in the child process: state it mutates is invisible to the
+ * parent, and anything it does fatally wrong (segfault, leak past the
+ * cap, infinite loop) is contained. This is also the chaos-injection
+ * seam: a test runFn that raises SIGSEGV on a designated index exercises
+ * the real kill/reap/classify path (tests/test_isolate.cc).
+ */
+ChildOutcome runInChild(const std::function<SimResult()> &fn,
+                        const ChildLimits &limits);
+
+/**
+ * SIGKILL every child currently being supervised by runInChild() in this
+ * process. Async-signal-safe; the CLI's hard-exit SIGINT handler calls
+ * it so a second Ctrl-C never leaves orphaned simulation children
+ * burning CPU.
+ */
+void killLiveChildren();
+
+/**
+ * Deterministic exponential retry backoff: 0 for the first attempt or a
+ * zero base, else base * 2^(attempt-1) * (1 + jitter) seconds, where
+ * jitter in [0, 1) derives from splitSeed(@p seed, @p attempt) — the
+ * same run backs off identically on every replay of the campaign, while
+ * different runs decorrelate instead of thundering back together.
+ * The exponent saturates at 2^16 so absurd attempt counts stay finite.
+ */
+double retryBackoffSeconds(unsigned attempt, std::uint64_t seed,
+                           double base);
+
+} // namespace smtavf
+
+#endif // SMTAVF_SIM_ISOLATE_HH

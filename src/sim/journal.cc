@@ -9,6 +9,10 @@
 #include <map>
 #include <sstream>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "base/logging.hh"
 
 namespace smtavf
@@ -116,7 +120,40 @@ fpTlb(std::ostringstream &os, const TlbConfig &t)
     fpField(os, "penalty", t.missPenalty);
 }
 
+/** "key=value" accessor over one space-separated token. */
+bool
+tokenValue(const std::string &tok, const char *key, std::string &out)
+{
+    std::size_t klen = std::strlen(key);
+    if (tok.size() < klen + 1 || tok.compare(0, klen, key) != 0 ||
+        tok[klen] != '=')
+        return false;
+    out = tok.substr(klen + 1);
+    return true;
+}
+
 } // namespace
+
+std::uint32_t
+crc32c(const std::string &text)
+{
+    // Reflected CRC-32C table, built once (Castagnoli polynomial
+    // 0x1EDC6F41, reflected 0x82F63B78 — the iSCSI/SSE4.2 CRC).
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    for (unsigned char byte : text)
+        crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
 
 std::uint64_t
 experimentFingerprint(const Experiment &e)
@@ -136,9 +173,10 @@ experimentFingerprint(const Experiment &e)
             e.budget ? e.budget : defaultBudget(e.mix.contexts));
 
     // Every MachineConfig field that can change a SimResult. The
-    // robustness knobs (livelockCycles, invariantCheckCycles) only decide
-    // whether a run *finishes*, never what it computes, and are excluded
-    // so a journal written with checking on replays with checking off.
+    // robustness knobs (livelockCycles, invariantCheckCycles, the cancel
+    // poll) only decide whether a run *finishes*, never what it computes,
+    // and are excluded so a journal written with checking on replays with
+    // checking off.
     fpField(os, "contexts", c.contexts);
     fpField(os, "fetchW", c.fetchWidth);
     fpField(os, "decodeW", c.decodeWidth);
@@ -206,7 +244,7 @@ serializeRun(std::uint64_t fingerprint, const SimResult &r)
     std::ostringstream os;
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016" PRIx64, fingerprint);
-    os << "run v2 fp=" << fp << " mix=" << r.mixName
+    os << "fp=" << fp << " mix=" << r.mixName
        << " policy=" << r.policyName << " cycles=" << r.cycles
        << " committed=" << r.totalCommitted << " ipc=" << hexDouble(r.ipc);
 
@@ -242,33 +280,54 @@ serializeRun(std::uint64_t fingerprint, const SimResult &r)
         os << name << '=' << hexDouble(value);
         first = false;
     }
-    return os.str();
+
+    // The checksum covers the payload exactly as written after the
+    // "crc=XXXXXXXX " token, so any flipped byte breaks verification.
+    std::string payload = os.str();
+    char head[32];
+    std::snprintf(head, sizeof(head), "run v3 crc=%08x ", crc32c(payload));
+    return head + payload;
 }
 
 bool
 parseRun(const std::string &line, std::uint64_t &fingerprint, SimResult &r)
 {
     auto tokens = split(line, ' ');
-    if (tokens.size() != 11 || tokens[0] != "run" || tokens[1] != "v2")
+    if (tokens.size() < 2 || tokens[0] != "run")
         return false;
+
+    // v3 carries a CRC32C over everything after its token; v2 (pre-CRC)
+    // is still accepted so old journals keep replaying.
+    std::size_t base = 0;
+    if (tokens[1] == "v2" && tokens.size() == 11) {
+        base = 2;
+    } else if (tokens[1] == "v3" && tokens.size() == 12) {
+        std::string crc_text;
+        if (!tokenValue(tokens[2], "crc", crc_text) || crc_text.size() != 8)
+            return false;
+        std::uint64_t want = 0;
+        if (!parseHex64(crc_text, want))
+            return false;
+        std::size_t payload_at =
+            tokens[0].size() + tokens[1].size() + tokens[2].size() + 3;
+        if (crc32c(line.substr(payload_at)) != want)
+            return false;
+        base = 3;
+    } else {
+        return false;
+    }
 
     auto value_of = [&](std::size_t i, const char *key,
                         std::string &out) -> bool {
-        const std::string &tok = tokens[i];
-        std::size_t klen = std::strlen(key);
-        if (tok.size() < klen + 1 || tok.compare(0, klen, key) != 0 ||
-            tok[klen] != '=')
-            return false;
-        out = tok.substr(klen + 1);
-        return true;
+        return tokenValue(tokens[base + i], key, out);
     };
 
     std::string fp, mix, policy, cycles, committed, ipc, threads, avf, stats;
-    if (!value_of(2, "fp", fp) || !value_of(3, "mix", mix) ||
-        !value_of(4, "policy", policy) || !value_of(5, "cycles", cycles) ||
-        !value_of(6, "committed", committed) || !value_of(7, "ipc", ipc) ||
-        !value_of(8, "threads", threads) || !value_of(9, "avf", avf) ||
-        !value_of(10, "stats", stats)) // "stats=" alone is valid (empty map)
+    if (!value_of(0, "fp", fp) || !value_of(1, "mix", mix) ||
+        !value_of(2, "policy", policy) || !value_of(3, "cycles", cycles) ||
+        !value_of(4, "committed", committed) || !value_of(5, "ipc", ipc) ||
+        !value_of(6, "threads", threads) || !value_of(7, "avf", avf) ||
+        !value_of(8, "stats", stats)) // "stats=" alone is valid (empty map)
         return false;
 
     SimResult out;
@@ -346,21 +405,43 @@ parseRun(const std::string &line, std::uint64_t &fingerprint, SimResult &r)
 
 RunJournal::RunJournal(std::string path) : path_(std::move(path))
 {
-    file_ = std::fopen(path_.c_str(), "a");
-    if (!file_)
+    // O_APPEND makes each write(2) land atomically at the current end of
+    // file, even with several supervisors appending to one journal; a
+    // record is assembled fully before the single write, so a dying
+    // process can never leave half a line.
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
         SMTAVF_FATAL("cannot open journal ", path_, ": ",
                      std::strerror(errno));
     // A header comment per session makes interrupted-and-resumed files
     // self-describing without affecting the loader.
-    long pos = std::ftell(file_);
-    if (pos == 0)
-        std::fputs("# smtavf campaign journal v2\n", file_);
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0 && st.st_size == 0)
+        writeLine("# smtavf campaign journal v3");
 }
 
 RunJournal::~RunJournal()
 {
-    if (file_)
-        std::fclose(file_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+RunJournal::writeLine(const std::string &line)
+{
+    std::string buf = line;
+    buf += '\n';
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            SMTAVF_FATAL("journal write to ", path_, " failed: ",
+                         std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
 }
 
 void
@@ -368,11 +449,7 @@ RunJournal::append(std::uint64_t fingerprint, const SimResult &r)
 {
     std::string line = serializeRun(fingerprint, r);
     std::lock_guard<std::mutex> lock(mutex_);
-    std::fputs(line.c_str(), file_);
-    std::fputc('\n', file_);
-    // Flush per record: the journal exists precisely for the case where
-    // the process dies before exit, so buffered records are worthless.
-    std::fflush(file_);
+    writeLine(line);
 }
 
 void
@@ -381,10 +458,7 @@ RunJournal::comment(const std::string &text)
     if (text.find('\n') != std::string::npos)
         SMTAVF_FATAL("journal comment with embedded newline: ", text);
     std::lock_guard<std::mutex> lock(mutex_);
-    std::fputs("# ", file_);
-    std::fputs(text.c_str(), file_);
-    std::fputc('\n', file_);
-    std::fflush(file_);
+    writeLine("# " + text);
 }
 
 std::unordered_map<std::uint64_t, SimResult>
@@ -403,7 +477,7 @@ loadJournal(const std::string &path, std::size_t *skipped)
             if (parseRun(line, fp, r))
                 out[fp] = std::move(r);
             else
-                ++bad; // torn final line from a crash, or hand edits
+                ++bad; // torn tail from a crash, bit flips, hand edits
         }
     }
     if (skipped)
@@ -411,19 +485,126 @@ loadJournal(const std::string &path, std::size_t *skipped)
     return out;
 }
 
+JournalFsck
+fsckJournal(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SMTAVF_FATAL("cannot read journal ", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+
+    JournalFsck fsck;
+    std::size_t line_no = 0;
+    std::uint64_t offset = 0;
+    // Line index of the last *valid* record/comment — used to decide
+    // whether the damage is confined to a truncatable tail.
+    std::size_t last_issue_after_valid = 0;
+
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        std::size_t nl = bytes.find('\n', pos);
+        bool torn_eof = nl == std::string::npos; // no trailing newline
+        std::size_t end = torn_eof ? bytes.size() : nl;
+        std::string line = bytes.substr(pos, end - pos);
+        ++line_no;
+        offset = pos;
+
+        if (line.empty() || line[0] == '#') {
+            ++fsck.comments;
+            if (!fsck.issues.empty())
+                last_issue_after_valid = fsck.issues.size();
+        } else {
+            std::uint64_t fp = 0;
+            SimResult r;
+            if (parseRun(line, fp, r)) {
+                ++fsck.records;
+                if (!fsck.issues.empty())
+                    last_issue_after_valid = fsck.issues.size();
+            } else {
+                JournalIssue issue;
+                issue.line = line_no;
+                issue.offset = offset;
+                if (torn_eof) {
+                    issue.reason = "torn record (no trailing newline)";
+                } else {
+                    // Distinguish a checksum failure (structure intact,
+                    // bytes flipped) from structural damage.
+                    auto tokens = split(line, ' ');
+                    bool v3_shape = tokens.size() == 12 &&
+                                    tokens[0] == "run" && tokens[1] == "v3";
+                    std::string crc_text;
+                    if (v3_shape &&
+                        tokenValue(tokens[2], "crc", crc_text) &&
+                        crc_text.size() == 8) {
+                        std::size_t payload_at = tokens[0].size() +
+                                                 tokens[1].size() +
+                                                 tokens[2].size() + 3;
+                        std::uint64_t want = 0;
+                        if (parseHex64(crc_text, want) &&
+                            crc32c(line.substr(payload_at)) != want) {
+                            issue.reason = "bad CRC (bit flip or torn "
+                                           "write)";
+                        }
+                    }
+                    if (issue.reason.empty())
+                        issue.reason = "malformed record";
+                }
+                fsck.issues.push_back(std::move(issue));
+            }
+        }
+        pos = torn_eof ? bytes.size() : nl + 1;
+    }
+
+    // The damage is a pure tail when nothing valid follows the first bad
+    // line: truncating there recovers every record before it.
+    if (!fsck.issues.empty() && last_issue_after_valid == 0) {
+        fsck.tailOnly = true;
+        fsck.truncateOffset = fsck.issues.front().offset;
+    }
+    return fsck;
+}
+
+bool
+repairJournalTail(const std::string &path, const JournalFsck &fsck)
+{
+    if (fsck.clean() || !fsck.tailOnly)
+        return false;
+    if (::truncate(path.c_str(), static_cast<off_t>(fsck.truncateOffset)) !=
+        0)
+        SMTAVF_FATAL("cannot truncate journal ", path, ": ",
+                     std::strerror(errno));
+    return true;
+}
+
 std::size_t
 mergeJournals(const std::vector<std::string> &inputs,
-              const std::string &out_path)
+              const std::string &out_path,
+              std::vector<std::string> *corruption)
 {
     // Keep the raw line per fingerprint: records round-trip exactly
     // (hexfloat doubles), so re-serializing would be pointless risk. The
     // ordered map gives byte-deterministic output independent of shard
     // completion order.
     std::map<std::uint64_t, std::string> records;
+    std::vector<std::string> damaged;
     for (const auto &path : inputs) {
+        // Full integrity audit first: merging is the one place where a
+        // silently-dropped record poisons downstream analysis (the merged
+        // journal claims to be the whole campaign), so unlike resume —
+        // which re-simulates whatever a torn tail lost — merge refuses.
+        auto fsck = fsckJournal(path); // fatal when unreadable
+        for (const auto &issue : fsck.issues) {
+            std::ostringstream os;
+            os << path << ":line " << issue.line << " @ byte "
+               << issue.offset << ": " << issue.reason;
+            damaged.push_back(os.str());
+        }
+        if (!fsck.clean())
+            continue;
+
         std::ifstream in(path);
-        if (!in)
-            SMTAVF_FATAL("cannot read journal ", path);
         std::string line;
         while (std::getline(in, line)) {
             if (line.empty() || line[0] == '#')
@@ -431,9 +612,17 @@ mergeJournals(const std::vector<std::string> &inputs,
             std::uint64_t fp = 0;
             SimResult r;
             if (!parseRun(line, fp, r))
-                continue; // torn final line from a crash, or hand edits
+                continue; // unreachable: fsck was clean
             records.emplace(fp, line); // first occurrence wins
         }
+    }
+
+    if (!damaged.empty()) {
+        if (!corruption)
+            SMTAVF_FATAL("refusing to merge corrupt journal: ", damaged[0],
+                         damaged.size() > 1 ? " (and more)" : "");
+        *corruption = std::move(damaged);
+        return 0;
     }
 
     std::ofstream out(out_path, std::ios::trunc);

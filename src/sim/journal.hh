@@ -15,26 +15,34 @@
  *
  * Format (docs/ROBUSTNESS.md): one text line per record,
  *
- *   run v2 fp=<hex16> mix=<name> policy=<name> cycles=<u64>
+ *   run v3 crc=<hex8> fp=<hex16> mix=<name> policy=<name> cycles=<u64>
  *   committed=<u64> ipc=<hexfloat> threads=<bench>,<u64>,<hexfloat>;...
  *   avf=<avf>:<occ>:<residual>:<t0>,<t1>,...;...
  *   stats=<name>=<hexfloat>;...
  *
- * (single line, single spaces). v2 added the per-structure residual AVF
- * column and folded the protection assignment into the fingerprint; v1
- * lines no longer parse, so pre-protection journals simply re-run on
- * resume. Doubles are printed as C hexfloats
- * ("%a"), which round-trip exactly — the journal must not perturb a
- * single bit of a result. Lines that fail to parse (a crash can leave a
- * torn final line) are skipped on load; '#' lines are comments. Only
- * successful runs are journaled: failures re-run on resume.
+ * (single line, single spaces). v3 added the CRC32C integrity field: the
+ * checksum covers every byte after the "crc=XXXXXXXX " token, so a
+ * bit-flipped hexfloat — which would otherwise parse fine and silently
+ * corrupt a resumed campaign — is detected and the record rejected.
+ * Pre-CRC `run v2` records (no crc token) still load; v1 lines no longer
+ * parse, so pre-protection journals simply re-run on resume. Doubles are
+ * printed as C hexfloats ("%a"), which round-trip exactly — the journal
+ * must not perturb a single bit of a result.
+ *
+ * Appends are crash-safe: each record is assembled fully and written with
+ * a single O_APPEND write(2), so a dying writer (kill -9, OOM) either
+ * lands the whole line or none of it; only a torn filesystem (power
+ * loss) can leave a partial record, and the CRC catches the remains.
+ * Lines that fail to parse or checksum are skipped on load; '#' lines
+ * are comments. Only successful runs are journaled: failures re-run on
+ * resume. fsckJournal() audits a file offline (the CLI's `journal fsck`)
+ * and can truncate a torn/corrupt tail, recovering everything before it.
  */
 
 #ifndef SMTAVF_SIM_JOURNAL_HH
 #define SMTAVF_SIM_JOURNAL_HH
 
 #include <cstdint>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -47,24 +55,37 @@ namespace smtavf
 {
 
 /**
+ * CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) of @p text —
+ * the per-record integrity checksum of `run v3` journal lines.
+ * crc32c("123456789") == 0xe3069283 (the standard check value).
+ */
+std::uint32_t crc32c(const std::string &text);
+
+/**
  * Stable fingerprint of everything that determines an Experiment's
  * result. Labels are cosmetic and excluded; the unresolved budget (0 =
  * default) is resolved first so a journal survives flag spelling changes.
  */
 std::uint64_t experimentFingerprint(const Experiment &e);
 
-/** Serialize one journal record (no trailing newline). */
+/** Serialize one `run v3` journal record (no trailing newline). */
 std::string serializeRun(std::uint64_t fingerprint, const SimResult &r);
 
 /**
  * Parse one journal line; returns false (outputs untouched or partially
- * written) on malformed input. Comments and blank lines are "malformed"
- * by design — callers skip false lines.
+ * written) on malformed input or a v3 CRC mismatch. Accepts `run v3`
+ * (CRC-checked) and legacy `run v2` (no checksum). Comments and blank
+ * lines are "malformed" by design — callers skip false lines.
  */
 bool parseRun(const std::string &line, std::uint64_t &fingerprint,
               SimResult &r);
 
-/** Append-only, thread-safe journal writer (one flushed line per run). */
+/**
+ * Append-only, thread-safe journal writer. Every record is flushed with
+ * one O_APPEND write(2) — atomic with respect to concurrent writers and
+ * to the writer's own death, so a killed campaign never leaves a torn
+ * record behind (docs/ROBUSTNESS.md).
+ */
 class RunJournal
 {
   public:
@@ -88,31 +109,88 @@ class RunJournal
     const std::string &path() const { return path_; }
 
   private:
+    void writeLine(const std::string &line);
+
     std::string path_;
     std::mutex mutex_;
-    std::FILE *file_ = nullptr;
+    int fd_ = -1;
 };
 
 /**
  * Load every well-formed record of @p path into a fingerprint-keyed map;
  * returns an empty map when the file does not exist (a fresh campaign).
- * @p skipped, when non-null, receives the count of malformed lines.
+ * Corrupt records — torn tails, bit flips caught by the v3 CRC, hand
+ * edits — are skipped, so a resume recovers everything before (and
+ * after) the damage and re-simulates only the lost runs. @p skipped,
+ * when non-null, receives the count of such lines.
  */
 std::unordered_map<std::uint64_t, SimResult>
 loadJournal(const std::string &path, std::size_t *skipped = nullptr);
+
+/** One damaged line found by fsckJournal(). */
+struct JournalIssue
+{
+    std::size_t line = 0;      ///< 1-based line number
+    std::uint64_t offset = 0;  ///< byte offset of the line's first byte
+    std::string reason;        ///< "bad CRC", "torn record", ...
+};
+
+/** Integrity audit of one journal file (the CLI's `journal fsck`). */
+struct JournalFsck
+{
+    std::size_t records = 0;   ///< well-formed run records
+    std::size_t comments = 0;  ///< '#' comment / blank lines
+    std::vector<JournalIssue> issues; ///< every damaged line, in order
+
+    /**
+     * True when every issue sits in a trailing suffix with no valid
+     * record after it — the signature of a crash mid-write (or of
+     * trailing garbage), repairable by truncating at truncateOffset.
+     */
+    bool tailOnly = false;
+    std::uint64_t truncateOffset = 0; ///< valid when tailOnly
+
+    bool clean() const { return issues.empty(); }
+};
+
+/**
+ * Audit @p path line by line: verify structure and (for v3 records) the
+ * CRC of every non-comment line, reporting each damaged line with its
+ * byte offset. Legacy `run v2` records pass without a checksum. Fatal
+ * when the file cannot be read.
+ */
+JournalFsck fsckJournal(const std::string &path);
+
+/**
+ * Truncate @p path at @p fsck.truncateOffset, discarding a torn/corrupt
+ * tail while keeping every record before it — the `journal fsck
+ * --repair` action. Returns false (file untouched) unless the damage is
+ * confined to the tail (fsck.tailOnly); mid-file corruption cannot be
+ * repaired by truncation and must be handled by re-running the affected
+ * experiments (resume skips the bad records anyway).
+ */
+bool repairJournalTail(const std::string &path, const JournalFsck &fsck);
 
 /**
  * Merge shard journals (see shardExperiments) into one file. Records are
  * deduplicated by fingerprint — the determinism contract guarantees
  * duplicate fingerprints carry identical results, so the first occurrence
  * wins — and written sorted by fingerprint, making the merged file
- * byte-deterministic regardless of shard completion order. Malformed
- * lines are skipped like loadJournal does. Returns the number of unique
- * records written; fatal when an input does not exist or the output
- * cannot be written.
+ * byte-deterministic regardless of shard completion order. Raw record
+ * lines are preserved (hexfloats round-trip exactly), so merging v2 and
+ * v3 inputs yields a journal whose records keep their original format.
+ *
+ * Every input line is CRC-verified first: a corrupt or torn record
+ * anywhere in any input aborts the merge — nothing is written and each
+ * damaged line is reported in @p corruption (when non-null) as
+ * "file:line N @ byte B: reason"; with @p corruption null, corruption is
+ * fatal. Run `journal fsck --repair` on the damaged input first. Returns
+ * the number of unique records written (0 on refusal); fatal when an
+ * input does not exist or the output cannot be written.
  */
 std::size_t mergeJournals(const std::vector<std::string> &inputs,
-                          const std::string &out_path);
+                          const std::string &out_path,
+                          std::vector<std::string> *corruption = nullptr);
 
 } // namespace smtavf
 

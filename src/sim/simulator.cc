@@ -158,6 +158,15 @@ Simulator::run(std::uint64_t instr_budget)
         core_->tick();
         if (timeline)
             timeline->tick(core_->now());
+        // Cancel poll: bounded-interval check of the campaign's cancel
+        // flag so even a run that livelocks below the watchdog horizon
+        // (or simply has a huge budget) is interrupted promptly. A
+        // relaxed load is enough — the flag only ever flips one way and
+        // a poll-interval delay is inherent anyway.
+        if (cfg_.cancelCheckCycles > 0 && cfg_.cancel &&
+            core_->now() % cfg_.cancelCheckCycles == 0 &&
+            cfg_.cancel->load(std::memory_order_relaxed))
+            throw CancelledError(core_->now(), mix_.name);
         if (cfg_.invariantCheckCycles > 0 &&
             core_->now() % cfg_.invariantCheckCycles == 0) {
             checkInvariants(*core_, ledger_, core_->now());

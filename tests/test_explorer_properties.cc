@@ -345,7 +345,7 @@ TEST(BeamProperties, ResumeFromFullOrPartialJournalIsBitIdentical)
         std::string line;
         std::size_t kept = 0;
         while (kept < 10 && std::getline(in, line))
-            if (line.rfind("run v2 ", 0) == 0) {
+            if (line.rfind("run v3 ", 0) == 0) {
                 out << line << '\n';
                 ++kept;
             }

@@ -1,18 +1,20 @@
 #!/bin/sh
 # Build and test every supported configuration: plain release, ASan, the
-# tsan-labelled concurrency tests under ThreadSanitizer, and a gcov
-# line-coverage gate on the protection subsystem. This is the pre-merge
-# gate; CMakePresets.json defines the same configurations for interactive
-# use (cmake --preset release, etc.).
+# tsan-labelled concurrency tests under ThreadSanitizer, a gcov
+# line-coverage gate on the protection subsystem, and the chaos leg
+# (process-isolation crash taxonomy plus a scripted supervisor-kill /
+# --resume recovery smoke). This is the pre-merge gate; CMakePresets.json
+# defines the same configurations for interactive use
+# (cmake --preset release, etc.).
 #
-# Usage: tools/check.sh [release|asan|tsan|coverage ...]
-#        (default: all four)
+# Usage: tools/check.sh [release|asan|tsan|coverage|chaos ...]
+#        (default: all five)
 
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=${SMTAVF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}
-presets=${*:-"release asan tsan coverage"}
+presets=${*:-"release asan tsan coverage chaos"}
 
 # The protection subsystem (search, pruning proof, cost model, CLI
 # parsing) carries correctness arguments that only hold if its branches
@@ -35,8 +37,10 @@ for preset in $presets; do
       coverage) cmake -S "$repo" -B "$build" \
                       -DCMAKE_BUILD_TYPE=Debug \
                       -DSMTAVF_COVERAGE=ON ;;
-      *) echo "unknown preset: $preset (want release, asan, tsan or" \
-              "coverage)" >&2
+      chaos)   cmake -S "$repo" -B "$build" \
+                     -DCMAKE_BUILD_TYPE=RelWithDebInfo ;;
+      *) echo "unknown preset: $preset (want release, asan, tsan," \
+              "coverage or chaos)" >&2
          exit 2 ;;
     esac
 
@@ -47,6 +51,50 @@ for preset in $presets; do
     if [ "$preset" = tsan ]; then
         # Only the concurrency surface needs the (slow) TSan pass.
         (cd "$build" && ctest -L tsan --output-on-failure -j "$jobs")
+    elif [ "$preset" = chaos ]; then
+        # The fork/signal/rlimit surface: directed child-death
+        # classification, crash-safe journal fsck, and the differential
+        # thread-vs-process suites (tests/test_isolate.cc). The ASan leg
+        # re-runs these under instrumentation via the full suite.
+        (cd "$build" && ctest -L chaos --output-on-failure -j "$jobs")
+
+        # Supervisor-crash recovery smoke: kill -9 the campaign
+        # supervisor mid-flight, then prove `--resume` completes the
+        # campaign and that the recovered journal carries exactly the
+        # bytes of an uninterrupted run. Journals are canonicalized
+        # (fingerprint-sorted, deduplicated) through merge-journals so
+        # record completion order cannot mask or fake a difference.
+        echo "==> [$preset] supervisor kill -9 / --resume smoke"
+        cli="$build/tools/smtavf_cli"
+        tmp=$(mktemp -d)
+        trap 'rm -rf "$tmp"' EXIT
+        args="--contexts 2 --instructions 400000 --isolate process \
+              --jobs 2 --master-seed 99"
+        # shellcheck disable=SC2086  # word splitting is the point
+        "$cli" campaign $args --journal "$tmp/ref.journal" >/dev/null
+        # shellcheck disable=SC2086
+        "$cli" campaign $args --journal "$tmp/crash.journal" \
+            >/dev/null 2>&1 &
+        victim=$!
+        sleep 0.4
+        kill -9 "$victim" 2>/dev/null || true
+        wait "$victim" 2>/dev/null || true
+        # (If the kill won the race with the journal open, resume from
+        # an empty journal -- the recovery path must handle that too.)
+        [ -f "$tmp/crash.journal" ] || : > "$tmp/crash.journal"
+        # Appends are atomic single write()s, so even a SIGKILL'd
+        # supervisor must leave a journal fsck calls clean.
+        "$cli" journal fsck "$tmp/crash.journal" >/dev/null
+        # shellcheck disable=SC2086
+        "$cli" campaign $args --journal "$tmp/crash.journal" --resume \
+            >/dev/null
+        "$cli" merge-journals --out "$tmp/ref.canon" \
+            "$tmp/ref.journal" >/dev/null
+        "$cli" merge-journals --out "$tmp/crash.canon" \
+            "$tmp/crash.journal" >/dev/null
+        cmp "$tmp/ref.canon" "$tmp/crash.canon"
+        rm -rf "$tmp"
+        trap - EXIT
     elif [ "$preset" = coverage ]; then
         # An unoptimized instrumented full suite would be slow for no
         # extra signal: the gate prices src/protect/ only, so run the

@@ -73,6 +73,7 @@ usage()
         "       smtavf_cli campaign [campaign options]\n"
         "       smtavf_cli protect [protect options]\n"
         "       smtavf_cli merge-journals --out FILE IN1 [IN2 ...]\n"
+        "       smtavf_cli journal fsck [--repair] FILE\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
         "  --policy NAME         fetch policy: RR ICOUNT FLUSH STALL DG\n"
         "                        PDG DWarn PSTALL RAT (default ICOUNT)\n"
@@ -108,10 +109,30 @@ usage()
         "                        at I (0-based); seeds match the unsharded\n"
         "                        campaign, so shard journals merge losslessly\n"
         "                        with merge-journals\n"
+        "  --isolate MODE        'thread' (default) or 'process': fork a\n"
+        "                        sandboxed child per run so crashes and\n"
+        "                        runaway runs are classified, not fatal;\n"
+        "                        results are bit-identical across modes\n"
+        "  --hard-timeout SECS   process: SIGKILL a child past this wall\n"
+        "                        clock (works on wedged runs; 0 = off)\n"
+        "  --child-cpu SECS      process: per-child RLIMIT_CPU\n"
+        "  --child-mem MB        process: per-child RLIMIT_AS in MiB\n"
+        "  --backoff SECS        exponential retry backoff base with\n"
+        "                        seed-deterministic jitter (default 0)\n"
+        "  --cancel-check N      thread: poll the Ctrl-C flag inside each\n"
+        "                        simulation every N cycles (default off)\n"
         "  --csv                 per-run CSV summary instead of a table\n"
         "\n"
         "merge-journals: combine shard journals into one deduplicated,\n"
         "fingerprint-sorted journal usable with campaign --resume.\n"
+        "Inputs are CRC-verified first; any corruption is reported with\n"
+        "file/line/byte offsets and the merge refuses (exit 3).\n"
+        "\n"
+        "journal fsck: verify a campaign journal record by record (CRC32C\n"
+        "on v3 records, structure on legacy v2). Reports every torn or\n"
+        "corrupt line with its byte offset; --repair truncates a damaged\n"
+        "tail (the crash-in-mid-append case) in place. Exit 0 when clean\n"
+        "or repaired, 3 when damage remains.\n"
         "\n"
         "protect options (docs/PROTECTION.md):\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
@@ -142,7 +163,8 @@ usage()
         "  --json                full result as JSON\n"
         "\n"
         "exit codes: 0 ok, 1 simulation failure, 2 bad usage/config,\n"
-        "            3 campaign completed with failed runs\n");
+        "            3 campaign completed with failed runs, or journal\n"
+        "              corruption found by fsck/merge-journals\n");
 }
 
 /** Usage and configuration mistakes exit 2, distinct from sim failures. */
@@ -278,6 +300,7 @@ onSigint(int)
     if (interrupted.exchange(true)) {
         const char hard[] = "\nsmtavf_cli: hard exit\n";
         [[maybe_unused]] auto n = write(STDERR_FILENO, hard, sizeof(hard) - 1);
+        killLiveChildren(); // no orphaned --isolate=process simulations
         _exit(130);
     }
     const char soft[] =
@@ -343,6 +366,21 @@ campaignMain(int argc, char **argv)
             opt.resume = true;
         } else if (arg == "--timeout") {
             opt.softTimeoutSeconds = parseSeconds("--timeout", next());
+        } else if (arg == "--isolate") {
+            const char *v = next();
+            if (!v || !parseIsolateMode(v, opt.isolate))
+                die("--isolate wants 'thread' or 'process'");
+        } else if (arg == "--hard-timeout") {
+            opt.hardTimeoutSeconds = parseSeconds("--hard-timeout", next());
+        } else if (arg == "--child-cpu") {
+            opt.childCpuSeconds = parseNum("--child-cpu", next());
+        } else if (arg == "--child-mem") {
+            opt.childMemoryBytes =
+                parseNum("--child-mem", next()) * 1024 * 1024;
+        } else if (arg == "--backoff") {
+            opt.backoffSeconds = parseSeconds("--backoff", next());
+        } else if (arg == "--cancel-check") {
+            opt.cancelCheckCycles = parseNum("--cancel-check", next());
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--shard") {
@@ -360,6 +398,13 @@ campaignMain(int argc, char **argv)
     }
     if (opt.resume && opt.journalPath.empty())
         die("--resume needs --journal FILE to resume from");
+    if (opt.isolate != IsolateMode::Process &&
+        (opt.hardTimeoutSeconds > 0.0 || opt.childCpuSeconds > 0 ||
+         opt.childMemoryBytes > 0))
+        die("--hard-timeout/--child-cpu/--child-mem need --isolate process");
+    if (opt.isolate == IsolateMode::Process && opt.cancelCheckCycles > 0)
+        die("--cancel-check is a thread-mode knob; process children are "
+            "interrupted by the supervisor");
 
     std::vector<FetchPolicyKind> policies;
     if (policy_name == "all" || policy_name == "ALL") {
@@ -788,10 +833,81 @@ mergeJournalsMain(int argc, char **argv)
     if (inputs.empty())
         die("merge-journals needs at least one input journal");
 
-    std::size_t n = mergeJournals(inputs, out_path);
+    // CRC-verify every input before merging: silently folding a corrupt
+    // shard into a resume journal would launder bad bytes into results.
+    std::vector<std::string> corruption;
+    std::size_t n = mergeJournals(inputs, out_path, &corruption);
+    if (!corruption.empty()) {
+        std::fprintf(stderr,
+                     "smtavf_cli: refusing to merge: %zu corrupt "
+                     "record%s\n",
+                     corruption.size(), corruption.size() == 1 ? "" : "s");
+        for (const auto &c : corruption)
+            std::fprintf(stderr, "  %s\n", c.c_str());
+        std::fprintf(stderr,
+                     "repair damaged tails with: smtavf_cli journal fsck "
+                     "--repair FILE\n");
+        return 3;
+    }
     std::printf("merged %zu journal%s into %s: %zu unique run%s\n",
                 inputs.size(), inputs.size() == 1 ? "" : "s",
                 out_path.c_str(), n, n == 1 ? "" : "s");
+    return 0;
+}
+
+int
+journalFsckMain(int argc, char **argv)
+{
+    bool repair = false;
+    std::string path;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--repair") {
+            repair = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            die("unknown journal fsck option: " + arg);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            die("journal fsck checks exactly one journal");
+        }
+    }
+    if (path.empty())
+        die("journal fsck needs a journal file");
+
+    JournalFsck fsck = fsckJournal(path);
+    std::printf("%s: %zu run record%s, %zu comment line%s\n", path.c_str(),
+                fsck.records, fsck.records == 1 ? "" : "s", fsck.comments,
+                fsck.comments == 1 ? "" : "s");
+    if (fsck.clean()) {
+        std::printf("journal is clean\n");
+        return 0;
+    }
+    for (const auto &iss : fsck.issues)
+        std::printf("  line %zu @ byte %llu: %s\n", iss.line,
+                    static_cast<unsigned long long>(iss.offset),
+                    iss.reason.c_str());
+    if (!fsck.tailOnly) {
+        std::printf("damage is not confined to the tail; --repair cannot "
+                    "fix this journal\n");
+        return 3;
+    }
+    if (!repair) {
+        std::printf("damaged tail (crash mid-append); rerun with --repair "
+                    "to truncate at byte %llu\n",
+                    static_cast<unsigned long long>(fsck.truncateOffset));
+        return 3;
+    }
+    if (!repairJournalTail(path, fsck))
+        die("failed to truncate " + path);
+    std::printf("truncated damaged tail at byte %llu; %zu intact "
+                "record%s kept\n",
+                static_cast<unsigned long long>(fsck.truncateOffset),
+                fsck.records, fsck.records == 1 ? "" : "s");
     return 0;
 }
 
@@ -812,6 +928,12 @@ main(int argc, char **argv)
             return protectMain(argc, argv);
         if (argc > 1 && std::strcmp(argv[1], "merge-journals") == 0)
             return mergeJournalsMain(argc, argv);
+        if (argc > 1 && std::strcmp(argv[1], "journal") == 0) {
+            if (argc > 2 && std::strcmp(argv[2], "fsck") == 0)
+                return journalFsckMain(argc, argv);
+            usage();
+            die("unknown journal subcommand (try: journal fsck FILE)");
+        }
         return singleMain(argc, argv);
     } catch (const LivelockError &e) {
         std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
