@@ -80,6 +80,21 @@ class DeadCodeAnalyzer
                    : 0.0;
     }
 
+    /**
+     * Checkpoint hook: counters only. Checkpoints are captured at a
+     * boundary where finish() has just resolved every pending producer
+     * (conservatively live — the same rule the end of a run applies), so
+     * the pending_ table is empty by construction and no instruction
+     * objects ever need to travel.
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(deadCount_);
+        ar(resolvedCount_);
+    }
+
   private:
     void resolve(const InstPtr &in, bool dead);
 

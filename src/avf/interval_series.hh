@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Instruction-windowed AVF sampling (`--avf-interval N`): every N committed
+ * instructions, close a row recording the per-structure AVF and residual
+ * AVF of exactly that window. Complements avf/timeline.hh, which windows by
+ * *cycles* — instruction windows line up across configurations doing the
+ * same work at different IPC, which is what sampled-AVF methodology wants.
+ *
+ * Windows are relative to the run's measured start: instruction 0 of the
+ * series is the first committed instruction after warmup (or after a
+ * restore point, for a restored run — a restored run's series covers only
+ * the instructions it simulated itself). Like the timeline, bit-cycles
+ * land in the window where their residency interval *closes*, so the
+ * per-row conservation identity is over closed intervals: the sum of every
+ * row's ACE bit-cycles equals the ledger's total at finish.
+ */
+
+#ifndef SMTAVF_AVF_INTERVAL_SERIES_HH
+#define SMTAVF_AVF_INTERVAL_SERIES_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avf/ledger.hh"
+
+namespace smtavf
+{
+
+/** Per-N-committed-instructions AVF rows. */
+class AvfIntervalSeries
+{
+  public:
+    /** One closed window. */
+    struct Row
+    {
+        std::uint64_t index = 0;      ///< 0-based window number
+        std::uint64_t startInstr = 0; ///< committed count at window open
+        std::uint64_t endInstr = 0;   ///< committed count at window close
+        Cycle startCycle = 0;
+        Cycle endCycle = 0;
+        std::array<std::uint64_t, numHwStructs> aceDelta{};
+        std::array<std::uint64_t, numHwStructs> residualDelta{};
+        std::array<double, numHwStructs> avf{};
+        std::array<double, numHwStructs> residualAvf{};
+    };
+
+    /**
+     * @param ledger   sampled ledger (must outlive the series)
+     * @param interval window length in committed instructions (> 0)
+     */
+    AvfIntervalSeries(const AvfLedger &ledger, std::uint64_t interval);
+
+    /**
+     * Start sampling: the measured window begins at @p committed /
+     * @p now (call after warmup/restore, before the measured run).
+     */
+    void arm(std::uint64_t committed, Cycle now);
+
+    /** Per-cycle check; closes rows as commit-count boundaries cross. */
+    void tick(std::uint64_t committed, Cycle now);
+
+    /** Close the final (possibly partial) row. Call after finalizeAvf. */
+    void finish(std::uint64_t committed, Cycle now);
+
+    std::uint64_t interval() const { return interval_; }
+    const std::vector<Row> &data() const { return rows_; }
+
+    /** The whole series as CSV (header + one line per row). */
+    std::string csv() const;
+
+  private:
+    void closeRow(std::uint64_t committed, Cycle now);
+
+    const AvfLedger &ledger_;
+    std::uint64_t interval_;
+    bool armed_ = false;
+    std::uint64_t rowStartInstr_ = 0;
+    Cycle rowStartCycle_ = 0;
+    std::uint64_t nextBoundary_ = 0;
+    std::array<std::uint64_t, numHwStructs> lastAce_{};
+    std::array<std::uint64_t, numHwStructs> lastResidual_{};
+    std::vector<Row> rows_;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_AVF_INTERVAL_SERIES_HH

@@ -72,8 +72,28 @@ AvfLedger::finalize(Cycle total_cycles)
 {
     if (total_cycles == 0)
         SMTAVF_FATAL("finalize with zero cycles");
-    totalCycles_ = total_cycles;
+    if (total_cycles <= baseCycle_)
+        SMTAVF_FATAL("finalize at cycle ", total_cycles,
+                     " inside the warmup window (boundary ", baseCycle_, ")");
+    // The AVF denominator is the measured window only: warmup cycles
+    // contributed no tallies (resetTallies zeroed them), so they must not
+    // dilute the average either.
+    totalCycles_ = total_cycles - baseCycle_;
     finalized_ = true;
+}
+
+void
+AvfLedger::resetTallies(Cycle boundary)
+{
+    if (finalized_)
+        SMTAVF_FATAL("resetTallies after finalize");
+    for (std::size_t s = 0; s < numHwStructs; ++s) {
+        ace_[s].assign(numThreads_, 0);
+        unAce_[s].assign(numThreads_, 0);
+        aceCovered_[s].assign(numThreads_, 0);
+        aceResidual_[s].assign(numThreads_, 0);
+    }
+    baseCycle_ = boundary;
 }
 
 std::uint64_t

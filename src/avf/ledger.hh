@@ -68,6 +68,18 @@ class AvfLedger
     /** Fix the run length; AVFs are undefined before this is called. */
     void finalize(Cycle total_cycles);
 
+    /**
+     * Discard everything accumulated so far and start the measured window
+     * at @p boundary — the warm-up boundary (Simulator `--warmup`). All
+     * four tallies zero; finalize() later divides by end - boundary, so
+     * AVFs cover exactly the post-warmup window. Callable any number of
+     * times before finalize().
+     */
+    void resetTallies(Cycle boundary);
+
+    /** Start cycle of the measured window (0 unless resetTallies ran). */
+    Cycle baseCycle() const { return baseCycle_; }
+
     /** Aggregate AVF of a structure over the whole run. */
     double avf(HwStruct s) const;
 
@@ -105,6 +117,23 @@ class AvfLedger
     std::uint64_t residualAceBitCycles(HwStruct s) const;
     std::uint64_t residualAceBitCycles(HwStruct s, ThreadId tid) const;
 
+    /**
+     * Checkpoint hook: the accumulated tallies and the window base.
+     * Geometry (structBits_/perThreadBits_) and the protection split are
+     * reconstructed by the restoring Simulator's constructor from its own
+     * config — which the checkpoint fingerprint guarantees compatible.
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(ace_);
+        ar(unAce_);
+        ar(aceCovered_);
+        ar(aceResidual_);
+        ar(baseCycle_);
+    }
+
   private:
     std::size_t idx(HwStruct s) const
     {
@@ -123,6 +152,7 @@ class AvfLedger
     std::array<std::vector<std::uint64_t>, numHwStructs> aceResidual_;
     ProtectionConfig protection_{};
     Cycle totalCycles_ = 0;
+    Cycle baseCycle_ = 0;
     bool finalized_ = false;
 };
 

@@ -55,11 +55,32 @@ class CacheVulnTracker : public CacheObserver
     /** Tag bits modelled per line (address tag + valid/dirty/LRU state). */
     std::uint32_t tagBitsPerLine() const { return tagBits_; }
 
+    /**
+     * Checkpoint hook: the open residency intervals (absolute cycles; the
+     * restored clock continues from the same value, so they close with
+     * identical spans). Geometry is reconstructed from the cache config.
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(lines_);
+        ar(units_);
+    }
+
   private:
     struct ByteState
     {
         Cycle since = 0;
         bool dirty = false;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(since);
+            ar(dirty);
+        }
     };
 
     struct LineState
@@ -69,6 +90,17 @@ class CacheVulnTracker : public CacheObserver
         Cycle fillCycle = 0;
         Cycle lastAccess = 0;
         bool dirty = false;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(valid);
+            ar(tid);
+            ar(fillCycle);
+            ar(lastAccess);
+            ar(dirty);
+        }
     };
 
     AvfLedger &ledger_;
@@ -93,12 +125,29 @@ class TlbVulnTracker : public TlbObserver
     void onHit(std::uint32_t slot, ThreadId tid, Cycle now) override;
     void onEvict(std::uint32_t slot, Cycle now) override;
 
+    /** Checkpoint hook (see CacheVulnTracker::serialize). */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(entries_);
+    }
+
   private:
     struct EntryState
     {
         bool valid = false;
         ThreadId tid = 0;
         Cycle last = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(valid);
+            ar(tid);
+            ar(last);
+        }
     };
 
     AvfLedger &ledger_;

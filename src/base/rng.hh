@@ -58,6 +58,14 @@ class Rng
     /** Re-seed the generator. */
     void seed(std::uint64_t value);
 
+    /** Checkpoint hook (ckpt/serializer.hh): the full xoshiro state. */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(state_);
+    }
+
   private:
     std::array<std::uint64_t, 4> state_;
 };

@@ -35,6 +35,17 @@ class Btb
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Checkpoint hook: entries, LRU clock and hit/miss counters. */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(entries_);
+        ar(useClock_);
+        ar(hits_);
+        ar(misses_);
+    }
+
   private:
     struct Entry
     {
@@ -42,6 +53,16 @@ class Btb
         Addr tag = 0;
         Addr target = 0;
         std::uint64_t lastUse = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(valid);
+            ar(tag);
+            ar(target);
+            ar(lastUse);
+        }
     };
 
     std::uint32_t setIndex(Addr pc) const;

@@ -51,6 +51,15 @@ class Gshare
     /** Fix the history to the resolved outcome after a misprediction. */
     void correctHistory(std::uint32_t pre_branch_history, bool taken);
 
+    /** Checkpoint hook: mutable state only (geometry is config-derived). */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(table_);
+        ar(history_);
+    }
+
   private:
     std::uint32_t index(Addr pc, std::uint32_t history) const;
 

@@ -69,6 +69,18 @@ class ThreadPredictor
                          : 0.0;
     }
 
+    /** Checkpoint hook: all three structures plus the counters. */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(gshare_);
+        ar(btb_);
+        ar(ras_);
+        ar(branches_);
+        ar(mispredicts_);
+    }
+
   private:
     Gshare gshare_;
     Btb btb_;

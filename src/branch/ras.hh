@@ -40,6 +40,16 @@ class Ras
     State save() const { return {top_, depth_}; }
     void restore(State s);
 
+    /** Checkpoint hook. */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(stack_);
+        ar(top_);
+        ar(depth_);
+    }
+
   private:
     std::vector<Addr> stack_;
     std::uint32_t top_ = 0;

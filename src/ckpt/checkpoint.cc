@@ -1,0 +1,101 @@
+#include "ckpt/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/journal.hh" // crc32c — the journal's Castagnoli CRC
+
+namespace smtavf
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'S', 'M', 'T', 'A', 'V', 'F', 'C', 'K'};
+
+} // namespace
+
+std::string
+encodeCheckpoint(const Checkpoint &ck)
+{
+    Serializer ser;
+    std::string out;
+    // magic + version + fingerprint + boundary flag + at + CRC + size.
+    out.reserve(sizeof(kMagic) + 4 + 8 + 1 + 8 + 4 + 8 + ck.payload.size());
+    out.append(kMagic, sizeof(kMagic));
+    ser(kCheckpointVersion);
+    ser(ck.configFingerprint);
+    ser(ck.warmupBoundary);
+    ser(ck.at);
+    ser(crc32c(ck.payload));
+    ser(static_cast<std::uint64_t>(ck.payload.size()));
+    out += ser.buffer();
+    out += ck.payload;
+    return out;
+}
+
+Checkpoint
+decodeCheckpoint(const std::string &bytes)
+{
+    if (bytes.size() < sizeof(kMagic) ||
+        bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+        throw CheckpointError("not a checkpoint (bad magic)");
+
+    Deserializer des(bytes.data() + sizeof(kMagic),
+                     bytes.size() - sizeof(kMagic));
+    std::uint32_t version = 0;
+    des(version);
+    if (version != kCheckpointVersion) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "unsupported checkpoint version %u (this build "
+                      "reads %u)",
+                      version, kCheckpointVersion);
+        throw CheckpointError(msg);
+    }
+
+    Checkpoint ck;
+    std::uint32_t crc = 0;
+    std::uint64_t payload_size = 0;
+    des(ck.configFingerprint);
+    des(ck.warmupBoundary);
+    des(ck.at);
+    des(crc);
+    des(payload_size);
+    if (payload_size != des.remaining())
+        throw CheckpointError("checkpoint truncated or padded "
+                              "(payload size mismatch)");
+    ck.payload.assign(bytes.data() + (bytes.size() - payload_size),
+                      static_cast<std::size_t>(payload_size));
+    if (crc32c(ck.payload) != crc)
+        throw CheckpointError("checkpoint payload CRC mismatch "
+                              "(bit flip or torn write)");
+    return ck;
+}
+
+void
+saveCheckpointFile(const Checkpoint &ck, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw CheckpointError("cannot write checkpoint " + path);
+    const std::string bytes = encodeCheckpoint(ck);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+        throw CheckpointError("failed writing checkpoint " + path);
+}
+
+Checkpoint
+loadCheckpointFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CheckpointError("cannot read checkpoint " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return decodeCheckpoint(ss.str());
+}
+
+} // namespace smtavf

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Checkpoint envelope: the versioned container around a serialized
+ * simulator state (docs/CHECKPOINT.md).
+ *
+ * Layout (all little-endian, via ckpt/serializer.hh):
+ *
+ *     bytes 0..7   magic "SMTAVFCK"
+ *     u32          format version (kCheckpointVersion)
+ *     u64          semantic config fingerprint (what run this state is
+ *                  a prefix of — checkpointFingerprint(), sim/journal.hh)
+ *     u8           warmup-boundary flag (1: ledger tallies were reset at
+ *                  capture, protection excluded from the fingerprint so
+ *                  one warmup serves every candidate scheme)
+ *     u64          capture point (the requested trigger instruction count;
+ *                  lets the consumer recompute the fingerprint from its
+ *                  own config and compare)
+ *     u32          CRC-32C over the payload bytes
+ *     u64          payload byte count
+ *     payload      the machine state (Simulator::serialize order)
+ *
+ * decode/load reject — by throwing CheckpointError — on bad magic, an
+ * unsupported version, a CRC mismatch, or trailing garbage, so a
+ * truncated file, a bit flip, or a checkpoint from an incompatibly
+ * newer build all surface as the same clean failure mode. Fingerprint
+ * checking is the *consumer's* job (Simulator::restore compares against
+ * its own config), because only the consumer knows whether protection
+ * participates.
+ */
+
+#ifndef SMTAVF_CKPT_CHECKPOINT_HH
+#define SMTAVF_CKPT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/serializer.hh"
+
+namespace smtavf
+{
+
+/** Bump when any serialize() hook changes shape. */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** A decoded (or to-be-encoded) snapshot. */
+struct Checkpoint
+{
+    std::uint64_t configFingerprint = 0;
+    bool warmupBoundary = false;
+    /** Requested trigger (committed instructions) the capture ran to. */
+    std::uint64_t at = 0;
+    std::string payload; ///< Simulator state, Serializer wire format
+
+    bool empty() const { return payload.empty(); }
+};
+
+/** Envelope + payload as one byte string (deterministic). */
+std::string encodeCheckpoint(const Checkpoint &ck);
+
+/** Parse and verify an envelope. Throws CheckpointError on damage. */
+Checkpoint decodeCheckpoint(const std::string &bytes);
+
+/** Write encodeCheckpoint() to a file. Throws CheckpointError on IO. */
+void saveCheckpointFile(const Checkpoint &ck, const std::string &path);
+
+/** Read + decodeCheckpoint() a file. Throws CheckpointError. */
+Checkpoint loadCheckpointFile(const std::string &path);
+
+} // namespace smtavf
+
+#endif // SMTAVF_CKPT_CHECKPOINT_HH

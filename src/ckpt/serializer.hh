@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Serializer/Deserializer: the visitor pair behind simulator checkpoints.
+ *
+ * Every stateful structure implements one symmetric hook,
+ *
+ *     template <class Ar> void serialize(Ar &ar) { ar(a_); ar(b_); ... }
+ *
+ * instantiated once with Serializer (write) and once with Deserializer
+ * (read). Because the same statement sequence drives both directions, a
+ * field can never be written without being read back in the same order —
+ * the classic cereal/boost::serialization discipline, reduced to the
+ * handful of scalar shapes the simulator actually contains.
+ *
+ * Wire format: little-endian fixed-width integers; bool as one byte
+ * (0/1); double as the bit pattern of its IEEE-754 representation (so
+ * restore is bit-exact, never a parse); string and vector as a u64
+ * element count followed by the elements. There is no type tagging —
+ * integrity is the checkpoint envelope's job (CRC-32C + config
+ * fingerprint, ckpt/checkpoint.hh), and the format version bumps when
+ * any hook changes shape.
+ *
+ * Deserializer bounds-checks every read and throws CheckpointError on
+ * underrun or an implausible element count, so a truncated or corrupted
+ * payload surfaces as a clean rejection instead of UB.
+ */
+
+#ifndef SMTAVF_CKPT_SERIALIZER_HH
+#define SMTAVF_CKPT_SERIALIZER_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace smtavf
+{
+
+/**
+ * Raised for any malformed checkpoint: bad magic, unsupported version,
+ * CRC mismatch, wrong config fingerprint, or a truncated payload. The
+ * CLI maps it to its own exit code (4) so scripts can tell "checkpoint
+ * rejected" from both simulation failures (1) and usage errors (2).
+ */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    explicit CheckpointError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Serialization direction: writes fields into a growing byte buffer. */
+class Serializer
+{
+  public:
+    static constexpr bool loading = false;
+
+    void operator()(bool v) { putByte(v ? 1 : 0); }
+    void operator()(std::uint8_t v) { putByte(v); }
+    void operator()(std::uint16_t v) { putLe(v); }
+    void operator()(std::uint32_t v) { putLe(v); }
+    void operator()(std::uint64_t v) { putLe(v); }
+
+    void
+    operator()(std::int32_t v)
+    {
+        std::uint32_t u = 0;
+        std::memcpy(&u, &v, sizeof(u));
+        putLe(u);
+    }
+
+    void
+    operator()(std::int64_t v)
+    {
+        std::uint64_t u = 0;
+        std::memcpy(&u, &v, sizeof(u));
+        putLe(u);
+    }
+
+    void
+    operator()(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        putLe(bits);
+    }
+
+    void
+    operator()(const std::string &s)
+    {
+        (*this)(static_cast<std::uint64_t>(s.size()));
+        buf_.append(s);
+    }
+
+    template <typename T>
+    void
+    operator()(const std::vector<T> &v)
+    {
+        (*this)(static_cast<std::uint64_t>(v.size()));
+        for (const auto &e : v)
+            visit(e);
+    }
+
+    template <typename T, std::size_t N>
+    void
+    operator()(const std::array<T, N> &a)
+    {
+        for (const auto &e : a)
+            visit(e);
+    }
+
+    /** Nested object: anything with its own serialize() hook. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_class_v<T> &&
+                                          !std::is_same_v<T, std::string>>>
+    void
+    operator()(const T &obj)
+    {
+        // serialize() hooks are non-const by convention (the Deserializer
+        // instantiation mutates); writing never actually modifies.
+        const_cast<T &>(obj).serialize(*this);
+    }
+
+    /** Enums travel as their underlying integer type. */
+    template <typename E, typename = std::enable_if_t<std::is_enum_v<E>>,
+              typename = void>
+    void
+    operator()(E v)
+    {
+        (*this)(static_cast<std::underlying_type_t<E>>(v));
+    }
+
+    const std::string &buffer() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+    /**
+     * Pre-size the buffer. A megabyte-scale payload written through
+     * push_back/append costs ~20 geometric reallocations; a ByteCounter
+     * pass over the same hooks yields the exact size to reserve, making
+     * serialization a single allocation (measured in the campaign
+     * heap profile, docs/PERFORMANCE.md).
+     */
+    void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+  private:
+    // Containers hold either scalars (dispatched by value) or nested
+    // objects (dispatched by reference); this picks the right overload.
+    template <typename T>
+    void
+    visit(const T &e)
+    {
+        if constexpr (std::is_class_v<T> && !std::is_same_v<T, std::string>)
+            (*this)(e);
+        else
+            (*this)(T(e));
+    }
+
+    void putByte(std::uint8_t b) { buf_.push_back(static_cast<char>(b)); }
+
+    template <typename U>
+    void
+    putLe(U v)
+    {
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            putByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::string buf_;
+};
+
+/**
+ * Counting direction: visits the same hooks as Serializer but only sums
+ * wire bytes, so a capture can reserve the exact payload size up front.
+ * Allocation-free and write-free — one pass costs a read of every field
+ * and nothing else.
+ */
+class ByteCounter
+{
+  public:
+    static constexpr bool loading = false;
+
+    void operator()(bool) { n_ += 1; }
+    void operator()(std::uint8_t) { n_ += 1; }
+    void operator()(std::uint16_t) { n_ += 2; }
+    void operator()(std::uint32_t) { n_ += 4; }
+    void operator()(std::uint64_t) { n_ += 8; }
+    void operator()(std::int32_t) { n_ += 4; }
+    void operator()(std::int64_t) { n_ += 8; }
+    void operator()(double) { n_ += 8; }
+    void operator()(const std::string &s) { n_ += 8 + s.size(); }
+
+    template <typename T>
+    void
+    operator()(const std::vector<T> &v)
+    {
+        n_ += 8;
+        if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+            // Fixed-width scalars: no need to walk a million elements.
+            ByteCounter one;
+            if (!v.empty())
+                one.visit(v.front());
+            n_ += one.total() * v.size();
+        } else {
+            for (const auto &e : v)
+                visit(e);
+        }
+    }
+
+    template <typename T, std::size_t N>
+    void
+    operator()(const std::array<T, N> &a)
+    {
+        for (const auto &e : a)
+            visit(e);
+    }
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_class_v<T> &&
+                                          !std::is_same_v<T, std::string>>>
+    void
+    operator()(const T &obj)
+    {
+        const_cast<T &>(obj).serialize(*this);
+    }
+
+    template <typename E, typename = std::enable_if_t<std::is_enum_v<E>>,
+              typename = void>
+    void
+    operator()(E)
+    {
+        n_ += sizeof(std::underlying_type_t<E>);
+    }
+
+    /**
+     * Raw byte credit, for state that only exists behind a non-template
+     * interface (e.g. FetchPolicy::saveState writes into a Serializer&;
+     * the counting pass measures it with a scratch Serializer and
+     * credits the size here).
+     */
+    void add(std::size_t bytes) { n_ += bytes; }
+
+    std::size_t total() const { return n_; }
+
+  private:
+    template <typename T>
+    void
+    visit(const T &e)
+    {
+        if constexpr (std::is_class_v<T> && !std::is_same_v<T, std::string>)
+            (*this)(e);
+        else
+            (*this)(T(e));
+    }
+
+    std::size_t n_ = 0;
+};
+
+/** Deserialization direction: reads fields back in hook order. */
+class Deserializer
+{
+  public:
+    static constexpr bool loading = true;
+
+    Deserializer(const char *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Deserializer(const std::string &bytes)
+        : Deserializer(bytes.data(), bytes.size())
+    {
+    }
+
+    void operator()(bool &v) { v = getByte() != 0; }
+    void operator()(std::uint8_t &v) { v = getByte(); }
+    void operator()(std::uint16_t &v) { getLe(v); }
+    void operator()(std::uint32_t &v) { getLe(v); }
+    void operator()(std::uint64_t &v) { getLe(v); }
+
+    void
+    operator()(std::int32_t &v)
+    {
+        std::uint32_t u = 0;
+        getLe(u);
+        std::memcpy(&v, &u, sizeof(v));
+    }
+
+    void
+    operator()(std::int64_t &v)
+    {
+        std::uint64_t u = 0;
+        getLe(u);
+        std::memcpy(&v, &u, sizeof(v));
+    }
+
+    void
+    operator()(double &v)
+    {
+        std::uint64_t bits = 0;
+        getLe(bits);
+        std::memcpy(&v, &bits, sizeof(v));
+    }
+
+    void
+    operator()(std::string &s)
+    {
+        std::uint64_t n = 0;
+        (*this)(n);
+        need(n);
+        s.assign(data_ + pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+    }
+
+    template <typename T>
+    void
+    operator()(std::vector<T> &v)
+    {
+        std::uint64_t n = 0;
+        (*this)(n);
+        // Every element costs at least one byte on the wire, so a count
+        // beyond the remaining payload is corruption, not a big vector —
+        // reject before the resize can throw bad_alloc on garbage.
+        if (n > size_ - pos_)
+            throw CheckpointError("checkpoint payload truncated "
+                                  "(implausible element count)");
+        v.clear();
+        v.resize(static_cast<std::size_t>(n));
+        for (auto &e : v)
+            (*this)(e);
+    }
+
+    template <typename T, std::size_t N>
+    void
+    operator()(std::array<T, N> &a)
+    {
+        for (auto &e : a)
+            (*this)(e);
+    }
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_class_v<T> &&
+                                          !std::is_same_v<T, std::string>>>
+    void
+    operator()(T &obj)
+    {
+        obj.serialize(*this);
+    }
+
+    template <typename E, typename = std::enable_if_t<std::is_enum_v<E>>,
+              typename = void>
+    void
+    operator()(E &v)
+    {
+        std::underlying_type_t<E> u{};
+        (*this)(u);
+        v = static_cast<E>(u);
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /** All bytes consumed? (Checked by the checkpoint loader.) */
+    bool exhausted() const { return pos_ == size_; }
+
+  private:
+    void
+    need(std::uint64_t n)
+    {
+        if (n > size_ - pos_)
+            throw CheckpointError("checkpoint payload truncated");
+    }
+
+    std::uint8_t
+    getByte()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    template <typename U>
+    void
+    getLe(U &v)
+    {
+        need(sizeof(U));
+        v = 0;
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            v |= static_cast<U>(static_cast<std::uint8_t>(data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += sizeof(U);
+    }
+
+    const char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace smtavf
+
+#endif // SMTAVF_CKPT_SERIALIZER_HH

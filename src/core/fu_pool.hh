@@ -77,6 +77,18 @@ class FuPool
         return static_cast<std::uint64_t>(cfg_.total()) * bits::fuLatch;
     }
 
+    /**
+     * Checkpoint hook. Busy horizons are absolute cycles and the clock
+     * continues from the restored value, so they serialize as-is (all
+     * in the past anyway once the pipeline is drained).
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(busyUntil_);
+    }
+
   private:
     FuConfig cfg_;
     std::array<std::vector<Cycle>, static_cast<std::size_t>(

@@ -117,6 +117,22 @@ class PhysRegFile
         (fp ? freeFpList_ : freeIntList_).at(slot) = value;
     }
 
+    /**
+     * Checkpoint hook: every register's residency state plus both free
+     * lists in pop order (allocation order is architecturally visible
+     * through which physical indices later instructions receive).
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(regs_);
+        ar(freeIntList_);
+        ar(freeFpList_);
+        ar(freeInt_);
+        ar(freeFp_);
+    }
+
   private:
     struct Reg
     {
@@ -126,6 +142,18 @@ class PhysRegFile
         Cycle allocCycle = 0;
         Cycle wbCycle = 0;
         Cycle lastRead = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(allocated);
+            ar(written);
+            ar(tid);
+            ar(allocCycle);
+            ar(wbCycle);
+            ar(lastRead);
+        }
     };
 
     void emitIntervals(Reg &r, Cycle now, bool producer_dead, bool squashed);

@@ -28,6 +28,14 @@ class RenameMap
     /** Install a new mapping; returns the displaced physical register. */
     RegIndex set(RegIndex arch_reg, RegIndex phys);
 
+    /** Checkpoint hook. */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(map_);
+    }
+
   private:
     std::array<RegIndex, numArchRegs> map_;
 };

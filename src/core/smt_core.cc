@@ -444,6 +444,8 @@ SmtCore::dispatchStage()
 void
 SmtCore::fetchStage()
 {
+    if (!fetchEnabled_)
+        return;
     const auto &order = policy_->fetchOrder(now_);
     unsigned threads_fetched = 0;
     unsigned remaining = cfg_.fetchWidth;

@@ -71,6 +71,116 @@ class SmtCore : public PolicyContext
     /** Close residual AVF intervals (registers, pending deadness). */
     void finalizeAvf();
 
+    /**
+     * Gate the fetch stage (drain-then-checkpoint). With fetch disabled
+     * the pipeline empties monotonically: in-flight instructions complete
+     * or squash, outstanding misses return, and no new work enters.
+     */
+    void setFetchEnabled(bool enabled) { fetchEnabled_ = enabled; }
+
+    bool fetchEnabled() const { return fetchEnabled_; }
+
+    /**
+     * Resolve every deferred dead-code classification at a drained
+     * boundary, the same conservatively-live rule the end of a run
+     * applies. Afterwards the analyzer holds no instruction references,
+     * which is what lets a checkpoint travel without serializing
+     * instruction objects. A checkpoint is therefore a (deterministic)
+     * semantically visible event: the contract is restore-then-run ==
+     * the-run-that-checkpointed-and-continued, not == a run that never
+     * checkpointed (docs/CHECKPOINT.md).
+     */
+    void boundaryResolveDeadness() { analyzer_.finish(); }
+
+    /**
+     * True when no instruction is in flight anywhere: front-end queues,
+     * ROBs and the shared IQ empty (per-thread LSQ emptiness follows from
+     * ROB emptiness), no completion event scheduled, no policy notice
+     * undelivered. The drained-boundary predicate of checkpoint capture.
+     */
+    bool
+    pipelineEmpty() const
+    {
+        if (iq_.size() != 0 || !overflow_.empty() ||
+            !pendingNotices_.empty())
+            return false;
+        for (const auto &thp : threads_)
+            if (!thp->frontQueue.empty() || thp->rob.size() != 0)
+                return false;
+        for (const auto &b : wheel_)
+            if (b.head)
+                return false;
+        return true;
+    }
+
+    /**
+     * Checkpoint hook. Only callable at a drained boundary (pipelineEmpty
+     * and DeadCodeAnalyzer::finish already run) — capture on a live
+     * pipeline throws CheckpointError. What travels is exactly the state
+     * that outlives a drain: the clock, sequence counters, cumulative
+     * stats, learned predictor state, the register file with its free
+     * lists (pop order is architecturally visible), FU busy horizon, the
+     * dead-code tallies, rename maps and the per-thread stream
+     * generators. Per-instruction state (queues, gates, outstanding-miss
+     * counts, wrong-path mode) is zero at the boundary by construction on
+     * both sides, so it never travels.
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        if constexpr (!Ar::loading) {
+            if (!pipelineEmpty())
+                throw CheckpointError(
+                    "checkpoint capture with instructions in flight "
+                    "(drain-then-checkpoint violated)");
+        }
+        ar(now_);
+        ar(globalDispatchSeq_);
+        ar(commitRR_);
+        ar(dispatchRR_);
+        ar(wrongPathFetched_);
+        ar(squashedInstrs_);
+        ar(fetchedInstrs_);
+        ar(regfile_);
+        ar(fuPool_);
+        ar(analyzer_);
+        for (auto &thp : threads_) {
+            auto &th = *thp;
+            ar(th.fetchStreamIdx);
+            ar(th.wrongPathPc);
+            ar(th.seqCounter);
+            ar(th.icacheStallUntil);
+            ar(th.fetchedCount);
+            ar(th.issuedCount);
+            ar(th.committedCount);
+            ar(th.nextCommitStreamIdx);
+            ar(th.rename);
+            ar(th.predictor);
+            ar(*th.gen);
+        }
+        if constexpr (Ar::loading) {
+            policy_->loadState(ar);
+            // Boundary invariants (already true on a fresh core; restated
+            // so a restore into a reused core cannot smuggle stale state).
+            for (auto &thp : threads_) {
+                thp->wrongPathMode = false;
+                thp->iqCount = 0;
+                thp->wrongPathFrontIq = 0;
+                thp->outL1D = 0;
+                thp->outL2D = 0;
+            }
+        } else if constexpr (std::is_same_v<Ar, ByteCounter>) {
+            // saveState is a virtual taking Serializer& (it cannot be a
+            // template); measure its few bytes with a scratch buffer.
+            Serializer scratch;
+            policy_->saveState(scratch);
+            ar.add(scratch.buffer().size());
+        } else {
+            policy_->saveState(ar);
+        }
+    }
+
     Cycle now() const { return now_; }
     std::uint64_t committed(ThreadId tid) const;
     std::uint64_t totalCommitted() const;
@@ -277,6 +387,9 @@ class SmtCore : public PolicyContext
     std::uint64_t wrongPathFetched_ = 0;
     std::uint64_t squashedInstrs_ = 0;
     std::uint64_t fetchedInstrs_ = 0;
+
+    /** Fetch gate for drain-then-checkpoint (setFetchEnabled). */
+    bool fetchEnabled_ = true;
 
     CommitTrace *commitTrace_ = nullptr;
 };

@@ -99,6 +99,21 @@ class Cache
     /** Line-aligned address for @p addr. */
     Addr lineAddr(Addr addr) const { return addr & ~Addr{cfg_.lineBytes - 1}; }
 
+    /**
+     * Checkpoint hook: contents, LRU clock and hit/miss counters. The
+     * observer is wiring, not state — the restoring simulator re-attaches
+     * its own tracker, whose per-slot state is serialized separately.
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(lines_);
+        ar(useClock_);
+        ar(hits_);
+        ar(misses_);
+    }
+
   private:
     struct Line
     {
@@ -106,6 +121,16 @@ class Cache
         bool dirty = false;
         Addr tag = 0; ///< full line address (simplifies debugging)
         std::uint64_t lastUse = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(valid);
+            ar(dirty);
+            ar(tag);
+            ar(lastUse);
+        }
     };
 
     std::uint32_t setIndex(Addr addr) const;

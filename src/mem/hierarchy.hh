@@ -18,6 +18,7 @@
 #include "base/pool_alloc.hh"
 #include "base/small_vec.hh"
 #include "base/types.hh"
+#include "ckpt/serializer.hh"
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
 
@@ -84,6 +85,37 @@ class MemHierarchy
 
     /** Outstanding DL1 miss count (used by fetch policies). */
     std::size_t outstandingDl1Misses() const { return dl1Mshrs_.size(); }
+
+    /** All outstanding misses, every level (checkpoint drain detection). */
+    std::size_t
+    outstandingMisses() const
+    {
+        return il1Mshrs_.size() + dl1Mshrs_.size() + l2Mshrs_.size();
+    }
+
+    /**
+     * Checkpoint hook: caches and TLBs only. The simulator checkpoints
+     * exclusively at drained boundaries — outstandingMisses() == 0, the
+     * drain-then-checkpoint policy of docs/CHECKPOINT.md — so the MSHR
+     * maps are empty by construction and never travel. The Serializer
+     * instantiation asserts that; restore starts with fresh empty maps.
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        if constexpr (!Ar::loading) {
+            if (outstandingMisses() != 0)
+                throw CheckpointError(
+                    "checkpoint capture with outstanding MSHRs "
+                    "(drain-then-checkpoint violated)");
+        }
+        ar(il1_);
+        ar(dl1_);
+        ar(l2_);
+        ar(itlb_);
+        ar(dtlb_);
+    }
 
   private:
     struct PendingOp

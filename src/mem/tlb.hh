@@ -72,6 +72,17 @@ class Tlb
         return total ? static_cast<double>(misses_) / total : 0.0;
     }
 
+    /** Checkpoint hook: entries, LRU clock and hit/miss counters. */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(entries_);
+        ar(useClock_);
+        ar(hits_);
+        ar(misses_);
+    }
+
   private:
     struct Entry
     {
@@ -79,6 +90,16 @@ class Tlb
         Addr vpn = 0;
         ThreadId tid = invalidThread; ///< address spaces are per-thread
         std::uint64_t lastUse = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(valid);
+            ar(vpn);
+            ar(tid);
+            ar(lastUse);
+        }
     };
 
     TlbConfig cfg_;

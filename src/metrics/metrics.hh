@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "avf/injection.hh"
+#include "avf/interval_series.hh"
 #include "avf/report.hh"
 #include "avf/timeline.hh"
 #include "base/stats.hh"
@@ -47,6 +48,8 @@ struct SimResult
     StatGroup stats; ///< miss rates, mispredict rates, dead fraction, ...
     /** Windowed AVF samples (set when MachineConfig::avfSampleCycles). */
     std::shared_ptr<const AvfTimeline> timeline;
+    /** Instruction-windowed AVF rows (set by RunControls::avfInterval). */
+    std::shared_ptr<const AvfIntervalSeries> avfIntervals;
     /** Commit trace (set when MachineConfig::recordCommitTrace). */
     std::shared_ptr<const CommitTrace> commitTrace;
 

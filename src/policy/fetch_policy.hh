@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "ckpt/serializer.hh"
 #include "isa/instr.hh"
 
 namespace smtavf
@@ -139,6 +140,18 @@ class FetchPolicy
 
     /** An instruction was fetched (PDG predicts load misses here). */
     virtual void onFetch(const InstPtr &in) { (void)in; }
+
+    /**
+     * Checkpoint hooks. Checkpoints are captured at a *drained* boundary
+     * (no instruction in flight, no outstanding miss), so the only policy
+     * state that travels is what outlives the pipeline: learned predictor
+     * tables and cumulative counters. Per-instruction bookkeeping (gates,
+     * in-flight maps) is empty/inactive at the boundary by construction
+     * and is reset on load instead of serialized. Stateless policies keep
+     * the no-op defaults.
+     */
+    virtual void saveState(Serializer &ar) { (void)ar; }
+    virtual void loadState(Deserializer &ar) { (void)ar; }
 
   protected:
     /**

@@ -32,6 +32,16 @@ class FlushPolicy : public FetchPolicy
 
     std::uint64_t flushes() const { return flushes_; }
 
+    /** Checkpoint: cumulative flush count only (gates drain with loads). */
+    void saveState(Serializer &ar) override { ar(flushes_); }
+
+    void
+    loadState(Deserializer &ar) override
+    {
+        ar(flushes_);
+        gates_ = {};
+    }
+
   private:
     struct Gate
     {

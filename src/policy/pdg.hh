@@ -43,6 +43,19 @@ class PdgPolicy : public FetchPolicy
         return predicted_[tid];
     }
 
+    /** Checkpoint: the learned miss-predictor table persists. */
+    void saveState(Serializer &ar) override { ar(table_); }
+
+    void
+    loadState(Deserializer &ar) override
+    {
+        ar(table_);
+        // In-flight prediction state is empty at a drained boundary.
+        predicted_.fill(0);
+        for (auto &m : inFlight_)
+            m.clear();
+    }
+
   private:
     std::uint32_t tableIndex(Addr pc) const;
 

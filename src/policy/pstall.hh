@@ -43,6 +43,17 @@ class PStallPolicy : public FetchPolicy
         return gates_[tid].active;
     }
 
+    /** Checkpoint: the learned L2-miss predictor table persists. */
+    void saveState(Serializer &ar) override { ar(table_); }
+
+    void
+    loadState(Deserializer &ar) override
+    {
+        ar(table_);
+        // No load is in flight at a drained boundary, so no gate is held.
+        gates_ = {};
+    }
+
   private:
     struct Gate
     {

@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "sim/journal.hh"
+#include "sim/simulator.hh"
 
 namespace smtavf
 {
@@ -416,7 +417,7 @@ ProtectionExplorer::paretoFrontier(const std::vector<ProtectionPoint> &points)
 }
 
 ExplorationResult
-ProtectionExplorer::explore(CampaignRunner &pool) const
+ProtectionExplorer::explore(CampaignRunner &pool, std::uint64_t warmup) const
 {
     const auto bits = structureBitCapacities(base_);
 
@@ -426,6 +427,7 @@ ProtectionExplorer::explore(CampaignRunner &pool) const
     baseline.cfg = base_;
     baseline.mix = mix_;
     baseline.budget = budget_;
+    baseline.warmup = warmup;
     SimResult base_run = pool.run({baseline}).front();
 
     ExplorationResult result;
@@ -508,6 +510,18 @@ ProtectionExplorer::exploreBeam(CampaignRunner &pool,
     copt.resume = opt.resume;
     copt.runFn = opt.runFn;
 
+    // Shared warmup: simulate the warmup prefix exactly once, up front,
+    // and let every runTolerant() batch (baseline, each generation)
+    // restore the capture. The checkpoint fingerprint excludes the
+    // protection assignment, so one capture serves the whole search.
+    Checkpoint warm_ck;
+    if (opt.warmup > 0 && opt.sharedWarmup && !opt.runFn) {
+        Simulator warm(base_, mix_);
+        warm_ck = warm.captureWarmupCheckpoint(opt.warmup);
+        copt.sharedWarmup = true;
+        copt.warmupCheckpoint = &warm_ck;
+    }
+
     auto runBatch = [&](const std::vector<Experiment> &exps) {
         auto report = runTolerant(pool, exps, copt);
         if (!report.allOk())
@@ -522,6 +536,7 @@ ProtectionExplorer::exploreBeam(CampaignRunner &pool,
     baseline.cfg = base_;
     baseline.mix = mix_;
     baseline.budget = budget_;
+    baseline.warmup = opt.warmup;
     auto base_report = runBatch({baseline});
     const RunOutcome &base_out = base_report.outcomes.front();
     const SimResult &base_run = base_out.result;

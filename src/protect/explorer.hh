@@ -162,6 +162,21 @@ struct BeamOptions
     std::string journalPath;
     /** Replay journaled candidates instead of re-simulating them. */
     bool resume = false;
+    /**
+     * Warm up every evaluation (baseline included) by this many
+     * instructions before measuring; see Experiment::warmup. 0 = off.
+     */
+    std::uint64_t warmup = 0;
+    /**
+     * Simulate the warmup once, capture it as a checkpoint, and restore
+     * it for the baseline and every candidate instead of re-warming per
+     * run — valid because a warmup checkpoint's fingerprint excludes the
+     * protection assignment (it is an accounting overlay that never
+     * perturbs timing). The frontier is bit-identical to the unshared
+     * path; only the simulated-instruction count drops (asserted by
+     * bench_ckpt_warmup). Ignored when warmup == 0 or runFn is set.
+     */
+    bool sharedWarmup = false;
     /** Test seam: replaces runExperiment() (see CampaignOptions::runFn). */
     std::function<SimResult(const Experiment &, std::size_t)> runFn;
 };
@@ -180,8 +195,13 @@ class ProtectionExplorer
     ProtectionExplorer(MachineConfig base, WorkloadMix mix,
                        std::uint64_t budget = 0, unsigned max_depth = 4);
 
-    /** Legacy prefix sweep over @p pool; deterministic. */
-    ExplorationResult explore(CampaignRunner &pool) const;
+    /**
+     * Legacy prefix sweep over @p pool; deterministic. A nonzero
+     * @p warmup warms every run up independently (no checkpoint
+     * sharing — that is a beam-search feature, BeamOptions::sharedWarmup).
+     */
+    ExplorationResult explore(CampaignRunner &pool,
+                              std::uint64_t warmup = 0) const;
 
     /** Beam search over per-structure scheme vectors; deterministic. */
     ExplorationResult exploreBeam(CampaignRunner &pool,

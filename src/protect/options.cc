@@ -142,6 +142,11 @@ parseProtectCli(const std::vector<std::string> &args, ProtectCliOptions &out,
             out.journalPath = v;
         } else if (arg == "--resume") {
             out.resume = true;
+        } else if (arg == "--warmup") {
+            if (!parseNum(arg, next(), out.warmup, err))
+                return false;
+        } else if (arg == "--shared-warmup") {
+            out.sharedWarmup = true;
         } else if (arg == "--jobs") {
             if (!parseCount(arg, next(), out.jobs, /*positive=*/true, err))
                 return false;
@@ -178,6 +183,15 @@ parseProtectCli(const std::vector<std::string> &args, ProtectCliOptions &out,
     }
     if (out.resume && out.journalPath.empty()) {
         err = "--resume needs --journal FILE to resume from";
+        return false;
+    }
+    if (out.sharedWarmup && !beam) {
+        err = "--shared-warmup shares one warmup across a beam search; "
+              "it needs --explore=beam";
+        return false;
+    }
+    if (out.sharedWarmup && out.warmup == 0) {
+        err = "--shared-warmup needs --warmup N to share";
         return false;
     }
     return true;

@@ -42,6 +42,9 @@ struct ProtectCliOptions
     std::string journalPath;     ///< --journal
     bool resume = false;         ///< --resume
 
+    std::uint64_t warmup = 0;  ///< --warmup instructions (0 = off)
+    bool sharedWarmup = false; ///< --shared-warmup (explore only)
+
     unsigned jobs = 0;
     bool csv = false;
     bool json = false;

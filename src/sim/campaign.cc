@@ -2,15 +2,20 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
 
+#include <unistd.h>
+
 #include "base/env.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "ckpt/checkpoint.hh"
 #include "sim/errors.hh"
 #include "sim/journal.hh"
+#include "sim/simulator.hh"
 
 namespace smtavf
 {
@@ -31,7 +36,13 @@ makeExperiment(const WorkloadMix &mix, FetchPolicyKind policy,
 SimResult
 runExperiment(const Experiment &e)
 {
-    return runMix(e.cfg, e.mix, e.budget);
+    if (e.warmup == 0)
+        return runMix(e.cfg, e.mix, e.budget);
+    std::uint64_t budget = e.budget ? e.budget : defaultBudget(e.mix.contexts);
+    Simulator sim(e.cfg, e.mix);
+    RunControls rc;
+    rc.warmup = e.warmup;
+    return sim.run(budget, rc);
 }
 
 void
@@ -345,6 +356,34 @@ class ScopedLoggingThrows
     bool prev_;
 };
 
+/**
+ * One shared-warmup group: every experiment whose warmup prefix is
+ * semantically identical (same workload, machine geometry, seed and
+ * warmup length — checkpointFingerprint()) restores from one capture.
+ */
+struct WarmupGroup
+{
+    Checkpoint ck;     ///< thread mode: restored from memory
+    std::string path;  ///< process mode: the file forked children load
+    std::string error; ///< capture failed; members fail with this message
+};
+
+/** Per-group checkpoint file path ("" dir = TMPDIR or /tmp). */
+std::string
+warmupCheckpointPath(const std::string &dir, std::uint64_t key)
+{
+    std::string base = dir;
+    if (base.empty()) {
+        const char *t = std::getenv("TMPDIR");
+        base = (t && *t) ? t : "/tmp";
+    }
+    char name[64];
+    std::snprintf(name, sizeof(name), "/smtavf-warmup-%016llx-%ld.ckpt",
+                  static_cast<unsigned long long>(key),
+                  static_cast<long>(::getpid()));
+    return base + name;
+}
+
 } // namespace
 
 CampaignReport
@@ -380,11 +419,98 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
         return dt.count() > opt.softTimeoutSeconds;
     };
 
-    auto run_one = [&](const Experiment &e, std::size_t i) {
-        return opt.runFn ? opt.runFn(e, i) : runExperiment(e);
-    };
-
     ScopedLoggingThrows throws_guard;
+
+    // Shared warmup: simulate each distinct warmup prefix once and let
+    // every run in the group restore the captured checkpoint instead of
+    // re-simulating it. Groups are keyed by the warmup checkpoint
+    // fingerprint, so two experiments share a capture exactly when their
+    // warmup-relevant state (workload, machine, seed, warmup length —
+    // protection excluded) is identical. A group whose members are all
+    // satisfied by the resume journal is never captured.
+    const bool share = opt.sharedWarmup && !opt.runFn;
+    std::unordered_map<std::uint64_t, WarmupGroup> warmups;
+    if (share) {
+        std::vector<std::uint64_t> order;
+        std::unordered_map<std::uint64_t, std::size_t> first;
+        for (std::size_t i = 0; i < exps.size(); ++i) {
+            const Experiment &e = exps[i];
+            if (e.warmup == 0 || replay.count(fps[i]))
+                continue;
+            std::uint64_t key =
+                checkpointFingerprint(e.cfg, e.mix, e.warmup, true);
+            if (first.emplace(key, i).second)
+                order.push_back(key);
+        }
+        for (std::uint64_t key : order)
+            warmups.emplace(key, WarmupGroup{});
+        // Captures run in the parent on the pool (even in process mode:
+        // only the measured runs fork). Fatal paths unwind as exceptions
+        // under the logging guard and poison just their own group.
+        pool.forEach(order.size(), [&](std::size_t gi) {
+            const std::uint64_t key = order[gi];
+            WarmupGroup &g = warmups.at(key);
+            const Experiment &e = exps[first.at(key)];
+            try {
+                if (opt.warmupCheckpoint &&
+                    opt.warmupCheckpoint->configFingerprint == key) {
+                    // Caller already simulated this exact warmup.
+                    if (opt.isolate == IsolateMode::Process) {
+                        g.path = warmupCheckpointPath(opt.checkpointDir, key);
+                        saveCheckpointFile(*opt.warmupCheckpoint, g.path);
+                    } else {
+                        g.ck = *opt.warmupCheckpoint;
+                    }
+                    return;
+                }
+                if (expired())
+                    throw std::runtime_error(
+                        "warmup not captured: campaign cancelled or past "
+                        "its soft timeout");
+                MachineConfig cfg = e.cfg;
+                if (opt.isolate == IsolateMode::Thread && opt.cancel &&
+                    opt.cancelCheckCycles > 0) {
+                    cfg.cancel = opt.cancel;
+                    cfg.cancelCheckCycles = opt.cancelCheckCycles;
+                }
+                Simulator sim(cfg, e.mix);
+                g.ck = sim.captureWarmupCheckpoint(e.warmup);
+                if (opt.isolate == IsolateMode::Process) {
+                    g.path = warmupCheckpointPath(opt.checkpointDir, key);
+                    saveCheckpointFile(g.ck, g.path);
+                    g.ck = Checkpoint{}; // children read the file
+                }
+            } catch (const std::exception &err) {
+                g.error = err.what();
+            } catch (const SimError &err) {
+                g.error = err.message;
+            }
+        });
+    }
+
+    auto run_one = [&](const Experiment &e, std::size_t i) -> SimResult {
+        if (opt.runFn)
+            return opt.runFn(e, i);
+        if (share && e.warmup > 0) {
+            auto it = warmups.find(
+                checkpointFingerprint(e.cfg, e.mix, e.warmup, true));
+            if (it != warmups.end()) {
+                const WarmupGroup &g = it->second;
+                if (!g.error.empty())
+                    throw std::runtime_error("shared warmup capture failed: "
+                                             + g.error);
+                std::uint64_t budget =
+                    e.budget ? e.budget : defaultBudget(e.mix.contexts);
+                Simulator sim(e.cfg, e.mix);
+                if (!g.path.empty())
+                    sim.restore(loadCheckpointFile(g.path));
+                else
+                    sim.restore(g.ck);
+                return sim.run(budget);
+            }
+        }
+        return runExperiment(e);
+    };
     std::mutex progress_mutex;
     std::size_t completed = 0;
 
@@ -528,6 +654,10 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
             progress(p);
         }
     });
+
+    for (const auto &kv : warmups)
+        if (!kv.second.path.empty())
+            std::remove(kv.second.path.c_str());
     return report;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "avf/injection.hh"
+#include "ckpt/checkpoint.hh"
 #include "core/machine_config.hh"
 #include "metrics/metrics.hh"
 #include "sim/experiment.hh"
@@ -45,6 +46,15 @@ struct Experiment
     MachineConfig cfg;        ///< carries the policy and the seed
     WorkloadMix mix;
     std::uint64_t budget = 0; ///< 0 = defaultBudget(mix.contexts)
+    /**
+     * Warm-up instructions simulated (and drained) before measurement
+     * begins; stats and AVF ledger tallies cover only the post-warmup
+     * window, and @ref budget counts post-warmup instructions. Folded
+     * into the experiment fingerprint (together with the warmup
+     * checkpoint's fingerprint) so journal resume invalidates when the
+     * warmup changes. 0 = no warmup (the historical behaviour).
+     */
+    std::uint64_t warmup = 0;
 };
 
 /** Table-1 descriptor for (mix, policy), labelled "mix/policy". */
@@ -267,6 +277,37 @@ struct CampaignOptions
      * that segfaults exercises the real kill/reap/classify path.
      */
     std::function<SimResult(const Experiment &, std::size_t)> runFn;
+    /**
+     * Shared-warmup checkpointing: when true, experiments with a nonzero
+     * warmup are grouped by their warmup-checkpoint fingerprint
+     * (checkpointFingerprint(), sim/journal.hh — workload + machine
+     * config + seed, protection excluded), the warmup is simulated once
+     * per group and captured as a checkpoint, and every run in the group
+     * restores from it instead of re-simulating the warmup. Thread mode
+     * restores from a shared in-memory buffer; process mode writes each
+     * group checkpoint to a file under @ref checkpointDir and the forked
+     * child restores from the file. Results are bit-identical to the
+     * unshared path by the drain-boundary determinism argument
+     * (docs/CHECKPOINT.md); only the simulated-instruction count drops.
+     * Ignored when @ref runFn is set (the seam replaces execution).
+     */
+    bool sharedWarmup = false;
+    /**
+     * Process mode with sharedWarmup: directory for the per-group
+     * checkpoint files ("" = the system temp directory). Files are
+     * removed when the campaign completes.
+     */
+    std::string checkpointDir;
+    /**
+     * Optional pre-captured warmup checkpoint: any group whose
+     * fingerprint matches this checkpoint's adopts it instead of
+     * simulating its own warmup. This is how the protection explorer
+     * shares one warmup across *every* generation batch of a beam
+     * search — runTolerant() alone would capture once per call. The
+     * pointee must outlive the campaign. Only consulted when
+     * @ref sharedWarmup is set.
+     */
+    const Checkpoint *warmupCheckpoint = nullptr;
 };
 
 /** Everything a fault-tolerant campaign reports back. */

@@ -132,51 +132,29 @@ tokenValue(const std::string &tok, const char *key, std::string &out)
     return true;
 }
 
-} // namespace
-
-std::uint32_t
-crc32c(const std::string &text)
+/** Workload identity: mix, policy, seed (label is presentation only). */
+void
+fpWorkload(std::ostringstream &os, const MachineConfig &c,
+           const WorkloadMix &mix)
 {
-    // Reflected CRC-32C table, built once (Castagnoli polynomial
-    // 0x1EDC6F41, reflected 0x82F63B78 — the iSCSI/SSE4.2 CRC).
-    static const auto table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    std::uint32_t crc = 0xffffffffu;
-    for (unsigned char byte : text)
-        crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
-    return crc ^ 0xffffffffu;
-}
-
-std::uint64_t
-experimentFingerprint(const Experiment &e)
-{
-    const MachineConfig &c = e.cfg;
-    std::ostringstream os;
-
-    // Workload identity. The label is presentation only and excluded;
-    // the budget is resolved so "default" and an explicit equal budget
-    // fingerprint identically.
-    fpField(os, "mix", e.mix.name);
-    for (const auto &b : e.mix.benchmarks)
+    fpField(os, "mix", mix.name);
+    for (const auto &b : mix.benchmarks)
         fpField(os, "bench", b);
     fpField(os, "policy", fetchPolicyName(c.fetchPolicy));
     fpField(os, "seed", c.seed);
-    fpField(os, "budget",
-            e.budget ? e.budget : defaultBudget(e.mix.contexts));
+}
 
-    // Every MachineConfig field that can change a SimResult. The
-    // robustness knobs (livelockCycles, invariantCheckCycles, the cancel
-    // poll) only decide whether a run *finishes*, never what it computes,
-    // and are excluded so a journal written with checking on replays with
-    // checking off.
+/**
+ * Every MachineConfig field that can change a SimResult, minus the
+ * protection assignment (streamed separately — warmup checkpoints are
+ * protection-agnostic). The robustness knobs (livelockCycles,
+ * invariantCheckCycles, the cancel poll) only decide whether a run
+ * *finishes*, never what it computes, and are excluded so a journal
+ * written with checking on replays with checking off.
+ */
+void
+fpMachine(std::ostringstream &os, const MachineConfig &c)
+{
     fpField(os, "contexts", c.contexts);
     fpField(os, "fetchW", c.fetchWidth);
     fpField(os, "decodeW", c.decodeWidth);
@@ -219,14 +197,20 @@ experimentFingerprint(const Experiment &e)
     fpField(os, "avf.l2", c.avf.trackL2Avf ? 1 : 0);
     fpField(os, "avfSample", c.avfSampleCycles);
     fpField(os, "trace", c.recordCommitTrace ? 1 : 0);
+}
 
-    // Protection changes residual AVF (part of the SimResult), so it is
-    // result-affecting. A scrub interval only matters for a structure that
-    // actually scrubs, and is excluded otherwise so that retuning an
-    // unused knob does not orphan a journal. The *effective* per-structure
-    // interval is fingerprinted, so moving a structure between the global
-    // period and an equal override changes nothing, while any change that
-    // alters its coverage forces a re-run.
+/**
+ * Protection changes residual AVF (part of the SimResult), so it is
+ * result-affecting. A scrub interval only matters for a structure that
+ * actually scrubs, and is excluded otherwise so that retuning an
+ * unused knob does not orphan a journal. The *effective* per-structure
+ * interval is fingerprinted, so moving a structure between the global
+ * period and an equal override changes nothing, while any change that
+ * alters its coverage forces a re-run.
+ */
+void
+fpProtection(std::ostringstream &os, const MachineConfig &c)
+{
     for (std::size_t i = 0; i < numHwStructs; ++i) {
         auto s = static_cast<HwStruct>(i);
         fpField(os, hwStructKey(s),
@@ -234,7 +218,79 @@ experimentFingerprint(const Experiment &e)
         if (c.protection.schemeFor(s) == ProtScheme::SecdedScrub)
             fpField(os, "scrub", c.protection.scrubIntervalFor(s));
     }
+}
 
+} // namespace
+
+std::uint32_t
+crc32c(const std::string &text)
+{
+    // Reflected CRC-32C table, built once (Castagnoli polynomial
+    // 0x1EDC6F41, reflected 0x82F63B78 — the iSCSI/SSE4.2 CRC).
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    for (unsigned char byte : text)
+        crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::uint64_t
+experimentFingerprint(const Experiment &e)
+{
+    std::ostringstream os;
+
+    // Workload identity first (the label is presentation only and
+    // excluded), then the resolved budget — so "default" and an explicit
+    // equal budget fingerprint identically — then every result-affecting
+    // machine field. The field order matches the pre-warmup format
+    // exactly for warmup == 0 experiments, so existing journals replay.
+    fpWorkload(os, e.cfg, e.mix);
+    fpField(os, "budget",
+            e.budget ? e.budget : defaultBudget(e.mix.contexts));
+    fpMachine(os, e.cfg);
+    fpProtection(os, e.cfg);
+
+    // A warmed-up run measures a different window, and the window is
+    // exactly characterized by the warmup checkpoint it (conceptually)
+    // forks from — fold that checkpoint's fingerprint in so resume
+    // invalidates whenever the warmup changes.
+    if (e.warmup) {
+        fpField(os, "warmup", e.warmup);
+        fpField(os, "warmupCk",
+                checkpointFingerprint(e.cfg, e.mix, e.warmup, true));
+    }
+
+    return fnv1a(os.str());
+}
+
+std::uint64_t
+checkpointFingerprint(const MachineConfig &cfg, const WorkloadMix &mix,
+                      std::uint64_t warmup_instrs, bool warmup_boundary)
+{
+    std::ostringstream os;
+    // No budget field: the state at instruction N is a prefix of a run
+    // of any budget. The leading kind tag keeps the string disjoint
+    // from every experimentFingerprint() input.
+    fpField(os, "kind", warmup_boundary ? "warmup-ckpt" : "ckpt");
+    fpWorkload(os, cfg, mix);
+    fpField(os, "at", warmup_instrs);
+    fpMachine(os, cfg);
+    // Protection never perturbs timing (an accounting overlay), and a
+    // warmup-boundary capture resets the ledger tallies it would have
+    // split — so a warmup checkpoint is byte-reusable across candidate
+    // schemes and its fingerprint must not depend on them. A mid-run
+    // checkpoint carries accumulated split tallies and is not.
+    if (!warmup_boundary)
+        fpProtection(os, cfg);
     return fnv1a(os.str());
 }
 

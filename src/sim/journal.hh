@@ -65,8 +65,29 @@ std::uint32_t crc32c(const std::string &text);
  * Stable fingerprint of everything that determines an Experiment's
  * result. Labels are cosmetic and excluded; the unresolved budget (0 =
  * default) is resolved first so a journal survives flag spelling changes.
+ * A nonzero warmup folds in both the warmup length and the warmup
+ * checkpoint's fingerprint, so journal resume/memoization invalidates
+ * whenever the warmup a result was measured behind changes.
  */
 std::uint64_t experimentFingerprint(const Experiment &e);
+
+/**
+ * Semantic fingerprint of a checkpoint: everything that determines the
+ * machine state a (config, mix) run reaches at a given point — the same
+ * result-affecting fields as experimentFingerprint minus the budget
+ * (a checkpoint is a prefix of *any* budget). @p warmup_instrs is the
+ * committed-instruction count of the capture boundary. When
+ * @p warmup_boundary is set, the protection assignment is excluded too:
+ * protection is an accounting overlay that never perturbs timing, and a
+ * warmup checkpoint (captured with ledger tallies reset) is valid for
+ * every candidate scheme — which is exactly what lets the explorer share
+ * one warmup across its whole search. Simulator::restore() verifies this
+ * value against its own configuration and rejects mismatches.
+ */
+std::uint64_t checkpointFingerprint(const MachineConfig &cfg,
+                                    const WorkloadMix &mix,
+                                    std::uint64_t warmup_instrs,
+                                    bool warmup_boundary);
 
 /** Serialize one `run v3` journal record (no trailing newline). */
 std::string serializeRun(std::uint64_t fingerprint, const SimResult &r);

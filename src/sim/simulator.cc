@@ -3,13 +3,22 @@
 #include "base/logging.hh"
 #include "sim/errors.hh"
 #include "sim/invariants.hh"
+#include "sim/journal.hh"
 
 namespace smtavf
 {
 
+std::atomic<std::uint64_t> &
+simulatedInstructionCounter()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter;
+}
+
 Simulator::Simulator(const MachineConfig &cfg, const WorkloadMix &mix,
                      std::vector<std::uint32_t> stream_ids)
-    : cfg_(cfg), mix_(mix), ledger_(cfg.contexts), hier_(cfg.mem),
+    : cfg_(cfg), mix_(mix), streamIds_(std::move(stream_ids)),
+      ledger_(cfg.contexts), hier_(cfg.mem),
       dl1Tracker_(hier_.dl1(), ledger_, HwStruct::Dl1Data, HwStruct::Dl1Tag,
                   cfg.avf.perByteCacheAvf),
       dtlbTracker_(hier_.dtlb(), ledger_, HwStruct::Dtlb),
@@ -24,14 +33,14 @@ Simulator::Simulator(const MachineConfig &cfg, const WorkloadMix &mix,
     if (mix_.contexts != cfg_.contexts)
         SMTAVF_FATAL("mix ", mix_.name, " has ", mix_.contexts,
                      " contexts, config has ", cfg_.contexts);
-    if (!stream_ids.empty() && stream_ids.size() != cfg_.contexts)
+    if (!streamIds_.empty() && streamIds_.size() != cfg_.contexts)
         SMTAVF_FATAL("stream-id override count mismatch");
 
     std::vector<StreamGenerator *> raw;
     for (unsigned t = 0; t < cfg_.contexts; ++t) {
         const auto &profile = findProfile(mix_.benchmarks[t]);
         std::uint32_t sid =
-            stream_ids.empty() ? 0xffffffffu : stream_ids[t];
+            streamIds_.empty() ? 0xffffffffu : streamIds_[t];
         gens_.push_back(std::make_unique<StreamGenerator>(
             profile, cfg_.seed, static_cast<ThreadId>(t), sid));
         raw.push_back(gens_.back().get());
@@ -122,42 +131,22 @@ Simulator::prewarm()
     }
 }
 
-SimResult
-Simulator::run(std::uint64_t instr_budget)
+void
+Simulator::advanceUntil(std::uint64_t target, LoopState &ls,
+                        AvfTimeline *timeline, AvfIntervalSeries *series)
 {
-    if (ran_)
-        SMTAVF_FATAL("Simulator instances are single use");
-    ran_ = true;
-    if (instr_budget == 0)
-        SMTAVF_FATAL("zero instruction budget");
-
     // Livelock watchdog: a correct model always commits something within
     // the longest dependence stall (a few memory round trips). Raising a
     // structured, catchable error instead of spinning forever (or
     // aborting the process) lets a campaign classify the run and move on.
     const Cycle watchdog_window = cfg_.livelockCycles;
-    std::uint64_t last_committed = 0;
-    Cycle last_progress = 0;
 
-    std::shared_ptr<AvfTimeline> timeline;
-    if (cfg_.avfSampleCycles > 0)
-        timeline =
-            std::make_shared<AvfTimeline>(ledger_, cfg_.avfSampleCycles);
-
-    std::shared_ptr<CommitTrace> trace;
-    if (cfg_.recordCommitTrace) {
-        trace = std::make_shared<CommitTrace>();
-        core_->recordCommits(trace.get());
-    }
-
-    // Cycle of the most recent invariant sweep; 0 = never checked (there
-    // is nothing in flight at cycle 0, so it needs no sweep).
-    Cycle last_checked = 0;
-
-    while (core_->totalCommitted() < instr_budget) {
+    while (core_->totalCommitted() < target) {
         core_->tick();
         if (timeline)
             timeline->tick(core_->now());
+        if (series)
+            series->tick(core_->totalCommitted(), core_->now());
         // Cancel poll: bounded-interval check of the campaign's cancel
         // flag so even a run that livelocks below the watchdog horizon
         // (or simply has a huge budget) is interrupted promptly. A
@@ -170,13 +159,13 @@ Simulator::run(std::uint64_t instr_budget)
         if (cfg_.invariantCheckCycles > 0 &&
             core_->now() % cfg_.invariantCheckCycles == 0) {
             checkInvariants(*core_, ledger_, core_->now());
-            last_checked = core_->now();
+            ls.lastChecked = core_->now();
         }
-        if (core_->totalCommitted() != last_committed) {
-            last_committed = core_->totalCommitted();
-            last_progress = core_->now();
+        if (core_->totalCommitted() != ls.lastCommitted) {
+            ls.lastCommitted = core_->totalCommitted();
+            ls.lastProgress = core_->now();
         } else if (watchdog_window > 0 &&
-                   core_->now() - last_progress > watchdog_window) {
+                   core_->now() - ls.lastProgress > watchdog_window) {
             std::vector<ThreadProgress> progress;
             for (unsigned t = 0; t < cfg_.contexts; ++t) {
                 auto tid = static_cast<ThreadId>(t);
@@ -187,10 +176,230 @@ Simulator::run(std::uint64_t instr_budget)
                                 std::move(progress), core_->stateDump());
         }
     }
+}
+
+void
+Simulator::drainPipeline(LoopState &ls, AvfTimeline *timeline,
+                         AvfIntervalSeries *series)
+{
+    core_->setFetchEnabled(false);
+    const Cycle start = core_->now();
+    // With fetch gated the pipeline empties monotonically, bounded by the
+    // same horizon as the livelock watchdog (a handful of memory round
+    // trips); exceeding it means a stuck instruction, i.e. a model bug.
+    const Cycle bound =
+        cfg_.livelockCycles > 0 ? cfg_.livelockCycles : Cycle{2'000'000};
+    while (!(core_->pipelineEmpty() && hier_.outstandingMisses() == 0)) {
+        core_->tick();
+        if (timeline)
+            timeline->tick(core_->now());
+        if (series)
+            series->tick(core_->totalCommitted(), core_->now());
+        if (core_->now() - start > bound)
+            SMTAVF_FATAL("pipeline failed to drain within ", bound,
+                         " cycles (mix ", mix_.name, ")");
+    }
+    core_->setFetchEnabled(true);
+    // Instructions committed during the drain: refresh the watchdog so it
+    // times the post-boundary window, not the boundary itself.
+    ls.lastCommitted = core_->totalCommitted();
+    ls.lastProgress = core_->now();
+}
+
+void
+Simulator::captureBaseline()
+{
+    RunBaseline b;
+    b.cycle = core_->now();
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        auto tid = static_cast<ThreadId>(t);
+        b.committed[t] = core_->committed(tid);
+        b.branches[t] = core_->predictor(tid).branches();
+        b.mispredicts[t] = core_->predictor(tid).mispredicts();
+    }
+    b.wrongPathFetched = core_->wrongPathFetched();
+    b.squashed = core_->squashedInstrs();
+    b.dl1Hits = hier_.dl1().hits();
+    b.dl1Misses = hier_.dl1().misses();
+    b.l2Hits = hier_.l2().hits();
+    b.l2Misses = hier_.l2().misses();
+    b.il1Hits = hier_.il1().hits();
+    b.il1Misses = hier_.il1().misses();
+    b.dtlbHits = hier_.dtlb().hits();
+    b.dtlbMisses = hier_.dtlb().misses();
+    b.dead = core_->deadCode().deadInstructions();
+    b.resolved = core_->deadCode().resolvedInstructions();
+    baseline_ = b;
+}
+
+template <class Ar>
+void
+Simulator::visitState(Ar &ar)
+{
+    ar(baseline_);
+    ar(*core_);
+    ar(hier_);
+    ar(dl1Tracker_);
+    ar(dtlbTracker_);
+    ar(itlbTracker_);
+    if (l2Tracker_)
+        ar(*l2Tracker_);
+    ar(ledger_);
+}
+
+Checkpoint
+Simulator::makeCheckpoint(std::uint64_t at, bool warmup_boundary)
+{
+    // Counting pass first: payloads run to megabytes, and reserving the
+    // exact size turns ~20 geometric reallocations into one allocation.
+    ByteCounter size;
+    visitState(size);
+    Serializer ser;
+    ser.reserve(size.total());
+    visitState(ser);
+
+    Checkpoint ck;
+    ck.configFingerprint =
+        checkpointFingerprint(cfg_, mix_, at, warmup_boundary);
+    ck.warmupBoundary = warmup_boundary;
+    ck.at = at;
+    ck.payload = ser.take();
+    return ck;
+}
+
+void
+Simulator::restore(const Checkpoint &ck)
+{
+    if (ran_)
+        SMTAVF_FATAL("restore() after run()");
+    if (restored_)
+        SMTAVF_FATAL("restore() twice");
+    if (!streamIds_.empty())
+        SMTAVF_FATAL("checkpoints do not support stream-id overrides");
+    if (ck.empty())
+        throw CheckpointError("refusing to restore an empty checkpoint");
+
+    std::uint64_t expect =
+        checkpointFingerprint(cfg_, mix_, ck.at, ck.warmupBoundary);
+    if (expect != ck.configFingerprint)
+        throw CheckpointError(
+            "checkpoint fingerprint mismatch: captured under a different "
+            "workload/machine configuration than this run's");
+
+    Deserializer des(ck.payload);
+    visitState(des);
+    if (!des.exhausted())
+        throw CheckpointError("checkpoint payload has trailing bytes");
+
+    restoredCommitted_ = core_->totalCommitted();
+    restored_ = true;
+}
+
+Checkpoint
+Simulator::captureWarmupCheckpoint(std::uint64_t warmup_instrs)
+{
+    if (ran_ || restored_)
+        SMTAVF_FATAL("captureWarmupCheckpoint on a used simulator");
+    ran_ = true;
+    if (warmup_instrs == 0)
+        SMTAVF_FATAL("zero warmup budget");
+    if (!streamIds_.empty())
+        SMTAVF_FATAL("checkpoints do not support stream-id overrides");
+
+    LoopState ls;
+    advanceUntil(warmup_instrs, ls, nullptr, nullptr);
+    drainPipeline(ls, nullptr, nullptr);
+    core_->boundaryResolveDeadness();
+    ledger_.resetTallies(core_->now());
+    captureBaseline();
+
+    simulatedInstructionCounter().fetch_add(core_->totalCommitted(),
+                                            std::memory_order_relaxed);
+    return makeCheckpoint(warmup_instrs, /*warmup_boundary=*/true);
+}
+
+SimResult
+Simulator::run(std::uint64_t instr_budget, const RunControls &rc)
+{
+    if (ran_)
+        SMTAVF_FATAL("Simulator instances are single use");
+    ran_ = true;
+    if (instr_budget == 0)
+        SMTAVF_FATAL("zero instruction budget");
+    if ((rc.warmup || rc.checkpointAt) && !streamIds_.empty())
+        SMTAVF_FATAL("checkpoints do not support stream-id overrides");
+    if (restored_ && rc.warmup)
+        SMTAVF_FATAL("warmup after restore (the checkpoint already fixed "
+                     "the measured window)");
+    if ((!rc.checkpointOut.empty() || rc.checkpointCapture) &&
+        rc.checkpointAt == 0)
+        SMTAVF_FATAL("checkpoint destination without --checkpoint-at");
+
+    const std::uint64_t start_committed = core_->totalCommitted();
+
+    std::shared_ptr<AvfTimeline> timeline;
+    if (cfg_.avfSampleCycles > 0)
+        timeline =
+            std::make_shared<AvfTimeline>(ledger_, cfg_.avfSampleCycles);
+
+    std::shared_ptr<AvfIntervalSeries> series;
+    if (rc.avfInterval > 0)
+        series = std::make_shared<AvfIntervalSeries>(ledger_,
+                                                     rc.avfInterval);
+
+    std::shared_ptr<CommitTrace> trace;
+    if (cfg_.recordCommitTrace) {
+        trace = std::make_shared<CommitTrace>();
+        core_->recordCommits(trace.get());
+    }
+
+    LoopState ls;
+    ls.lastCommitted = core_->totalCommitted();
+    ls.lastProgress = core_->now();
+
+    // The budget counts instructions of the *measured window*: committed
+    // after the warmup boundary (or the restore point), or all of them
+    // for a plain run.
+    std::uint64_t rel_base = restoredCommitted_;
+
+    if (rc.warmup > 0) {
+        advanceUntil(rc.warmup, ls, timeline.get(), nullptr);
+        drainPipeline(ls, timeline.get(), nullptr);
+        core_->boundaryResolveDeadness();
+        ledger_.resetTallies(core_->now());
+        captureBaseline();
+        rel_base = core_->totalCommitted();
+    }
+
+    if (series)
+        series->arm(core_->totalCommitted(), core_->now());
+
+    const std::uint64_t target = rel_base + instr_budget;
+
+    if (rc.checkpointAt > 0) {
+        if (rc.checkpointAt <= core_->totalCommitted())
+            SMTAVF_FATAL("checkpoint trigger ", rc.checkpointAt,
+                         " already passed (", core_->totalCommitted(),
+                         " committed)");
+        if (rc.checkpointAt >= target)
+            SMTAVF_FATAL("checkpoint trigger ", rc.checkpointAt,
+                         " at or beyond the run's commit target ", target);
+        advanceUntil(rc.checkpointAt, ls, timeline.get(), series.get());
+        drainPipeline(ls, timeline.get(), series.get());
+        core_->boundaryResolveDeadness();
+        Checkpoint ck =
+            makeCheckpoint(rc.checkpointAt, /*warmup_boundary=*/false);
+        if (!rc.checkpointOut.empty())
+            saveCheckpointFile(ck, rc.checkpointOut);
+        if (rc.checkpointCapture)
+            *rc.checkpointCapture = std::move(ck);
+    }
+
+    advanceUntil(target, ls, timeline.get(), series.get());
 
     // Final consistency gate before any AVF number leaves this run —
     // skipped when the last loop iteration already swept this very cycle.
-    if (cfg_.invariantCheckCycles > 0 && core_->now() != last_checked)
+    if (cfg_.invariantCheckCycles > 0 && core_->now() != ls.lastChecked)
         checkInvariants(*core_, ledger_, core_->now());
 
     Cycle end = core_->now();
@@ -198,39 +407,80 @@ Simulator::run(std::uint64_t instr_budget)
     hier_.finalize(end);
     if (timeline)
         timeline->finish(end);
+    if (series)
+        series->finish(core_->totalCommitted(), end);
     if (trace)
         trace->finalize(); // deadness verdicts are all resolved now
     ledger_.finalize(end);
 
+    simulatedInstructionCounter().fetch_add(
+        core_->totalCommitted() - start_committed,
+        std::memory_order_relaxed);
+
+    // Every reported figure subtracts the baseline, which is all-zero for
+    // a plain run — reproducing the historical whole-run numbers exactly
+    // — and the boundary snapshot for a warmup run (or a run restored
+    // from one), making each figure a measured-window statistic.
+    const RunBaseline &b = baseline_;
+    const Cycle win = end - b.cycle;
+
     SimResult r;
     r.mixName = mix_.name;
     r.policyName = fetchPolicyName(cfg_.fetchPolicy);
-    r.cycles = end;
-    r.totalCommitted = core_->totalCommitted();
-    r.ipc = static_cast<double>(r.totalCommitted) / end;
+    r.cycles = win;
+    std::uint64_t committed_delta = 0;
+    for (unsigned t = 0; t < cfg_.contexts; ++t)
+        committed_delta +=
+            core_->committed(static_cast<ThreadId>(t)) - b.committed[t];
+    r.totalCommitted = committed_delta;
+    r.ipc = static_cast<double>(r.totalCommitted) / win;
     for (unsigned t = 0; t < cfg_.contexts; ++t) {
         ThreadPerf tp;
         tp.benchmark = mix_.benchmarks[t];
-        tp.committed = core_->committed(static_cast<ThreadId>(t));
-        tp.ipc = static_cast<double>(tp.committed) / end;
+        tp.committed =
+            core_->committed(static_cast<ThreadId>(t)) - b.committed[t];
+        tp.ipc = static_cast<double>(tp.committed) / win;
         r.threads.push_back(std::move(tp));
     }
     r.avf = AvfReport::fromLedger(ledger_);
     r.timeline = timeline;
+    r.avfIntervals = series;
     r.commitTrace = trace;
 
-    r.stats.set("dl1.missRate", hier_.dl1().missRate());
-    r.stats.set("l2.missRate", hier_.l2().missRate());
-    r.stats.set("il1.missRate", hier_.il1().missRate());
-    r.stats.set("dtlb.missRate", hier_.dtlb().missRate());
-    r.stats.set("deadCode.fraction", core_->deadCode().deadFraction());
+    auto rate = [](std::uint64_t part, std::uint64_t total) {
+        return total ? static_cast<double>(part) / total : 0.0;
+    };
+    r.stats.set("dl1.missRate",
+                rate(hier_.dl1().misses() - b.dl1Misses,
+                     (hier_.dl1().hits() - b.dl1Hits) +
+                         (hier_.dl1().misses() - b.dl1Misses)));
+    r.stats.set("l2.missRate",
+                rate(hier_.l2().misses() - b.l2Misses,
+                     (hier_.l2().hits() - b.l2Hits) +
+                         (hier_.l2().misses() - b.l2Misses)));
+    r.stats.set("il1.missRate",
+                rate(hier_.il1().misses() - b.il1Misses,
+                     (hier_.il1().hits() - b.il1Hits) +
+                         (hier_.il1().misses() - b.il1Misses)));
+    r.stats.set("dtlb.missRate",
+                rate(hier_.dtlb().misses() - b.dtlbMisses,
+                     (hier_.dtlb().hits() - b.dtlbHits) +
+                         (hier_.dtlb().misses() - b.dtlbMisses)));
+    r.stats.set("deadCode.fraction",
+                rate(core_->deadCode().deadInstructions() - b.dead,
+                     core_->deadCode().resolvedInstructions() - b.resolved));
     r.stats.set("fetch.wrongPath",
-                static_cast<double>(core_->wrongPathFetched()));
-    r.stats.set("squashed", static_cast<double>(core_->squashedInstrs()));
+                static_cast<double>(core_->wrongPathFetched() -
+                                    b.wrongPathFetched));
+    r.stats.set("squashed",
+                static_cast<double>(core_->squashedInstrs() - b.squashed));
     double mispredict = 0.0;
-    for (unsigned t = 0; t < cfg_.contexts; ++t)
-        mispredict += core_->predictor(static_cast<ThreadId>(t))
-                          .mispredictRate();
+    for (unsigned t = 0; t < cfg_.contexts; ++t) {
+        auto tid = static_cast<ThreadId>(t);
+        mispredict += rate(core_->predictor(tid).mispredicts() -
+                               b.mispredicts[t],
+                           core_->predictor(tid).branches() - b.branches[t]);
+    }
     r.stats.set("branch.mispredictRate", mispredict / cfg_.contexts);
     return r;
 }

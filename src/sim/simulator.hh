@@ -3,16 +3,27 @@
  * Top-level simulation driver: builds the ledger, memory hierarchy, AVF
  * trackers, workload streams and the SMT core for one (config, mix) pair,
  * runs to an instruction budget, and returns a SimResult.
+ *
+ * Checkpoint/restore (docs/CHECKPOINT.md): a Simulator can capture its
+ * whole state at a *drained boundary* (pipeline empty, MSHRs empty,
+ * deferred deadness resolved) into a Checkpoint, and a freshly
+ * constructed Simulator with a compatible config can restore it and
+ * continue bit-identically to the run that captured it. Warmup
+ * (`--warmup N`) uses the same boundary: statistics and AVF tallies reset
+ * there, so the SimResult covers only the measured window.
  */
 
 #ifndef SMTAVF_SIM_SIMULATOR_HH
 #define SMTAVF_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "avf/interval_series.hh"
 #include "avf/ledger.hh"
 #include "avf/mem_trackers.hh"
+#include "ckpt/checkpoint.hh"
 #include "core/machine_config.hh"
 #include "core/smt_core.hh"
 #include "mem/hierarchy.hh"
@@ -22,6 +33,42 @@
 
 namespace smtavf
 {
+
+/**
+ * Process-wide count of instructions actually simulated (committed),
+ * summed over every Simulator in this process. Shared-warmup benchmarks
+ * read and reset it to prove how much simulation a reused checkpoint
+ * saved; it feeds no simulation semantics.
+ */
+std::atomic<std::uint64_t> &simulatedInstructionCounter();
+
+/** Optional per-run controls of Simulator::run (all off by default). */
+struct RunControls
+{
+    /**
+     * Commit this many instructions, then drain, reset all statistics and
+     * AVF tallies, and run the measured budget on top. 0 = no warmup.
+     */
+    std::uint64_t warmup = 0;
+
+    /**
+     * Capture a checkpoint once this many instructions committed in
+     * total (must lie inside the run). 0 = never.
+     */
+    std::uint64_t checkpointAt = 0;
+
+    /** File to write the checkpointAt capture to ("" = don't write). */
+    std::string checkpointOut;
+
+    /** In-memory destination of the checkpointAt capture (optional). */
+    Checkpoint *checkpointCapture = nullptr;
+
+    /**
+     * Close an AVF sample row every N committed instructions
+     * (SimResult::avfIntervals). 0 = off.
+     */
+    std::uint64_t avfInterval = 0;
+};
 
 /** One simulation instance (single use: construct, run, discard). */
 class Simulator
@@ -46,10 +93,36 @@ class Simulator
               const std::string &name = "custom");
 
     /**
-     * Run until @p instr_budget instructions commit in total (all threads)
-     * and return the result. Single use.
+     * Run until @p instr_budget instructions commit in total (all
+     * threads) and return the result. Single use. With warmup or after
+     * restore(), the budget counts instructions committed *after* the
+     * boundary/restore point.
      */
-    SimResult run(std::uint64_t instr_budget);
+    SimResult run(std::uint64_t instr_budget,
+                  const RunControls &rc = RunControls{});
+
+    /**
+     * Adopt a checkpoint's state (before run()). Recomputes the
+     * checkpoint fingerprint from this simulator's own config/mix and
+     * throws CheckpointError when it disagrees with the stored one —
+     * restoring under a different seed, machine geometry, workload, or
+     * (for non-warmup checkpoints) protection scheme is rejected rather
+     * than silently diverging.
+     */
+    void restore(const Checkpoint &ck);
+
+    /**
+     * Run @p warmup_instrs instructions, drain, reset tallies, and
+     * return the warmup-boundary checkpoint. Single use (the instance is
+     * consumed). Equivalent state to run()'s own `--warmup` boundary, so
+     * a run restored from this checkpoint is bit-identical to a
+     * `--warmup N` run of the same experiment — that equivalence is what
+     * lets campaigns share one warmup across candidates.
+     */
+    Checkpoint captureWarmupCheckpoint(std::uint64_t warmup_instrs);
+
+    /** Committed-instruction count adopted from restore() (else 0). */
+    std::uint64_t restoredCommitted() const { return restoredCommitted_; }
 
     /** Direct access for white-box tests. */
     SmtCore &core() { return *core_; }
@@ -57,10 +130,88 @@ class Simulator
     AvfLedger &ledger() { return ledger_; }
 
   private:
+    /**
+     * Counter snapshot at the measured-window start. All-zero for plain
+     * runs, so subtracting it reproduces whole-run statistics exactly; a
+     * warmup boundary fills it, making every SimResult figure a
+     * measured-window delta. Travels inside checkpoints so a restored
+     * run subtracts the same baseline as the run that captured it.
+     */
+    struct RunBaseline
+    {
+        Cycle cycle = 0;
+        std::array<std::uint64_t, maxContexts> committed{};
+        std::uint64_t wrongPathFetched = 0;
+        std::uint64_t squashed = 0;
+        std::uint64_t dl1Hits = 0, dl1Misses = 0;
+        std::uint64_t l2Hits = 0, l2Misses = 0;
+        std::uint64_t il1Hits = 0, il1Misses = 0;
+        std::uint64_t dtlbHits = 0, dtlbMisses = 0;
+        std::array<std::uint64_t, maxContexts> branches{};
+        std::array<std::uint64_t, maxContexts> mispredicts{};
+        std::uint64_t dead = 0, resolved = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(cycle);
+            ar(committed);
+            ar(wrongPathFetched);
+            ar(squashed);
+            ar(dl1Hits);
+            ar(dl1Misses);
+            ar(l2Hits);
+            ar(l2Misses);
+            ar(il1Hits);
+            ar(il1Misses);
+            ar(dtlbHits);
+            ar(dtlbMisses);
+            ar(branches);
+            ar(mispredicts);
+            ar(dead);
+            ar(resolved);
+        }
+    };
+
+    /** Watchdog/invariant bookkeeping shared by the tick loops. */
+    struct LoopState
+    {
+        std::uint64_t lastCommitted = 0;
+        Cycle lastProgress = 0;
+        Cycle lastChecked = 0;
+    };
+
     void prewarm();
+
+    /** Tick until @p target instructions committed in total. */
+    void advanceUntil(std::uint64_t target, LoopState &ls,
+                      AvfTimeline *timeline, AvfIntervalSeries *series);
+
+    /**
+     * Disable fetch and tick until the pipeline and MSHRs are empty
+     * (bounded; SMTAVF_FATAL if quiescence is never reached), then
+     * re-enable fetch.
+     */
+    void drainPipeline(LoopState &ls, AvfTimeline *timeline,
+                       AvfIntervalSeries *series);
+
+    /** Snapshot all cumulative counters into baseline_. */
+    void captureBaseline();
+
+    /** Serialize the full machine state into a Checkpoint. */
+    Checkpoint makeCheckpoint(std::uint64_t at, bool warmup_boundary);
+
+    /**
+     * The one list of checkpointed state, shared by the ByteCounter
+     * sizing pass, the Serializer write and the Deserializer read so
+     * the three can never disagree on field order.
+     */
+    template <class Ar> void visitState(Ar &ar);
 
     MachineConfig cfg_;
     WorkloadMix mix_;
+    std::vector<std::uint32_t> streamIds_;
     AvfLedger ledger_;
     MemHierarchy hier_;
     CacheVulnTracker dl1Tracker_;
@@ -70,6 +221,9 @@ class Simulator
     std::unique_ptr<CacheVulnTracker> l2Tracker_;
     std::vector<std::unique_ptr<StreamGenerator>> gens_;
     std::unique_ptr<SmtCore> core_;
+    RunBaseline baseline_;
+    std::uint64_t restoredCommitted_ = 0;
+    bool restored_ = false;
     bool ran_ = false;
 };
 

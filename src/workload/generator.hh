@@ -92,6 +92,50 @@ class StreamGenerator
     const BenchmarkProfile &profile() const { return profile_; }
     ThreadId tid() const { return tid_; }
 
+    /**
+     * Checkpoint hook: only the mutable stream state travels. Everything
+     * the constructor derives deterministically from (profile, seed,
+     * stream_id) — the op-class CDF, branch/jump site geometry, region
+     * bases — is rebuilt by constructing the generator the normal way and
+     * then overwriting this state on top. The buffered uncommitted window
+     * CAN be non-empty at a drained boundary (instructions fetched,
+     * squashed and not yet refetched stay buffered — the RNG has already
+     * advanced past them, so they are not regenerable) and travels as the
+     * template fields generateOne()/makeWrongPath() fill in.
+     */
+    template <class Ar>
+    void
+    serialize(Ar &ar)
+    {
+        ar(rng_);
+        ar(wrongRng_);
+        ar(base_);
+        std::uint64_t n = buffer_.size();
+        ar(n);
+        if constexpr (Ar::loading) {
+            buffer_.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                DynInstr in;
+                serializeTemplate(ar, in);
+                buffer_.push_back(in);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < n; ++i)
+                serializeTemplate(ar, buffer_[i]);
+        }
+        ar(sites_);
+        ar(curSite_);
+        ar(pc_);
+        ar(callStack_);
+        ar(intChains_);
+        ar(fpChains_);
+        ar(curChain_);
+        ar(hotStreams_);
+        ar(warmStreams_);
+        ar(coldStreams_);
+        ar(nextStream_);
+    }
+
   private:
     /** Per-static-branch behavioural state. */
     struct BranchSite
@@ -102,13 +146,55 @@ class StreamGenerator
         double takenProb = 0.5; ///< for random sites
         std::uint32_t period = 8; ///< for loop sites: taken period-1 of period
         std::uint32_t counter = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(pc);
+            ar(target);
+            ar(random);
+            ar(takenProb);
+            ar(period);
+            ar(counter);
+        }
     };
 
     /** One sequential access stream within a memory region. */
     struct AccessStream
     {
         Addr cursor = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(cursor);
+        }
     };
+
+    /**
+     * The subset of DynInstr that generateOne()/makeWrongPath() fill in —
+     * a buffered entry is a pristine template (the core copies it into the
+     * instruction pool at fetch), so the pipeline/rename fields are all
+     * still defaults and never travel.
+     */
+    template <class Ar>
+    static void
+    serializeTemplate(Ar &ar, DynInstr &in)
+    {
+        ar(in.tid);
+        ar(in.streamIdx);
+        ar(in.pc);
+        ar(in.op);
+        ar(in.destReg);
+        ar(in.srcReg1);
+        ar(in.srcReg2);
+        ar(in.memAddr);
+        ar(in.memSize);
+        ar(in.branchTaken);
+        ar(in.branchTarget);
+    }
 
     DynInstr generateOne();
     OpClass pickOpClass();
@@ -139,6 +225,14 @@ class StreamGenerator
     {
         std::array<RegIndex, defWindow> regs{};
         std::size_t count = 0;
+
+        template <class Ar>
+        void
+        serialize(Ar &ar)
+        {
+            ar(regs);
+            ar(count);
+        }
     };
     std::vector<DefRing> intChains_;
     std::vector<DefRing> fpChains_;

@@ -17,9 +17,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 
+#include "ckpt/checkpoint.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "workload/mixes.hh"
@@ -109,6 +111,17 @@ namespace smtavf
 namespace
 {
 
+/**
+ * Campaign setup/teardown allocation budgets: the measured counts in
+ * docs/PERFORMANCE.md plus ~50% headroom. Allocation *counts*, not
+ * bytes — the campaign cost that scales with run count is allocator
+ * round trips, not footprint.
+ */
+constexpr std::uint64_t kSetupAllocBudget = 210;   // measured 138
+constexpr std::uint64_t kCaptureAllocBudget = 64;  // measured 40
+constexpr std::uint64_t kRestoreAllocBudget = 8;   // measured 3
+constexpr std::uint64_t kTeardownAllocBudget = 4;  // measured 0
+
 /** Ticks before measuring: pools, rings and scratch buffers warm up. */
 constexpr int kWarmupTicks = 20000;
 /** Audited window: the acceptance criterion's 10k-cycle spot check. */
@@ -143,6 +156,67 @@ INSTANTIATE_TEST_SUITE_P(
     Policies, AllocSteadyState,
     ::testing::Values(static_cast<int>(FetchPolicyKind::Icount),
                       static_cast<int>(FetchPolicyKind::RoundRobin)));
+
+/**
+ * Heap profile of campaign setup/teardown (docs/PERFORMANCE.md records
+ * the measured counts): campaigns construct and destroy one Simulator
+ * per run, and shared-warmup campaigns add a checkpoint capture and a
+ * restore per run on top. None of these are in the tick loop, but at
+ * thousands of runs per sweep their allocator traffic is the dominant
+ * non-simulation cost, so this audit pins each phase to a budget with
+ * headroom. If one of these fails after a change, re-measure, update
+ * PERFORMANCE.md, and only then raise the ceiling.
+ */
+TEST(AllocProfile, CampaignSetupCaptureRestoreTeardownBudgets)
+{
+    auto cfg = table1Config(4);
+    cfg.seed = 7;
+    // The suite-wide SMTAVF_INVARIANTS=16 checker allocates scratch as
+    // it walks the pipeline; this audit prices the *production* path.
+    cfg.invariantCheckCycles = 0;
+    const auto &mix = findMix("4ctx-mix-A");
+    auto count = [] {
+        return g_allocCount.load(std::memory_order_relaxed);
+    };
+
+    std::uint64_t setup, capture, restore, teardown;
+    {
+        std::uint64_t t0 = count();
+        Simulator warm(cfg, mix);
+        setup = count() - t0;
+
+        t0 = count();
+        Checkpoint ck = warm.captureWarmupCheckpoint(20000);
+        capture = count() - t0;
+
+        Simulator sim(cfg, mix);
+        t0 = count();
+        sim.restore(ck);
+        restore = count() - t0;
+
+        auto *dying = new Simulator(cfg, mix);
+        t0 = count();
+        delete dying;
+        teardown = count() - t0;
+    }
+
+    RecordProperty("setup_allocs", static_cast<int>(setup));
+    RecordProperty("capture_allocs", static_cast<int>(capture));
+    RecordProperty("restore_allocs", static_cast<int>(restore));
+    RecordProperty("teardown_allocs", static_cast<int>(teardown));
+    std::printf("alloc-profile: setup=%llu capture=%llu restore=%llu "
+                "teardown=%llu\n",
+                static_cast<unsigned long long>(setup),
+                static_cast<unsigned long long>(capture),
+                static_cast<unsigned long long>(restore),
+                static_cast<unsigned long long>(teardown));
+
+    // Budgets = measured count (docs/PERFORMANCE.md) + ~50% headroom.
+    EXPECT_LE(setup, kSetupAllocBudget);
+    EXPECT_LE(capture, kCaptureAllocBudget);
+    EXPECT_LE(restore, kRestoreAllocBudget);
+    EXPECT_LE(teardown, kTeardownAllocBudget);
+}
 
 TEST(AllocSteadyState, HookCountsAllocations)
 {

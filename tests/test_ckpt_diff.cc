@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Checkpoint differential matrix (the acceptance bar of the checkpoint
+ * subsystem): restore-then-run must be bit-identical — on serializeRun()
+ * wire bytes, which compare every double to the last mantissa bit — to
+ * the run that captured the checkpoint and continued, at 2/4/8 contexts
+ * across two fetch policies; and shared-warmup campaigns must reproduce
+ * per-run-warmup results exactly in BOTH isolation modes, including
+ * `--isolate process` where the warmup checkpoint crosses a fork via a
+ * temp file. Lives in the isolate-test binary (chaos label): the process
+ * legs fork children out of a threaded pool, which TSan cannot follow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "sim/campaign.hh"
+#include "sim/journal.hh"
+#include "sim/simulator.hh"
+#include "workload/mixes.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+struct MatrixCase
+{
+    const char *mix;
+    FetchPolicyKind policy;
+};
+
+// 2/4/8 contexts under ICOUNT, the same spread under FLUSH: the two
+// policies differ in squash behaviour, which is exactly the state a
+// buggy serialize() hook would lose.
+const MatrixCase kMatrix[] = {
+    {"2ctx-mix-A", FetchPolicyKind::Icount},
+    {"4ctx-mix-A", FetchPolicyKind::Icount},
+    {"8ctx-mix-A", FetchPolicyKind::Icount},
+    {"2ctx-mem-A", FetchPolicyKind::Flush},
+    {"4ctx-cpu-A", FetchPolicyKind::Flush},
+    {"8ctx-mix-B", FetchPolicyKind::Flush},
+};
+
+constexpr std::uint64_t kBudget = 40'000;
+constexpr std::uint64_t kCapture = 20'000;
+
+TEST(CkptDifferential, RestoreMatchesContinuedRunAcrossMatrix)
+{
+    for (const auto &c : kMatrix) {
+        Experiment e = makeExperiment(findMix(c.mix), c.policy, kBudget);
+        SCOPED_TRACE(e.label);
+
+        Checkpoint ck;
+        RunControls rc;
+        rc.checkpointAt = kCapture;
+        rc.checkpointCapture = &ck;
+        Simulator a(e.cfg, e.mix);
+        SimResult ra = a.run(kBudget, rc);
+        ASSERT_FALSE(ck.empty());
+
+        Simulator b(e.cfg, e.mix);
+        b.restore(ck);
+        ASSERT_LT(b.restoredCommitted(), kBudget);
+        SimResult rb = b.run(kBudget - b.restoredCommitted());
+
+        std::uint64_t fp = experimentFingerprint(e);
+        EXPECT_EQ(serializeRun(fp, ra), serializeRun(fp, rb));
+    }
+}
+
+/** The matrix as a warmup campaign: every run warms up kCapture instrs. */
+std::vector<Experiment>
+warmupMatrix()
+{
+    std::vector<Experiment> exps;
+    for (const auto &c : kMatrix) {
+        Experiment e = makeExperiment(findMix(c.mix), c.policy, kBudget);
+        e.warmup = kCapture;
+        exps.push_back(e);
+    }
+    return exps;
+}
+
+void
+expectSharedWarmupMatchesUnshared(IsolateMode mode)
+{
+    std::vector<Experiment> exps = warmupMatrix();
+    CampaignRunner pool(3);
+
+    CampaignOptions plain;
+    plain.isolate = mode;
+    auto ref = runTolerant(pool, exps, plain);
+    ASSERT_TRUE(ref.allOk()) << ref.failureReport();
+
+    CampaignOptions shared;
+    shared.isolate = mode;
+    shared.sharedWarmup = true;
+    auto got = runTolerant(pool, exps, shared);
+    ASSERT_TRUE(got.allOk()) << got.failureReport();
+
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+        std::uint64_t fp = experimentFingerprint(exps[i]);
+        EXPECT_EQ(serializeRun(fp, ref.outcomes[i].result),
+                  serializeRun(fp, got.outcomes[i].result))
+            << exps[i].label;
+    }
+}
+
+TEST(CkptDifferential, SharedWarmupThreadMode)
+{
+    expectSharedWarmupMatchesUnshared(IsolateMode::Thread);
+}
+
+TEST(CkptDifferential, SharedWarmupProcessMode)
+{
+    // Process mode writes each group's warmup checkpoint to a temp file
+    // that forked children restore from — the file format itself is in
+    // the differential path here.
+    expectSharedWarmupMatchesUnshared(IsolateMode::Process);
+}
+
+TEST(CkptDifferential, ProcessModeCleansUpWarmupFiles)
+{
+    std::string dir = testing::TempDir() + "smtavf_ckpt_diff_warmups";
+    std::string cmd = "mkdir -p " + dir;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+    std::vector<Experiment> exps = warmupMatrix();
+    CampaignRunner pool(3);
+    CampaignOptions opt;
+    opt.isolate = IsolateMode::Process;
+    opt.sharedWarmup = true;
+    opt.checkpointDir = dir;
+    auto rep = runTolerant(pool, exps, opt);
+    ASSERT_TRUE(rep.allOk()) << rep.failureReport();
+
+    // The campaign must remove every warmup file it parked in the dir.
+    std::string probe =
+        "ls " + dir + "/smtavf-warmup-*.ckpt 2>/dev/null | grep -q .";
+    EXPECT_NE(std::system(probe.c_str()), 0) << "leftover warmup files";
+}
+
+} // namespace
+} // namespace smtavf

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * AvfReport::restore round-trip tests — the deserialization path of the
+ * campaign run journal (sim/journal.hh). The journal stores every double
+ * as a hexfloat, so the contract is *bit-exact* recovery: a report that
+ * survives serializeRun() + parseRun() must compare equal down to the
+ * last mantissa bit, including denormals, extreme magnitudes and signed
+ * zero. Damaged records (truncation anywhere, flipped CRC bytes) must be
+ * rejected by parseRun, never half-applied.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "avf/report.hh"
+#include "metrics/metrics.hh"
+#include "sim/journal.hh"
+
+namespace smtavf
+{
+namespace
+{
+
+/** Bit-pattern equality: distinguishes -0.0 from 0.0, unlike ==. */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/** A report whose every slot holds a hostile-to-parse double. */
+AvfReport
+hostileReport(unsigned num_threads, Cycle cycles)
+{
+    // Denormals, extremes, signed zero, and values with no finite
+    // decimal representation — everything a "%g" round trip would lose.
+    const double hostile[] = {
+        5e-324,                 // smallest positive denormal
+        DBL_MIN / 4.0,          // a larger denormal
+        DBL_MAX,                // largest finite
+        DBL_MIN,                // smallest normal
+        -0.0,                   // signed zero
+        1.0 / 3.0,              // repeating binary fraction
+        0.1,                    // classic decimal-unrepresentable
+        1.0 - DBL_EPSILON,      // just under 1
+    };
+    constexpr std::size_t n = sizeof(hostile) / sizeof(hostile[0]);
+
+    std::array<double, numHwStructs> avf{}, occ{}, residual{};
+    std::array<std::array<double, maxContexts>, numHwStructs> tavf{};
+    for (std::size_t s = 0; s < numHwStructs; ++s) {
+        avf[s] = hostile[s % n];
+        occ[s] = hostile[(s + 1) % n];
+        residual[s] = hostile[(s + 2) % n];
+        for (unsigned t = 0; t < num_threads; ++t)
+            tavf[s][t] = hostile[(s + t) % n];
+    }
+    return AvfReport::restore(num_threads, cycles, avf, occ, residual, tavf);
+}
+
+TEST(ReportRestore, AccessorsReturnExactBits)
+{
+    AvfReport r = hostileReport(3, 987'654);
+    EXPECT_EQ(r.numThreads(), 3u);
+    EXPECT_EQ(r.cycles(), 987'654u);
+
+    // Spot-check against the same generator pattern — bitwise.
+    EXPECT_TRUE(sameBits(r.avf(static_cast<HwStruct>(0)), 5e-324));
+    EXPECT_TRUE(sameBits(r.occupancy(static_cast<HwStruct>(3)), -0.0));
+    for (std::size_t s = 0; s < numHwStructs; ++s) {
+        auto hs = static_cast<HwStruct>(s);
+        for (unsigned t = 0; t < 3; ++t)
+            EXPECT_TRUE(std::isfinite(r.threadAvf(hs, t)));
+    }
+}
+
+/** Wrap a hostile report into a full SimResult for journal round trips. */
+SimResult
+hostileResult(unsigned num_threads, std::uint64_t committed)
+{
+    SimResult r;
+    r.mixName = "2ctx-mix-A";
+    r.policyName = "ICOUNT";
+    r.cycles = committed ? committed / 2 + 1 : 0;
+    r.totalCommitted = committed;
+    r.ipc = committed ? 1.0 / 3.0 : 0.0;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        ThreadPerf p;
+        p.benchmark = "bench" + std::to_string(t);
+        p.committed = committed / (t + 1);
+        p.ipc = t == 0 ? 5e-324 : DBL_MAX / (t + 1);
+        r.threads.push_back(p);
+    }
+    r.avf = hostileReport(num_threads, r.cycles);
+    r.stats.set("denormal", DBL_MIN / 8.0);
+    r.stats.set("negzero", -0.0);
+    r.stats.set("third", 1.0 / 3.0);
+    return r;
+}
+
+TEST(ReportRestore, JournalRoundTripIsBitExact)
+{
+    const std::uint64_t fp = 0xfeedfacecafebeefULL;
+    SimResult orig = hostileResult(2, 1'000'000);
+    std::string line = serializeRun(fp, orig);
+
+    std::uint64_t fp2 = 0;
+    SimResult back;
+    ASSERT_TRUE(parseRun(line, fp2, back));
+    EXPECT_EQ(fp2, fp);
+
+    // Re-serializing the parsed result must reproduce the wire bytes —
+    // this compares every double bit-for-bit, thread rows and report
+    // arrays included, without enumerating fields.
+    EXPECT_EQ(serializeRun(fp, back), line);
+
+    // And the report accessors agree bitwise with the original.
+    for (std::size_t s = 0; s < numHwStructs; ++s) {
+        auto hs = static_cast<HwStruct>(s);
+        EXPECT_TRUE(sameBits(back.avf.avf(hs), orig.avf.avf(hs)));
+        EXPECT_TRUE(
+            sameBits(back.avf.residualAvf(hs), orig.avf.residualAvf(hs)));
+        EXPECT_TRUE(
+            sameBits(back.avf.occupancy(hs), orig.avf.occupancy(hs)));
+        for (unsigned t = 0; t < 2; ++t)
+            EXPECT_TRUE(
+                sameBits(back.avf.threadAvf(hs, t), orig.avf.threadAvf(hs, t)));
+    }
+}
+
+TEST(ReportRestore, ZeroInstructionRunRoundTrips)
+{
+    // A run that committed nothing (all-zero report, zero cycles, zero
+    // IPC) is a legal journal record — e.g. a candidate rejected at
+    // cycle 0. Restore must not divide by the zero cycle count.
+    const std::uint64_t fp = 42;
+    SimResult orig = hostileResult(1, 0);
+    orig.avf = AvfReport::restore(1, 0, {}, {}, {}, {});
+
+    std::string line = serializeRun(fp, orig);
+    std::uint64_t fp2 = 0;
+    SimResult back;
+    ASSERT_TRUE(parseRun(line, fp2, back));
+    EXPECT_EQ(back.totalCommitted, 0u);
+    EXPECT_EQ(back.avf.cycles(), 0u);
+    for (std::size_t s = 0; s < numHwStructs; ++s)
+        EXPECT_EQ(back.avf.avf(static_cast<HwStruct>(s)), 0.0);
+    EXPECT_EQ(serializeRun(fp, back), line);
+}
+
+TEST(ReportRestore, TruncatedRecordsRejected)
+{
+    SimResult orig = hostileResult(2, 500'000);
+    std::string line = serializeRun(7, orig);
+
+    // Every proper prefix must fail to parse — a torn O_APPEND write can
+    // only ever truncate at the tail, and parseRun is the crash-safety
+    // gate (docs/ROBUSTNESS.md).
+    for (std::size_t cut = 0; cut < line.size(); cut += 7) {
+        std::uint64_t fp = 0;
+        SimResult r;
+        EXPECT_FALSE(parseRun(line.substr(0, cut), fp, r))
+            << "prefix of " << cut << " bytes parsed";
+    }
+
+    // Flipping any payload character breaks the CRC.
+    for (std::size_t pos = line.find("fp="); pos < line.size(); pos += 11) {
+        std::string bad = line;
+        bad[pos] ^= 0x04;
+        std::uint64_t fp = 0;
+        SimResult r;
+        EXPECT_FALSE(parseRun(bad, fp, r)) << "flip at " << pos << " parsed";
+    }
+
+    // Blank lines and comments are "malformed" by design.
+    std::uint64_t fp = 0;
+    SimResult r;
+    EXPECT_FALSE(parseRun("", fp, r));
+    EXPECT_FALSE(parseRun("# comment", fp, r));
+}
+
+} // namespace
+} // namespace smtavf

@@ -7,14 +7,14 @@
 # defines the same configurations for interactive use
 # (cmake --preset release, etc.).
 #
-# Usage: tools/check.sh [release|asan|tsan|coverage|chaos ...]
-#        (default: all five)
+# Usage: tools/check.sh [release|asan|tsan|coverage|chaos|ckpt ...]
+#        (default: all six)
 
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 jobs=${SMTAVF_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}
-presets=${*:-"release asan tsan coverage chaos"}
+presets=${*:-"release asan tsan coverage chaos ckpt"}
 
 # The protection subsystem (search, pruning proof, cost model, CLI
 # parsing) carries correctness arguments that only hold if its branches
@@ -39,8 +39,10 @@ for preset in $presets; do
                       -DSMTAVF_COVERAGE=ON ;;
       chaos)   cmake -S "$repo" -B "$build" \
                      -DCMAKE_BUILD_TYPE=RelWithDebInfo ;;
+      ckpt)    cmake -S "$repo" -B "$build" \
+                     -DCMAKE_BUILD_TYPE=RelWithDebInfo ;;
       *) echo "unknown preset: $preset (want release, asan, tsan," \
-              "coverage or chaos)" >&2
+              "coverage, chaos or ckpt)" >&2
          exit 2 ;;
     esac
 
@@ -93,6 +95,76 @@ for preset in $presets; do
         "$cli" merge-journals --out "$tmp/crash.canon" \
             "$tmp/crash.journal" >/dev/null
         cmp "$tmp/ref.canon" "$tmp/crash.canon"
+        rm -rf "$tmp"
+        trap - EXIT
+    elif [ "$preset" = ckpt ]; then
+        # Checkpoint/restore surface: the serializer/envelope/differential
+        # unit suites, then an end-to-end smoke against the installed
+        # binary — capture mid-run, SIGKILL a second in-flight copy after
+        # its capture lands, restore from the orphaned file, and require
+        # the restored run's report to carry exactly the bytes of the run
+        # that checkpointed and continued (docs/CHECKPOINT.md: restore is
+        # bit-identical to the *checkpointing* run, which drains at the
+        # boundary, not to an uninterrupted run). Damage rejection must
+        # exit with the dedicated checkpoint code 4.
+        (cd "$build" && ctest --output-on-failure -j "$jobs" -R \
+            'Serializer|CheckpointEnvelope|CheckpointRestore|CkptDifferential|ReportRestore|AvfIntervalSeries|SharedWarmupCampaign')
+
+        echo "==> [$preset] checkpoint kill/restore smoke"
+        cli="$build/tools/smtavf_cli"
+        tmp=$(mktemp -d)
+        trap 'rm -rf "$tmp"' EXIT
+        args="--mix 2ctx-mix-A --instructions 300000 --seed 5"
+        # Reference: capture at 150k, keep going to 300k.
+        # shellcheck disable=SC2086  # word splitting is the point
+        "$cli" run $args --checkpoint-at 150000 \
+            --checkpoint-out "$tmp/ref.ckpt" --csv > "$tmp/ref.txt"
+        # Victim: same run, killed once its checkpoint hits the disk.
+        # shellcheck disable=SC2086
+        "$cli" run $args --checkpoint-at 150000 \
+            --checkpoint-out "$tmp/victim.ckpt" --csv \
+            > "$tmp/victim.txt" 2>/dev/null &
+        victim=$!
+        # Wait for the capture to land fully: a nonzero size that is
+        # stable across two polls (killing mid-write would make the
+        # restore below reject a torn file and fail the leg).
+        prev=-1
+        while kill -0 "$victim" 2>/dev/null; do
+            size=$(wc -c 2>/dev/null < "$tmp/victim.ckpt" || echo 0)
+            [ "$size" -gt 0 ] && [ "$size" = "$prev" ] && break
+            prev=$size
+            sleep 0.05
+        done
+        kill -9 "$victim" 2>/dev/null || true
+        wait "$victim" 2>/dev/null || true
+        [ -s "$tmp/victim.ckpt" ] # the capture must have survived
+        # Restore from the orphan and finish the victim's run; the
+        # report must be byte-identical to the reference run's.
+        # shellcheck disable=SC2086
+        "$cli" run $args --restore "$tmp/victim.ckpt" --csv \
+            > "$tmp/restored.txt"
+        cmp "$tmp/ref.txt" "$tmp/restored.txt"
+
+        # Damage rejection: exit code 4, distinct from sim failure (1)
+        # and usage (2).
+        cp "$tmp/ref.ckpt" "$tmp/flip.ckpt"
+        printf 'X' | dd of="$tmp/flip.ckpt" bs=1 seek=200 conv=notrunc \
+            2>/dev/null
+        head -c 100 "$tmp/ref.ckpt" > "$tmp/trunc.ckpt"
+        for case in "--restore $tmp/flip.ckpt" \
+                    "--restore $tmp/trunc.ckpt" \
+                    "--restore $tmp/ref.ckpt --seed 6"; do
+            set +e
+            # shellcheck disable=SC2086
+            "$cli" run --mix 2ctx-mix-A --instructions 300000 --seed 5 \
+                $case >/dev/null 2>&1
+            st=$?
+            set -e
+            if [ "$st" -ne 4 ]; then
+                echo "run $case: expected exit 4, got $st" >&2
+                exit 1
+            fi
+        done
         rm -rf "$tmp"
         trap - EXIT
     elif [ "$preset" = coverage ]; then

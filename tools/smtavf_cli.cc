@@ -49,6 +49,7 @@
 #include "base/env.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "ckpt/checkpoint.hh"
 #include "metrics/metrics.hh"
 #include "protect/cost.hh"
 #include "protect/explorer.hh"
@@ -59,6 +60,7 @@
 #include "sim/errors.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
+#include "sim/simulator.hh"
 
 namespace
 {
@@ -69,7 +71,7 @@ void
 usage()
 {
     std::puts(
-        "usage: smtavf_cli [options]\n"
+        "usage: smtavf_cli [run] [options]\n"
         "       smtavf_cli campaign [campaign options]\n"
         "       smtavf_cli protect [protect options]\n"
         "       smtavf_cli merge-journals --out FILE IN1 [IN2 ...]\n"
@@ -81,6 +83,18 @@ usage()
         "  --seed N              simulation seed (default 1)\n"
         "  --replicas N          run N seeds and report mean +/- std\n"
         "  --sample N            AVF timeline window in cycles (0 = off)\n"
+        "  --warmup N            commit N instructions, drain, and reset\n"
+        "                        stats/AVF tallies before measuring\n"
+        "  --checkpoint-at N     capture a checkpoint once N instructions\n"
+        "                        committed in total (needs --checkpoint-out)\n"
+        "  --checkpoint-out F    write the --checkpoint-at capture to F\n"
+        "  --restore F           adopt checkpoint F and continue; the run\n"
+        "                        is bit-identical to the uninterrupted one.\n"
+        "                        --instructions stays the *total* commit\n"
+        "                        target and must exceed the checkpoint's\n"
+        "  --avf-interval N      close an AVF sample row every N committed\n"
+        "                        instructions and print the series as CSV\n"
+        "  --avf-interval-csv F  write that series to F instead of stdout\n"
         "  --iq-partition        static per-thread IQ partitioning\n"
         "  --no-dead-code        disable dynamic dead-code analysis\n"
         "  --no-wrong-path       disable wrong-path fetch/execution\n"
@@ -121,6 +135,12 @@ usage()
         "                        seed-deterministic jitter (default 0)\n"
         "  --cancel-check N      thread: poll the Ctrl-C flag inside each\n"
         "                        simulation every N cycles (default off)\n"
+        "  --warmup N            per-run warmup instructions (see above)\n"
+        "  --shared-warmup       simulate each distinct warmup prefix once,\n"
+        "                        checkpoint it, and restore it per run;\n"
+        "                        results are bit-identical to per-run warmup\n"
+        "  --checkpoint-dir DIR  process mode: directory for the shared\n"
+        "                        warmup checkpoint files (default: TMPDIR)\n"
         "  --csv                 per-run CSV summary instead of a table\n"
         "\n"
         "merge-journals: combine shard journals into one deduplicated,\n"
@@ -158,13 +178,18 @@ usage()
         "                        journal replays included (0 = unlimited)\n"
         "  --journal FILE        beam: journal evaluated runs + search trace\n"
         "  --resume              beam: replay journaled candidates\n"
+        "  --warmup N            warm every evaluation up by N instructions\n"
+        "  --shared-warmup       beam: simulate the warmup once and restore\n"
+        "                        its checkpoint for every candidate\n"
         "  --jobs N              worker threads for --explore\n"
         "  --csv                 machine-readable output\n"
         "  --json                full result as JSON\n"
         "\n"
         "exit codes: 0 ok, 1 simulation failure, 2 bad usage/config,\n"
         "            3 campaign completed with failed runs, or journal\n"
-        "              corruption found by fsck/merge-journals\n");
+        "              corruption found by fsck/merge-journals\n"
+        "            4 checkpoint rejected (corrupt, truncated, or from an\n"
+        "              incompatible configuration)\n");
 }
 
 /** Usage and configuration mistakes exit 2, distinct from sim failures. */
@@ -322,6 +347,7 @@ campaignMain(int argc, char **argv)
     bool csv = false;
     unsigned shard = 0;
     unsigned nshards = 0; // 0 = no sharding requested
+    std::uint64_t warmup = 0;
     CampaignOptions opt;
 
     for (int i = 2; i < argc; ++i) {
@@ -381,6 +407,15 @@ campaignMain(int argc, char **argv)
             opt.backoffSeconds = parseSeconds("--backoff", next());
         } else if (arg == "--cancel-check") {
             opt.cancelCheckCycles = parseNum("--cancel-check", next());
+        } else if (arg == "--warmup") {
+            warmup = parseNum("--warmup", next());
+        } else if (arg == "--shared-warmup") {
+            opt.sharedWarmup = true;
+        } else if (arg == "--checkpoint-dir") {
+            const char *v = next();
+            if (!v)
+                die("--checkpoint-dir needs a directory");
+            opt.checkpointDir = v;
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--shard") {
@@ -405,6 +440,11 @@ campaignMain(int argc, char **argv)
     if (opt.isolate == IsolateMode::Process && opt.cancelCheckCycles > 0)
         die("--cancel-check is a thread-mode knob; process children are "
             "interrupted by the supervisor");
+    if (opt.sharedWarmup && warmup == 0)
+        die("--shared-warmup needs --warmup N to share");
+    if (!opt.checkpointDir.empty() &&
+        !(opt.sharedWarmup && opt.isolate == IsolateMode::Process))
+        die("--checkpoint-dir needs --shared-warmup with --isolate process");
 
     std::vector<FetchPolicyKind> policies;
     if (policy_name == "all" || policy_name == "ALL") {
@@ -432,6 +472,8 @@ campaignMain(int argc, char **argv)
     for (const auto &mix : mixes)
         for (auto policy : policies)
             exps.push_back(makeExperiment(mix, policy, instructions));
+    for (auto &e : exps)
+        e.warmup = warmup;
     if (use_master_seed)
         deriveSeeds(exps, master_seed);
     // Shard after seed derivation: a run's seed depends on its index in
@@ -577,9 +619,11 @@ protectMain(int argc, char **argv)
                 ProtectionExplorer::defaultScrubLadder(po.scrubInterval);
             bo.journalPath = po.journalPath;
             bo.resume = po.resume;
+            bo.warmup = po.warmup;
+            bo.sharedWarmup = po.sharedWarmup;
             result = explorer.exploreBeam(pool, bo);
         } else {
-            result = explorer.explore(pool);
+            result = explorer.explore(pool, po.warmup);
         }
         if (po.json) {
             std::fputs(result.json().c_str(), stdout);
@@ -603,7 +647,17 @@ protectMain(int argc, char **argv)
         return 0;
     }
 
-    auto r = runMix(cfg, mix, po.instructions);
+    SimResult r;
+    if (po.warmup > 0) {
+        Simulator sim(cfg, mix);
+        RunControls rc;
+        rc.warmup = po.warmup;
+        r = sim.run(po.instructions ? po.instructions
+                                    : defaultBudget(mix.contexts),
+                    rc);
+    } else {
+        r = runMix(cfg, mix, po.instructions);
+    }
     bool csv = po.csv, json = po.json;
     const auto bits = structureBitCapacities(cfg);
     auto cost = protectionCost(cfg);
@@ -659,6 +713,12 @@ singleMain(int argc, char **argv)
     std::uint64_t seed = 1;
     std::uint64_t replicas = 1;
     std::uint64_t sample = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t checkpoint_at = 0;
+    std::string checkpoint_out;
+    std::string restore_path;
+    std::uint64_t avf_interval = 0;
+    std::string avf_interval_csv;
     bool iq_partition = false;
     bool csv = false;
     bool json = false;
@@ -706,6 +766,31 @@ singleMain(int argc, char **argv)
                 die("--replicas must be positive");
         } else if (arg == "--sample") {
             sample = parseNum("--sample", next());
+        } else if (arg == "--warmup") {
+            warmup = parseNum("--warmup", next());
+        } else if (arg == "--checkpoint-at") {
+            checkpoint_at = parseNum("--checkpoint-at", next());
+            if (checkpoint_at == 0)
+                die("--checkpoint-at must be positive");
+        } else if (arg == "--checkpoint-out") {
+            const char *v = next();
+            if (!v)
+                die("--checkpoint-out needs a file name");
+            checkpoint_out = v;
+        } else if (arg == "--restore") {
+            const char *v = next();
+            if (!v)
+                die("--restore needs a file name");
+            restore_path = v;
+        } else if (arg == "--avf-interval") {
+            avf_interval = parseNum("--avf-interval", next());
+            if (avf_interval == 0)
+                die("--avf-interval must be positive");
+        } else if (arg == "--avf-interval-csv") {
+            const char *v = next();
+            if (!v)
+                die("--avf-interval-csv needs a file name");
+            avf_interval_csv = v;
         } else if (arg == "--iq-partition") {
             iq_partition = true;
         } else if (arg == "--no-dead-code") {
@@ -745,6 +830,21 @@ singleMain(int argc, char **argv)
     if (auto msg = cfg.validateMsg(); !msg.empty())
         die("invalid configuration: " + msg);
 
+    const bool controls = warmup > 0 || checkpoint_at > 0 ||
+                          !restore_path.empty() || avf_interval > 0;
+    if (!checkpoint_out.empty() && checkpoint_at == 0)
+        die("--checkpoint-out needs --checkpoint-at N");
+    if (checkpoint_at > 0 && checkpoint_out.empty())
+        die("--checkpoint-at needs --checkpoint-out FILE");
+    if (!restore_path.empty() && warmup > 0)
+        die("--warmup cannot follow --restore: the restored state already "
+            "fixes the measurement boundary");
+    if (controls && replicas > 1)
+        die("--replicas cannot combine with "
+            "--warmup/--checkpoint-at/--restore/--avf-interval");
+    if (!avf_interval_csv.empty() && avf_interval == 0)
+        die("--avf-interval-csv needs --avf-interval N");
+
     if (replicas > 1) {
         auto runs = runMixReplicated(cfg, mix,
                                      static_cast<unsigned>(replicas),
@@ -763,7 +863,31 @@ singleMain(int argc, char **argv)
         return 0;
     }
 
-    auto r = runMix(cfg, mix, instructions);
+    SimResult r;
+    if (controls) {
+        std::uint64_t budget =
+            instructions ? instructions : defaultBudget(mix.contexts);
+        Simulator sim(cfg, mix);
+        RunControls rc;
+        rc.warmup = warmup;
+        rc.checkpointAt = checkpoint_at;
+        rc.checkpointOut = checkpoint_out;
+        rc.avfInterval = avf_interval;
+        if (!restore_path.empty()) {
+            sim.restore(loadCheckpointFile(restore_path));
+            // --instructions stays the run's *total* commit target, so a
+            // restored run reports exactly what the uninterrupted run
+            // would; only the remainder is simulated.
+            if (budget <= sim.restoredCommitted())
+                die("--instructions " + std::to_string(budget) +
+                    " does not exceed the checkpoint's committed count (" +
+                    std::to_string(sim.restoredCommitted()) + ")");
+            budget -= sim.restoredCommitted();
+        }
+        r = sim.run(budget, rc);
+    } else {
+        r = runMix(cfg, mix, instructions);
+    }
 
     if (json) {
         printResultJson(r, cfg.protection);
@@ -789,6 +913,19 @@ singleMain(int argc, char **argv)
         std::puts("");
         for (const auto &[name, value] : r.stats.all())
             std::printf("  %-24s %.4f\n", name.c_str(), value);
+    }
+
+    if (avf_interval > 0 && r.avfIntervals) {
+        if (!avf_interval_csv.empty() && avf_interval_csv != "-") {
+            std::FILE *f = std::fopen(avf_interval_csv.c_str(), "w");
+            if (!f)
+                die("cannot write " + avf_interval_csv);
+            std::fputs(r.avfIntervals->csv().c_str(), f);
+            std::fclose(f);
+        } else {
+            std::puts("");
+            std::fputs(r.avfIntervals->csv().c_str(), stdout);
+        }
     }
 
     if (timeline_csv && r.timeline) {
@@ -934,6 +1071,10 @@ main(int argc, char **argv)
             usage();
             die("unknown journal subcommand (try: journal fsck FILE)");
         }
+        // `run` is an explicit alias of the default single-run mode, so
+        // checkpoint examples read naturally: smtavf_cli run --restore F.
+        if (argc > 1 && std::strcmp(argv[1], "run") == 0)
+            return singleMain(argc - 1, argv + 1);
         return singleMain(argc, argv);
     } catch (const LivelockError &e) {
         std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
@@ -941,6 +1082,12 @@ main(int argc, char **argv)
     } catch (const SimulationError &e) {
         std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
         return 1;
+    } catch (const CheckpointError &e) {
+        // Corrupt, truncated, or configuration-incompatible checkpoint:
+        // a distinct exit code so scripted restore flows can tell "bad
+        // checkpoint" from "bad flags" or "sim blew up".
+        std::fprintf(stderr, "smtavf_cli: %s\n", e.what());
+        return 4;
     } catch (const SimError &e) {
         // SMTAVF_FATAL/PANIC: configuration or usage problem.
         std::fprintf(stderr, "smtavf_cli: %s\n", e.message.c_str());
