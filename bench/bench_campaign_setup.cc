@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Campaign setup-throughput benchmark *and* worker-reuse gate: a
+ * high-throughput AVF campaign is thousands of short runs, so the
+ * per-run fixed cost — Simulator construction, teardown, and (in
+ * process mode) a fork per run — bounds runs/second long before the
+ * simulated work does. This benchmark times a 1000-short-run campaign
+ * in the four configurations that matter:
+ *
+ *   thread + fresh construction   (the pre-reuse baseline)
+ *   thread + reused workers       (reset() instead of reconstruction)
+ *   process + one child per run   (the pre-batching baseline)
+ *   process + batched children    (--runs-per-child over one reused sim)
+ *
+ * and reports whole-campaign runs/second (items/s, real time — the pool
+ * does the work off the main thread).
+ *
+ * Before any timing, main() asserts the contract the optimization rests
+ * on and exits nonzero if it fails: a reused-worker campaign and a
+ * batched-child campaign must journal byte-identical records to a
+ * construct-per-run campaign (the same bar tests/test_reuse.cc holds in
+ * CI; re-checked here so a benchmark number can never be quoted from a
+ * binary that broke the equivalence). tools/bench.sh runs this binary
+ * alongside bench_micro_sim and merges the reports into BENCH_micro.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "sim/experiment.hh"
+#include "sim/isolate.hh"
+#include "sim/journal.hh"
+#include "workload/mixes.hh"
+
+namespace
+{
+
+using namespace smtavf;
+
+/** Short enough that setup cost dominates; long enough to be a run. */
+constexpr std::uint64_t kBudget = 500;
+constexpr std::size_t kRuns = 1000;
+constexpr unsigned kJobs = 4;
+constexpr unsigned kRunsPerChild = 32;
+
+std::vector<Experiment>
+shortCampaign(std::size_t n)
+{
+    const auto &mix = findMix("2ctx-mix-A");
+    std::vector<Experiment> exps;
+    exps.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Experiment e =
+            makeExperiment(mix, FetchPolicyKind::Icount, kBudget);
+        e.cfg.seed = 1000 + i;
+        exps.push_back(std::move(e));
+    }
+    return exps;
+}
+
+void
+BM_CampaignRuns(benchmark::State &state)
+{
+    const bool process = state.range(0) != 0;
+    const bool reuse = state.range(1) != 0;
+    const auto rpc = static_cast<unsigned>(state.range(2));
+
+    auto exps = shortCampaign(kRuns);
+    CampaignOptions opt;
+    opt.isolate = process ? IsolateMode::Process : IsolateMode::Thread;
+    opt.reuseWorkers = reuse;
+    opt.runsPerChild = rpc;
+    CampaignRunner pool(kJobs);
+
+    std::size_t total = 0;
+    for (auto _ : state) {
+        auto report = runTolerant(pool, exps, opt);
+        if (!report.allOk()) {
+            state.SkipWithError("campaign run failed");
+            return;
+        }
+        total += exps.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+    state.SetLabel(std::string(process ? "process" : "thread") +
+                   (reuse ? "/reused" : "/fresh") +
+                   (rpc > 1 ? "/batch" + std::to_string(rpc) : ""));
+}
+// items/s == campaign runs per second (real time: pool workers run it).
+BENCHMARK(BM_CampaignRuns)
+    ->Args({0, 0, 1}) // thread, fresh construction per run
+    ->Args({0, 1, 1}) // thread, reused workers
+    ->Args({1, 0, 1}) // process, one child per run
+    ->Args({1, 1, kRunsPerChild}) // process, batched reused children
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+std::vector<std::string>
+journalRecords(const std::string &path)
+{
+    std::vector<std::string> recs;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        if (line.rfind("run ", 0) == 0)
+            recs.push_back(std::move(line));
+    std::sort(recs.begin(), recs.end());
+    return recs;
+}
+
+/** The gate: reuse and batching must journal byte-identical records. */
+int
+verifyReuseEquivalence()
+{
+    auto exps = shortCampaign(96);
+    struct Case
+    {
+        const char *name;
+        const char *path;
+        IsolateMode mode;
+        bool reuse;
+        unsigned rpc;
+    };
+    const Case cases[] = {
+        {"fresh", "bench_campaign_fresh.journal", IsolateMode::Thread,
+         false, 1},
+        {"reused", "bench_campaign_reused.journal", IsolateMode::Thread,
+         true, 1},
+        {"batched", "bench_campaign_batched.journal", IsolateMode::Process,
+         true, kRunsPerChild},
+    };
+
+    std::vector<std::vector<std::string>> records;
+    for (const Case &c : cases) {
+        std::remove(c.path);
+        CampaignOptions opt;
+        opt.isolate = c.mode;
+        opt.reuseWorkers = c.reuse;
+        opt.runsPerChild = c.rpc;
+        opt.journalPath = c.path;
+        CampaignRunner pool(kJobs);
+        auto report = runTolerant(pool, exps, opt);
+        if (!report.allOk()) {
+            std::fprintf(stderr, "FAIL: %s campaign did not complete\n",
+                         c.name);
+            return 1;
+        }
+        records.push_back(journalRecords(c.path));
+        std::remove(c.path);
+    }
+
+    if (records[1] != records[0] || records[2] != records[0]) {
+        std::fprintf(stderr,
+                     "FAIL: reused/batched campaign journals are not "
+                     "byte-identical to fresh construction\n");
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "worker-reuse gate: ok (%zu records identical across "
+                 "fresh, reused, and batched campaigns)\n",
+                 records[0].size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (int rc = verifyReuseEquivalence())
+        return rc;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "avf/ledger.hh"
+#include "base/arena.hh"
 #include "base/types.hh"
 #include "isa/instr.hh"
 
@@ -71,6 +72,15 @@ class DeadCodeAnalyzer
     std::uint64_t deadInstructions() const { return deadCount_; }
     std::uint64_t resolvedInstructions() const { return resolvedCount_; }
 
+    /** Worker-reuse hook: no pending producers, counters zeroed. */
+    void
+    reset()
+    {
+        pending_.assign(pending_.size(), {});
+        deadCount_ = 0;
+        resolvedCount_ = 0;
+    }
+
     /** Fraction of resolved register-writing instructions found dead. */
     double
     deadFraction() const
@@ -101,7 +111,7 @@ class DeadCodeAnalyzer
     AvfLedger &ledger_;
     bool enabled_;
     // pending unread producer per (thread, architectural register)
-    std::vector<std::array<InstPtr, numArchRegs>> pending_;
+    AVec<std::array<InstPtr, numArchRegs>> pending_;
     std::uint64_t deadCount_ = 0;
     std::uint64_t resolvedCount_ = 0;
 };

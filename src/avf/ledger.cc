@@ -83,6 +83,21 @@ AvfLedger::finalize(Cycle total_cycles)
 }
 
 void
+AvfLedger::reset()
+{
+    for (std::size_t s = 0; s < numHwStructs; ++s) {
+        ace_[s].assign(numThreads_, 0);
+        unAce_[s].assign(numThreads_, 0);
+        aceCovered_[s].assign(numThreads_, 0);
+        aceResidual_[s].assign(numThreads_, 0);
+    }
+    protection_ = ProtectionConfig{};
+    totalCycles_ = 0;
+    baseCycle_ = 0;
+    finalized_ = false;
+}
+
+void
 AvfLedger::resetTallies(Cycle boundary)
 {
     if (finalized_)

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "avf/structures.hh"
+#include "base/arena.hh"
 #include "base/types.hh"
 #include "protect/scheme.hh"
 
@@ -76,6 +77,14 @@ class AvfLedger
      * times before finalize().
      */
     void resetTallies(Cycle boundary);
+
+    /**
+     * Worker-reuse hook: back to the exact post-construction state —
+     * tallies zeroed, window base and protection cleared, un-finalized.
+     * Structure geometry persists (the reusing core re-declares the same
+     * bits). setProtection() becomes legal again. Allocation-free.
+     */
+    void reset();
 
     /** Start cycle of the measured window (0 unless resetTallies ran). */
     Cycle baseCycle() const { return baseCycle_; }
@@ -144,12 +153,12 @@ class AvfLedger
     std::array<std::uint64_t, numHwStructs> structBits_{};
     std::array<std::uint64_t, numHwStructs> perThreadBits_{};
     // [structure][thread]
-    std::array<std::vector<std::uint64_t>, numHwStructs> ace_;
-    std::array<std::vector<std::uint64_t>, numHwStructs> unAce_;
+    std::array<AVec<std::uint64_t>, numHwStructs> ace_;
+    std::array<AVec<std::uint64_t>, numHwStructs> unAce_;
     // ACE split by protection; aceCovered_ + aceResidual_ must equal ace_
     // (sim/invariants.cc proves the conservation every check period).
-    std::array<std::vector<std::uint64_t>, numHwStructs> aceCovered_;
-    std::array<std::vector<std::uint64_t>, numHwStructs> aceResidual_;
+    std::array<AVec<std::uint64_t>, numHwStructs> aceCovered_;
+    std::array<AVec<std::uint64_t>, numHwStructs> aceResidual_;
     ProtectionConfig protection_{};
     Cycle totalCycles_ = 0;
     Cycle baseCycle_ = 0;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "avf/ledger.hh"
+#include "base/arena.hh"
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
 
@@ -54,6 +55,14 @@ class CacheVulnTracker : public CacheObserver
 
     /** Tag bits modelled per line (address tag + valid/dirty/LRU state). */
     std::uint32_t tagBitsPerLine() const { return tagBits_; }
+
+    /** Worker-reuse hook: exact post-construction state, allocation-free. */
+    void
+    reset()
+    {
+        lines_.assign(lines_.size(), LineState{});
+        units_.assign(units_.size(), ByteState{});
+    }
 
     /**
      * Checkpoint hook: the open residency intervals (absolute cycles; the
@@ -111,8 +120,8 @@ class CacheVulnTracker : public CacheObserver
     std::uint32_t granBytes_;
     std::uint32_t unitsPerLine_;
     std::uint32_t tagBits_;
-    std::vector<LineState> lines_;
-    std::vector<ByteState> units_; ///< lines x unitsPerLine, flattened
+    AVec<LineState> lines_;
+    AVec<ByteState> units_; ///< lines x unitsPerLine, flattened
 };
 
 /** TLB entry residency AVF tracking. */
@@ -124,6 +133,9 @@ class TlbVulnTracker : public TlbObserver
     void onFill(std::uint32_t slot, ThreadId tid, Cycle now) override;
     void onHit(std::uint32_t slot, ThreadId tid, Cycle now) override;
     void onEvict(std::uint32_t slot, Cycle now) override;
+
+    /** Worker-reuse hook: exact post-construction state, allocation-free. */
+    void reset() { entries_.assign(entries_.size(), EntryState{}); }
 
     /** Checkpoint hook (see CacheVulnTracker::serialize). */
     template <class Ar>
@@ -152,7 +164,7 @@ class TlbVulnTracker : public TlbObserver
 
     AvfLedger &ledger_;
     HwStruct struct_;
-    std::vector<EntryState> entries_;
+    AVec<EntryState> entries_;
 };
 
 } // namespace smtavf

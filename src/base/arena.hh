@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Monotonic construction arena for Simulator setup.
+ *
+ * Simulator construction used to make ~138 individual allocator round
+ * trips (docs/PERFORMANCE.md): cache line arrays, predictor tables,
+ * tracker state, register free lists, per-thread queues, generators.
+ * None of that memory is ever freed before the Simulator dies, so a
+ * bump-pointer arena can carve all of it from a handful of slabs.
+ *
+ * The design hinges on one property: **the allocator is stateless.**
+ * `ArenaAlloc<T>` holds no pointer to an arena — at allocate() time it
+ * consults a thread-local "current arena" installed by `ArenaCtorScope`
+ * for the duration of Simulator construction, and falls back to the
+ * global heap when none is installed. Because every `ArenaAlloc` is
+ * default-constructible and always-equal, swapping a container type from
+ * `std::vector<T>` to `AVec<T>` requires no constructor or member-init
+ * changes anywhere, and structures used standalone (unit tests, tools)
+ * keep working unchanged on the heap.
+ *
+ * Each block is prefixed with a one-word header recording its origin, so
+ * deallocate() needs no thread-local: arena blocks are no-ops (the arena
+ * frees its slabs wholesale at destruction), heap blocks are returned to
+ * `operator delete`. Containers that grow *after* construction (warm-up
+ * transients) therefore allocate from the heap and free correctly, and
+ * buffers moved between containers stay self-describing.
+ *
+ * Lifetime rule: the Arena must outlive every container whose memory it
+ * backs. `Simulator` declares its arena as the first data member, so it
+ * is destroyed last.
+ */
+
+#ifndef SMTAVF_BASE_ARENA_HH
+#define SMTAVF_BASE_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smtavf
+{
+
+/** Bump-pointer slab arena. Allocation only; frees all slabs at once. */
+class Arena
+{
+  public:
+    /** @param first_slab_bytes size of the first slab (doubles after). */
+    explicit Arena(std::size_t first_slab_bytes = std::size_t{1} << 20)
+        : nextSlabBytes_(first_slab_bytes)
+    {
+        slabs_.reserve(8);
+    }
+
+    ~Arena()
+    {
+        for (void *s : slabs_)
+            ::operator delete(s, std::align_val_t{kSlabAlign});
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Carve @p bytes with @p align from the current slab (or a new one). */
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cur_);
+        std::uintptr_t aligned = (p + align - 1) & ~(std::uintptr_t{align} - 1);
+        if (aligned + bytes > reinterpret_cast<std::uintptr_t>(end_)) {
+            grow(bytes + align);
+            p = reinterpret_cast<std::uintptr_t>(cur_);
+            aligned = (p + align - 1) & ~(std::uintptr_t{align} - 1);
+        }
+        cur_ = reinterpret_cast<char *>(aligned + bytes);
+        used_ += bytes;
+        return reinterpret_cast<void *>(aligned);
+    }
+
+    /** Slabs allocated so far (the arena's own heap footprint). */
+    std::size_t slabCount() const { return slabs_.size(); }
+
+    /** Bytes handed out (excluding alignment padding). */
+    std::size_t bytesUsed() const { return used_; }
+
+    /** The thread's current construction arena (null outside a scope). */
+    static Arena *current() { return tCurrent_; }
+
+    static void setCurrent(Arena *a) { tCurrent_ = a; }
+
+  private:
+    static constexpr std::size_t kSlabAlign = 64;
+
+    void
+    grow(std::size_t at_least)
+    {
+        std::size_t size = nextSlabBytes_;
+        if (size < at_least)
+            size = at_least;
+        nextSlabBytes_ *= 2;
+        void *s = ::operator new(size, std::align_val_t{kSlabAlign});
+        slabs_.push_back(s);
+        cur_ = static_cast<char *>(s);
+        end_ = cur_ + size;
+    }
+
+    std::vector<void *> slabs_;
+    char *cur_ = nullptr;
+    char *end_ = nullptr;
+    std::size_t nextSlabBytes_;
+    std::size_t used_ = 0;
+
+    static inline thread_local Arena *tCurrent_ = nullptr;
+};
+
+/**
+ * Installs @p a as the thread's current arena for the duration of a
+ * constructor. Declared as a data member immediately after the Arena it
+ * installs, it covers the whole member-init list; the constructor body
+ * calls release() at its end so post-construction growth goes to the
+ * heap. Nested scopes restore the previous arena (LIFO).
+ */
+class ArenaCtorScope
+{
+  public:
+    explicit ArenaCtorScope(Arena &a) : prev_(Arena::current())
+    {
+        Arena::setCurrent(&a);
+    }
+
+    ~ArenaCtorScope() { release(); }
+
+    ArenaCtorScope(const ArenaCtorScope &) = delete;
+    ArenaCtorScope &operator=(const ArenaCtorScope &) = delete;
+
+    /** Uninstall (idempotent); construction is over. */
+    void
+    release()
+    {
+        if (!released_) {
+            Arena::setCurrent(prev_);
+            released_ = true;
+        }
+    }
+
+  private:
+    Arena *prev_;
+    bool released_ = false;
+};
+
+/**
+ * Stateless std allocator: arena when a construction scope is installed,
+ * global heap otherwise. Every block carries a one-word origin header so
+ * deallocate() is correct without any thread-local state.
+ */
+template <typename T>
+class ArenaAlloc
+{
+  public:
+    using value_type = T;
+    using is_always_equal = std::true_type;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+
+    ArenaAlloc() = default;
+    template <typename U>
+    ArenaAlloc(const ArenaAlloc<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        std::size_t bytes = kHeader + n * sizeof(T);
+        void *raw;
+        std::uint64_t tag;
+        if (Arena *a = Arena::current()) {
+            raw = a->allocate(bytes, kAlign);
+            tag = 1;
+        } else {
+            if constexpr (kAlign > alignof(std::max_align_t))
+                raw = ::operator new(bytes, std::align_val_t{kAlign});
+            else
+                raw = ::operator new(bytes);
+            tag = 0;
+        }
+        char *p = static_cast<char *>(raw) + kHeader;
+        reinterpret_cast<std::uint64_t *>(p)[-1] = tag;
+        return reinterpret_cast<T *>(p);
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        char *c = reinterpret_cast<char *>(p);
+        if (reinterpret_cast<std::uint64_t *>(c)[-1] != 0)
+            return; // arena-owned: freed wholesale with the arena's slabs
+        void *raw = c - kHeader;
+        if constexpr (kAlign > alignof(std::max_align_t))
+            ::operator delete(raw, std::align_val_t{kAlign});
+        else
+            ::operator delete(raw);
+    }
+
+  private:
+    static constexpr std::size_t kAlign =
+        alignof(T) > alignof(std::uint64_t) ? alignof(T)
+                                            : alignof(std::uint64_t);
+    /** Header keeps the payload aligned: one kAlign-sized prefix. */
+    static constexpr std::size_t kHeader =
+        sizeof(std::uint64_t) > kAlign ? sizeof(std::uint64_t) : kAlign;
+};
+
+template <typename A, typename B>
+bool
+operator==(const ArenaAlloc<A> &, const ArenaAlloc<B> &)
+{
+    return true;
+}
+
+template <typename A, typename B>
+bool
+operator!=(const ArenaAlloc<A> &, const ArenaAlloc<B> &)
+{
+    return false;
+}
+
+/** The arena-aware vector every setup-time container uses. */
+template <typename T>
+using AVec = std::vector<T, ArenaAlloc<T>>;
+
+/**
+ * Deleter for single objects placed in the arena (or, outside a scope,
+ * on the heap): arena objects are destroyed in place, heap objects
+ * deleted. Convertible across Derived -> Base so ArenaPtr<Derived>
+ * moves into ArenaPtr<Base>.
+ */
+template <typename T>
+struct ArenaDeleter
+{
+    bool arena = false;
+
+    ArenaDeleter() = default;
+    explicit ArenaDeleter(bool a) : arena(a) {}
+
+    template <typename U,
+              typename = std::enable_if_t<std::is_convertible_v<U *, T *>>>
+    ArenaDeleter(const ArenaDeleter<U> &o) : arena(o.arena)
+    {
+    }
+
+    void
+    operator()(T *p) const
+    {
+        if (arena)
+            p->~T();
+        else
+            delete p;
+    }
+};
+
+template <typename T>
+using ArenaPtr = std::unique_ptr<T, ArenaDeleter<T>>;
+
+/** make_unique counterpart: arena placement when a scope is installed. */
+template <typename T, typename... Args>
+ArenaPtr<T>
+makeArena(Args &&...args)
+{
+    if (Arena *a = Arena::current()) {
+        void *raw = a->allocate(sizeof(T), alignof(T));
+        return ArenaPtr<T>(new (raw) T(std::forward<Args>(args)...),
+                           ArenaDeleter<T>(true));
+    }
+    return ArenaPtr<T>(new T(std::forward<Args>(args)...),
+                       ArenaDeleter<T>(false));
+}
+
+} // namespace smtavf
+
+#endif // SMTAVF_BASE_ARENA_HH

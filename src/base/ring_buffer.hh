@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/arena.hh"
+
 namespace smtavf
 {
 
@@ -93,6 +95,19 @@ class RingBuffer
             pop_back();
     }
 
+    /**
+     * Worker-reuse hook: clear() plus rewind the head to slot 0, so the
+     * physical layout matches a freshly constructed ring exactly (the
+     * logical contents would match either way; this keeps even the grow()
+     * copy pattern identical across reuses).
+     */
+    void
+    reset()
+    {
+        clear();
+        head_ = 0;
+    }
+
     /** Random-access const iterator, oldest to youngest. */
     class const_iterator
     {
@@ -154,14 +169,16 @@ class RingBuffer
     void
     grow()
     {
-        std::vector<T> bigger(slots_.size() * 2);
+        AVec<T> bigger(slots_.size() * 2);
         for (std::size_t i = 0; i < size_; ++i)
             bigger[i] = std::move(slots_[wrap(head_ + i)]);
         slots_ = std::move(bigger);
         head_ = 0;
     }
 
-    std::vector<T> slots_;
+    // Arena-backed during Simulator construction, plain heap elsewhere
+    // (base/arena.hh): same growth and iteration behaviour either way.
+    AVec<T> slots_;
     std::size_t head_ = 0;
     std::size_t size_ = 0;
 };

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 
 namespace smtavf
@@ -34,6 +35,16 @@ class Btb
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+
+    /** Worker-reuse hook: all entries invalid, clock and counters zero. */
+    void
+    reset()
+    {
+        entries_.assign(entries_.size(), Entry{});
+        useClock_ = 0;
+        hits_ = 0;
+        misses_ = 0;
+    }
 
     /** Checkpoint hook: entries, LRU clock and hit/miss counters. */
     template <class Ar>
@@ -67,7 +78,7 @@ class Btb
 
     std::uint32_t setIndex(Addr pc) const;
 
-    std::vector<Entry> entries_;
+    AVec<Entry> entries_;
     std::uint32_t sets_;
     std::uint32_t ways_;
     std::uint64_t useClock_ = 0;

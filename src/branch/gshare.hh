@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 
 namespace smtavf
@@ -51,6 +52,14 @@ class Gshare
     /** Fix the history to the resolved outcome after a misprediction. */
     void correctHistory(std::uint32_t pre_branch_history, bool taken);
 
+    /** Worker-reuse hook: weakly-taken counters, empty history. */
+    void
+    reset()
+    {
+        table_.assign(table_.size(), 2);
+        history_ = 0;
+    }
+
     /** Checkpoint hook: mutable state only (geometry is config-derived). */
     template <class Ar>
     void
@@ -63,7 +72,7 @@ class Gshare
   private:
     std::uint32_t index(Addr pc, std::uint32_t history) const;
 
-    std::vector<std::uint8_t> table_;
+    AVec<std::uint8_t> table_;
     std::uint32_t mask_;
     std::uint32_t historyBits_;
     std::uint32_t historyMask_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 
 namespace smtavf
@@ -40,6 +41,15 @@ class Ras
     State save() const { return {top_, depth_}; }
     void restore(State s);
 
+    /** Worker-reuse hook: empty stack, zeroed slots. */
+    void
+    reset()
+    {
+        stack_.assign(stack_.size(), 0);
+        top_ = 0;
+        depth_ = 0;
+    }
+
     /** Checkpoint hook. */
     template <class Ar>
     void
@@ -51,7 +61,7 @@ class Ras
     }
 
   private:
-    std::vector<Addr> stack_;
+    AVec<Addr> stack_;
     std::uint32_t top_ = 0;
     std::uint32_t depth_ = 0;
 };

@@ -97,9 +97,11 @@ class Serializer
         buf_.append(s);
     }
 
-    template <typename T>
+    // Allocator-generic: arena-backed AVec (base/arena.hh) serializes
+    // byte-identically to a plain std::vector of the same elements.
+    template <typename T, typename A>
     void
-    operator()(const std::vector<T> &v)
+    operator()(const std::vector<T, A> &v)
     {
         (*this)(static_cast<std::uint64_t>(v.size()));
         for (const auto &e : v)
@@ -194,9 +196,9 @@ class ByteCounter
     void operator()(double) { n_ += 8; }
     void operator()(const std::string &s) { n_ += 8 + s.size(); }
 
-    template <typename T>
+    template <typename T, typename A>
     void
-    operator()(const std::vector<T> &v)
+    operator()(const std::vector<T, A> &v)
     {
         n_ += 8;
         if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
@@ -316,9 +318,9 @@ class Deserializer
         pos_ += static_cast<std::size_t>(n);
     }
 
-    template <typename T>
+    template <typename T, typename A>
     void
-    operator()(std::vector<T> &v)
+    operator()(std::vector<T, A> &v)
     {
         std::uint64_t n = 0;
         (*this)(n);

@@ -8,10 +8,12 @@
 #ifndef SMTAVF_CORE_FU_POOL_HH
 #define SMTAVF_CORE_FU_POOL_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 #include "isa/instr.hh"
 
@@ -77,6 +79,14 @@ class FuPool
         return static_cast<std::uint64_t>(cfg_.total()) * bits::fuLatch;
     }
 
+    /** Worker-reuse hook: every unit idle, as freshly constructed. */
+    void
+    reset()
+    {
+        for (auto &bank : busyUntil_)
+            std::fill(bank.begin(), bank.end(), Cycle{0});
+    }
+
     /**
      * Checkpoint hook. Busy horizons are absolute cycles and the clock
      * continues from the restored value, so they serialize as-is (all
@@ -91,8 +101,8 @@ class FuPool
 
   private:
     FuConfig cfg_;
-    std::array<std::vector<Cycle>, static_cast<std::size_t>(
-                                       FuType::NumFuTypes)> busyUntil_;
+    std::array<AVec<Cycle>, static_cast<std::size_t>(
+                                FuType::NumFuTypes)> busyUntil_;
 };
 
 } // namespace smtavf

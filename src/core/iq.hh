@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 #include "isa/instr.hh"
 
@@ -53,6 +54,9 @@ class IssueQueue
     /** Remove every entry of @p tid with seq > @p seq (squash). */
     void removeSquashed(ThreadId tid, SeqNum seq);
 
+    /** Worker-reuse hook: empty the queue, capacity retained. */
+    void reset() { entries_.clear(); }
+
     /** Oldest-first iteration for the select stage. */
     auto begin() { return entries_.begin(); }
     auto end() { return entries_.end(); }
@@ -68,7 +72,7 @@ class IssueQueue
      * std::list-based queue while staying in one contiguous, reserved
      * allocation for the life of the core.
      */
-    std::vector<InstPtr> entries_;
+    AVec<InstPtr> entries_;
 };
 
 } // namespace smtavf

@@ -73,6 +73,9 @@ class Lsq
     auto begin() const { return entries_.begin(); }
     auto end() const { return entries_.end(); }
 
+    /** Worker-reuse hook: empty the ring, capacity retained. */
+    void reset() { entries_.reset(); }
+
   private:
     static bool
     overlaps(const DynInstr &a, const DynInstr &b)

@@ -25,6 +25,23 @@ PhysRegFile::PhysRegFile(std::uint32_t num_int, std::uint32_t num_fp,
     ledger_.setStructureBits(HwStruct::RegFile, totalBits());
 }
 
+void
+PhysRegFile::reset()
+{
+    freeInt_ = numInt_;
+    freeFp_ = numFp_;
+    regs_.assign(regs_.size(), Reg{});
+    freeIntList_.clear();
+    freeFpList_.clear();
+    // Same seeding as the constructor: pop from the back, low indices first.
+    for (std::uint32_t i = 0; i < numInt_; ++i)
+        freeIntList_.push_back(static_cast<RegIndex>(numInt_ - 1 - i));
+    for (std::uint32_t i = 0; i < numFp_; ++i)
+        freeFpList_.push_back(
+            static_cast<RegIndex>(numInt_ + numFp_ - 1 - i));
+    ledger_.setStructureBits(HwStruct::RegFile, totalBits());
+}
+
 std::uint64_t
 PhysRegFile::totalBits() const
 {

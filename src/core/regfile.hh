@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "avf/ledger.hh"
+#include "base/arena.hh"
 #include "base/types.hh"
 
 namespace smtavf
@@ -99,11 +100,18 @@ class PhysRegFile
     }
 
     /** The free list of one bank (int or fp), in pop order. */
-    const std::vector<RegIndex> &
+    const AVec<RegIndex> &
     freeList(bool fp) const
     {
         return fp ? freeFpList_ : freeIntList_;
     }
+
+    /**
+     * Worker-reuse hook: exact post-construction state — all registers
+     * free, both free lists re-seeded in constructor pop order (low
+     * indices pop first). Allocation-free (capacity is retained).
+     */
+    void reset();
 
     /**
      * Fault injection for the invariant-checker tests ONLY: overwrite one
@@ -162,9 +170,9 @@ class PhysRegFile
     std::uint32_t numFp_;
     std::uint32_t freeInt_;
     std::uint32_t freeFp_;
-    std::vector<Reg> regs_;
-    std::vector<RegIndex> freeIntList_;
-    std::vector<RegIndex> freeFpList_;
+    AVec<Reg> regs_;
+    AVec<RegIndex> freeIntList_;
+    AVec<RegIndex> freeFpList_;
     AvfLedger &ledger_;
     bool allocUnace_;
     bool deadAware_;

@@ -54,6 +54,9 @@ class Rob
     auto begin() const { return entries_.begin(); }
     auto end() const { return entries_.end(); }
 
+    /** Worker-reuse hook: empty the ring, capacity retained. */
+    void reset() { entries_.reset(); }
+
   private:
     std::uint32_t capacity_;
     /** Ring sized to capacity up front: no allocation after construction. */

@@ -28,11 +28,11 @@ SmtCore::SmtCore(const MachineConfig &cfg,
         SMTAVF_FATAL("need ", cfg_.contexts, " streams, got ",
                      streams.size());
 
+    threads_.reserve(cfg_.contexts);
     for (unsigned t = 0; t < cfg_.contexts; ++t) {
         if (!streams[t])
             SMTAVF_FATAL("null stream for context ", t);
-        threads_.push_back(
-            std::make_unique<ThreadContext>(cfg_, streams[t]));
+        threads_.push_back(makeArena<ThreadContext>(cfg_, streams[t]));
     }
 
     policy_ = makeFetchPolicy(cfg_.fetchPolicy, *this);
@@ -66,6 +66,80 @@ SmtCore::SmtCore(const MachineConfig &cfg,
 }
 
 SmtCore::~SmtCore() = default;
+
+void
+SmtCore::reset(const MachineConfig &cfg)
+{
+    cfg_ = cfg;
+    cfg_.validate();
+
+    analyzer_.reset();
+    regfile_.reset();
+    iq_.reset();
+    fuPool_.reset();
+
+    for (auto &thp : threads_) {
+        auto &th = *thp;
+        th.frontQueue.reset();
+        th.fetchStreamIdx = 0;
+        th.wrongPathMode = false;
+        th.wrongPathPc = 0;
+        th.seqCounter = 0;
+        th.icacheStallUntil = 0;
+        th.iqCount = 0;
+        th.wrongPathFrontIq = 0;
+        th.outL1D = 0;
+        th.outL2D = 0;
+        th.fetchedCount = 0;
+        th.issuedCount = 0;
+        th.committedCount = 0;
+        th.nextCommitStreamIdx = 0;
+        th.rename.reset();
+        th.rob.reset();
+        th.lsq.reset();
+        th.predictor.reset();
+    }
+
+    policy_->reset();
+
+    now_ = 0;
+    globalDispatchSeq_ = 0;
+    commitRR_ = 0;
+    dispatchRR_ = 0;
+
+    // A reusing reset only runs at a drained boundary, so the wheel and
+    // overflow map are empty already; the assign/clear are belt-and-braces
+    // (same-size assign and an empty-map clear allocate nothing).
+    wheel_.assign(wheel_.size(), CompletionList{});
+    overflow_.clear();
+    pendingNotices_.clear();
+    noticesScratch_.clear();
+    issueScratch_.clear();
+
+    wrongPathFetched_ = 0;
+    squashedInstrs_ = 0;
+    fetchedInstrs_ = 0;
+    fetchEnabled_ = true;
+    commitTrace_ = nullptr;
+
+    // Re-declare the structure geometry, as the constructor does (the
+    // owning Simulator has just reset the ledger).
+    ledger_.setStructureBits(HwStruct::IQ,
+                             std::uint64_t{cfg_.iqSize} * bits::iqEntry);
+    ledger_.setStructureBits(
+        HwStruct::ROB,
+        std::uint64_t{cfg_.contexts} * cfg_.robSize * bits::robEntry,
+        std::uint64_t{cfg_.robSize} * bits::robEntry);
+    ledger_.setStructureBits(
+        HwStruct::LsqData,
+        std::uint64_t{cfg_.contexts} * cfg_.lsqSize * bits::lsqData,
+        std::uint64_t{cfg_.lsqSize} * bits::lsqData);
+    ledger_.setStructureBits(
+        HwStruct::LsqTag,
+        std::uint64_t{cfg_.contexts} * cfg_.lsqSize * bits::lsqTag,
+        std::uint64_t{cfg_.lsqSize} * bits::lsqTag);
+    ledger_.setStructureBits(HwStruct::FU, fuPool_.totalBits());
+}
 
 unsigned
 SmtCore::numThreads() const

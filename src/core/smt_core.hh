@@ -68,6 +68,16 @@ class SmtCore : public PolicyContext
     /** Advance one cycle. */
     void tick();
 
+    /**
+     * Worker-reuse hook: restore the exact post-construction state under a
+     * (timing-shape-compatible) new configuration — clock at zero, every
+     * queue empty, predictors untrained, register pool full, fetch
+     * enabled. The stream generators are NOT reset here (the owning
+     * Simulator re-seeds them); @p cfg replaces cfg_ wholesale so the new
+     * run's seed/protection knobs take effect. Allocation-free.
+     */
+    void reset(const MachineConfig &cfg);
+
     /** Close residual AVF intervals (registers, pending deadness). */
     void finalizeAvf();
 
@@ -320,8 +330,8 @@ class SmtCore : public PolicyContext
     PhysRegFile regfile_;
     IssueQueue iq_;
     FuPool fuPool_;
-    std::vector<std::unique_ptr<ThreadContext>> threads_;
-    std::unique_ptr<FetchPolicy> policy_;
+    AVec<ArenaPtr<ThreadContext>> threads_;
+    ArenaPtr<FetchPolicy> policy_;
 
     Cycle now_ = 0;
     SeqNum globalDispatchSeq_ = 0;
@@ -367,7 +377,7 @@ class SmtCore : public PolicyContext
      * allocation-free — unlike the std::map<Cycle, vector> it replaces,
      * which paid a node allocation per distinct completion cycle.
      */
-    std::vector<CompletionList> wheel_;
+    AVec<CompletionList> wheel_;
     Cycle wheelMask_ = 0;
     std::map<Cycle, CompletionList> overflow_;
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 
 namespace smtavf
@@ -82,6 +83,20 @@ class Cache
     /** Evict every resident line (used to finalize AVF at end of run). */
     void flushAll(Cycle now);
 
+    /**
+     * Worker-reuse hook: restore the exact post-construction state
+     * (cold lines, zeroed LRU clock and counters) without touching the
+     * observer wiring or the line array's capacity. Allocation-free.
+     */
+    void
+    reset()
+    {
+        lines_.assign(lines_.size(), Line{});
+        useClock_ = 0;
+        hits_ = 0;
+        misses_ = 0;
+    }
+
     const CacheConfig &config() const { return cfg_; }
     std::uint32_t numSets() const { return sets_; }
     std::uint32_t numLines() const { return sets_ * cfg_.ways; }
@@ -139,7 +154,7 @@ class Cache
 
     CacheConfig cfg_;
     std::uint32_t sets_;
-    std::vector<Line> lines_;
+    AVec<Line> lines_;
     CacheObserver *observer_ = nullptr;
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;

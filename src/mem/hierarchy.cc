@@ -22,6 +22,20 @@ MemHierarchy::MemHierarchy(const MemConfig &cfg)
     // count anyway, so the maps never rehash in steady state.
 }
 
+void
+MemHierarchy::reset()
+{
+    il1_.reset();
+    dl1_.reset();
+    l2_.reset();
+    itlb_.reset();
+    dtlb_.reset();
+    PoolAlloc<std::pair<const Addr, Mshr>> alloc(mshrPool_);
+    il1Mshrs_ = MshrMap(alloc);
+    dl1Mshrs_ = MshrMap(alloc);
+    l2Mshrs_ = MshrMap(alloc);
+}
+
 Cycle
 MemHierarchy::accessL2(ThreadId tid, Addr addr, Cycle now, bool &l2_miss)
 {

@@ -76,6 +76,18 @@ class MemHierarchy
      */
     void finalize(Cycle now);
 
+    /**
+     * Worker-reuse hook: restore the exact post-construction state.
+     * Caches/TLBs reset in place; the MSHR maps are replaced by fresh
+     * default-constructed maps over the same node pool, because a
+     * cleared map keeps its grown bucket array while a fresh one starts
+     * from the implementation's default — and bucket count feeds the
+     * iteration order fills replay in (see the constructor note).
+     * Allocation-free: the moved-from temporaries start on libstdc++'s
+     * static single-bucket placeholder.
+     */
+    void reset();
+
     Cache &il1() { return il1_; }
     Cache &dl1() { return dl1_; }
     Cache &l2() { return l2_; }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 
 namespace smtavf
@@ -61,6 +62,16 @@ class Tlb
     /** Evict all entries (finalizes AVF intervals at end of run). */
     void flushAll(Cycle now);
 
+    /** Worker-reuse hook: exact post-construction state, allocation-free. */
+    void
+    reset()
+    {
+        entries_.assign(entries_.size(), Entry{});
+        useClock_ = 0;
+        hits_ = 0;
+        misses_ = 0;
+    }
+
     const TlbConfig &config() const { return cfg_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -104,7 +115,7 @@ class Tlb
 
     TlbConfig cfg_;
     std::uint32_t sets_;
-    std::vector<Entry> entries_;
+    AVec<Entry> entries_;
     TlbObserver *observer_ = nullptr;
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;

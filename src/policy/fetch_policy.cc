@@ -80,28 +80,28 @@ FetchPolicy::icountOrder()
     return rank_;
 }
 
-std::unique_ptr<FetchPolicy>
+ArenaPtr<FetchPolicy>
 makeFetchPolicy(FetchPolicyKind kind, PolicyContext &ctx)
 {
     switch (kind) {
       case FetchPolicyKind::RoundRobin:
-        return std::make_unique<RoundRobinPolicy>(ctx);
+        return makeArena<RoundRobinPolicy>(ctx);
       case FetchPolicyKind::Icount:
-        return std::make_unique<IcountPolicy>(ctx);
+        return makeArena<IcountPolicy>(ctx);
       case FetchPolicyKind::Flush:
-        return std::make_unique<FlushPolicy>(ctx);
+        return makeArena<FlushPolicy>(ctx);
       case FetchPolicyKind::Stall:
-        return std::make_unique<StallPolicy>(ctx);
+        return makeArena<StallPolicy>(ctx);
       case FetchPolicyKind::Dg:
-        return std::make_unique<DgPolicy>(ctx);
+        return makeArena<DgPolicy>(ctx);
       case FetchPolicyKind::Pdg:
-        return std::make_unique<PdgPolicy>(ctx);
+        return makeArena<PdgPolicy>(ctx);
       case FetchPolicyKind::DWarn:
-        return std::make_unique<DWarnPolicy>(ctx);
+        return makeArena<DWarnPolicy>(ctx);
       case FetchPolicyKind::PStall:
-        return std::make_unique<PStallPolicy>(ctx);
+        return makeArena<PStallPolicy>(ctx);
       case FetchPolicyKind::Rat:
-        return std::make_unique<RatPolicy>(ctx);
+        return makeArena<RatPolicy>(ctx);
       default:
         SMTAVF_FATAL("unknown fetch policy kind");
     }

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 #include "ckpt/serializer.hh"
 #include "isa/instr.hh"
@@ -153,6 +154,14 @@ class FetchPolicy
     virtual void saveState(Serializer &ar) { (void)ar; }
     virtual void loadState(Deserializer &ar) { (void)ar; }
 
+    /**
+     * Worker-reuse hook: back to the exact freshly constructed state —
+     * untrained predictor tables, no gates, zeroed counters. The scratch
+     * vectors (rank_/order_/keys_) are pure per-call outputs and need no
+     * touch. Stateless policies keep this no-op default. Allocation-free.
+     */
+    virtual void reset() {}
+
   protected:
     /**
      * Threads sorted by ascending in-flight count (ICOUNT order). Fills
@@ -196,9 +205,14 @@ class FetchPolicy
     std::vector<unsigned> keys_;
 };
 
-/** Factory covering every FetchPolicyKind. */
-std::unique_ptr<FetchPolicy> makeFetchPolicy(FetchPolicyKind kind,
-                                             PolicyContext &ctx);
+/**
+ * Factory covering every FetchPolicyKind. The policy object is placed in
+ * the calling thread's construction arena when one is installed
+ * (base/arena.hh), on the heap otherwise — either way the ArenaPtr
+ * destroys it correctly.
+ */
+ArenaPtr<FetchPolicy> makeFetchPolicy(FetchPolicyKind kind,
+                                      PolicyContext &ctx);
 
 } // namespace smtavf
 

@@ -56,11 +56,23 @@ class PdgPolicy : public FetchPolicy
             m.clear();
     }
 
+    /** Worker-reuse hook: untrained weakly-not-miss table, nothing in flight. */
+    void
+    reset() override
+    {
+        table_.assign(table_.size(), 1);
+        predicted_.fill(0);
+        // clear() keeps the grown bucket arrays; these maps are only ever
+        // probed by key (never iterated), so bucket count is unobservable.
+        for (auto &m : inFlight_)
+            m.clear();
+    }
+
   private:
     std::uint32_t tableIndex(Addr pc) const;
 
     unsigned threshold_;
-    std::vector<std::uint8_t> table_; ///< 2-bit miss counters
+    AVec<std::uint8_t> table_; ///< 2-bit miss counters
     std::array<unsigned, maxContexts> predicted_{};
     /** seq -> predicted-miss flag, to undo the count exactly once. */
     std::array<std::unordered_map<SeqNum, bool>, maxContexts> inFlight_;

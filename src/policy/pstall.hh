@@ -54,6 +54,14 @@ class PStallPolicy : public FetchPolicy
         gates_ = {};
     }
 
+    /** Worker-reuse hook: untrained weakly-not-miss table, no gates. */
+    void
+    reset() override
+    {
+        table_.assign(table_.size(), 1);
+        gates_ = {};
+    }
+
   private:
     struct Gate
     {
@@ -63,7 +71,7 @@ class PStallPolicy : public FetchPolicy
 
     std::uint32_t tableIndex(Addr pc) const;
 
-    std::vector<std::uint8_t> table_; ///< 2-bit L2-miss counters
+    AVec<std::uint8_t> table_; ///< 2-bit L2-miss counters
     std::array<Gate, maxContexts> gates_{};
 };
 

@@ -384,6 +384,45 @@ warmupCheckpointPath(const std::string &dir, std::uint64_t key)
     return base + name;
 }
 
+/**
+ * Idle worker-local Simulators, shared by the pool's threads
+ * (CampaignOptions::reuseWorkers). A worker takes a shape-compatible
+ * instance, reset()s it for its run, and returns it on success; a run
+ * that throws discards its instance instead, so no state from a broken
+ * run can leak into a healthy one. Capacity is capped at the pool size
+ * — more idle simulators than workers can never be in use at once.
+ */
+struct SlotPool
+{
+    std::mutex m;
+    std::vector<std::unique_ptr<Simulator>> idle;
+    std::size_t cap = 0;
+
+    std::unique_ptr<Simulator>
+    acquire(const MachineConfig &cfg, const WorkloadMix &mix)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        for (auto it = idle.begin(); it != idle.end(); ++it) {
+            if ((*it)->canResetTo(cfg, mix)) {
+                auto s = std::move(*it);
+                idle.erase(it);
+                return s;
+            }
+        }
+        return nullptr;
+    }
+
+    void
+    release(std::unique_ptr<Simulator> s)
+    {
+        if (!s)
+            return;
+        std::lock_guard<std::mutex> lock(m);
+        if (idle.size() < cap)
+            idle.push_back(std::move(s));
+    }
+};
+
 } // namespace
 
 CampaignReport
@@ -392,6 +431,13 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
 {
     CampaignReport report;
     report.outcomes.resize(exps.size());
+
+    if (opt.runsPerChild == 0)
+        SMTAVF_FATAL("CampaignOptions::runsPerChild must be at least 1");
+    if (opt.runsPerChild > 1 && opt.isolate != IsolateMode::Process)
+        SMTAVF_FATAL("CampaignOptions::runsPerChild > 1 batches runs per "
+                     "sandboxed child and so requires process isolation; "
+                     "thread mode already reuses workers in-process");
 
     std::vector<std::uint64_t> fps(exps.size());
     for (std::size_t i = 0; i < exps.size(); ++i) {
@@ -488,7 +534,15 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
         });
     }
 
-    auto run_one = [&](const Experiment &e, std::size_t i) -> SimResult {
+    // Core of one run. When @p slot is non-null the worker owns a
+    // reusable Simulator slot: a shape-compatible instance is reset() in
+    // place instead of reconstructed, which is where the campaign
+    // throughput win lives (docs/PERFORMANCE.md). A run that throws
+    // discards the slot's instance — a half-run simulator must never
+    // carry state into the next run. Shared-warmup restores and runFn
+    // seams bypass the slot (they construct per-run state anyway).
+    auto run_one = [&](const Experiment &e, std::size_t i,
+                       std::unique_ptr<Simulator> *slot) -> SimResult {
         if (opt.runFn)
             return opt.runFn(e, i);
         if (share && e.warmup > 0) {
@@ -509,12 +563,103 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
                 return sim.run(budget);
             }
         }
+        if (slot && opt.reuseWorkers && e.warmup == 0) {
+            std::uint64_t budget =
+                e.budget ? e.budget : defaultBudget(e.mix.contexts);
+            auto &s = *slot;
+            if (s && s->canResetTo(e.cfg, e.mix))
+                s->reset(e.cfg, e.mix);
+            else
+                s = std::make_unique<Simulator>(e.cfg, e.mix);
+            try {
+                return s->run(budget);
+            } catch (...) {
+                s.reset();
+                throw;
+            }
+        }
         return runExperiment(e);
     };
+
     std::mutex progress_mutex;
     std::size_t completed = 0;
+    auto notify = [&](std::size_t i, double seconds) {
+        if (!progress)
+            return;
+        RunOutcome &out = report.outcomes[i];
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        CampaignProgress p{i,
+                           exps.size(),
+                           ++completed,
+                           seconds,
+                           &exps[i],
+                           out.status == RunStatus::Ok ? &out.result
+                                                       : nullptr,
+                           &out};
+        progress(p);
+    };
 
-    pool.forEach(exps.size(), [&](std::size_t i) {
+    // Apply one child/thread outcome to run i's record. Returns true when
+    // the run is settled; false leaves the retryable failure in @p msg.
+    auto applyChild = [&](ChildOutcome &&co, std::size_t i, RunOutcome &out,
+                          std::string &msg) -> bool {
+        switch (co.kind) {
+        case ChildOutcome::Kind::Result:
+            out.result = std::move(co.result);
+            out.status = RunStatus::Ok;
+            out.error.clear();
+            if (journal)
+                journal->append(fps[i], out.result);
+            return true;
+        case ChildOutcome::Kind::Livelock:
+        case ChildOutcome::Kind::Cancelled:
+            // Deterministic (livelock) or deliberate (cancel): never
+            // retried, like thread mode.
+            out.status = RunStatus::TimedOut;
+            out.error = std::move(co.message);
+            return true;
+        case ChildOutcome::Kind::Crash:
+            out.crash = co.crash;
+            if (co.crash == CrashKind::CpuLimit ||
+                co.crash == CrashKind::HardTimeout) {
+                // A run that burned past its CPU/wall budget would burn
+                // through it again: timed out, not retried.
+                out.status = RunStatus::TimedOut;
+                out.error = std::move(co.message);
+                return true;
+            }
+            msg = std::move(co.message);
+            return false;
+        case ChildOutcome::Kind::Error:
+            msg = std::move(co.message);
+            return false;
+        }
+        return false;
+    };
+
+    // Shared retry policy: returns true when the run should be attempted
+    // again, false once it has been settled as Quarantined or Failed.
+    auto retryable = [&](RunOutcome &out, std::string &prev_error,
+                         const std::string &msg) -> bool {
+        out.error = msg;
+        if (!prev_error.empty() && msg == prev_error) {
+            // Same seed, same failure, twice: a deterministic bug, not
+            // transient flakiness.
+            out.status = RunStatus::Quarantined;
+            return false;
+        }
+        prev_error = msg;
+        if (out.attempts > opt.retries || expired()) {
+            out.status = RunStatus::Failed;
+            return false;
+        }
+        return true;
+    };
+
+    SlotPool slots;
+    slots.cap = pool.jobs();
+
+    auto run_single = [&](std::size_t i) {
         auto t0 = std::chrono::steady_clock::now();
         RunOutcome &out = report.outcomes[i];
 
@@ -560,50 +705,26 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
                     lim.memoryBytes = opt.childMemoryBytes;
                     lim.cancel = opt.cancel;
                     ChildOutcome co = runInChild(
-                        [&] { return run_one(*exp, i); }, lim);
-                    switch (co.kind) {
-                    case ChildOutcome::Kind::Result:
-                        out.result = std::move(co.result);
-                        out.status = RunStatus::Ok;
-                        out.error.clear();
-                        if (journal)
-                            journal->append(fps[i], out.result);
-                        settled = true;
-                        break;
-                    case ChildOutcome::Kind::Livelock:
-                    case ChildOutcome::Kind::Cancelled:
-                        // Deterministic (livelock) or deliberate
-                        // (cancel): never retried, like thread mode.
-                        out.status = RunStatus::TimedOut;
-                        out.error = std::move(co.message);
-                        settled = true;
-                        break;
-                    case ChildOutcome::Kind::Crash:
-                        out.crash = co.crash;
-                        if (co.crash == CrashKind::CpuLimit ||
-                            co.crash == CrashKind::HardTimeout) {
-                            // A run that burned past its CPU/wall budget
-                            // would burn through it again: timed out,
-                            // not retried.
-                            out.status = RunStatus::TimedOut;
-                            out.error = std::move(co.message);
-                            settled = true;
-                        } else {
-                            msg = std::move(co.message);
-                        }
-                        break;
-                    case ChildOutcome::Kind::Error:
-                        msg = std::move(co.message);
-                        break;
-                    }
+                        [&] { return run_one(*exp, i, nullptr); }, lim);
+                    settled = applyChild(std::move(co), i, out, msg);
                 } else {
+                    // Take a shape-compatible idle simulator if one
+                    // exists; return it only when the run succeeds.
+                    std::unique_ptr<Simulator> slot;
+                    const bool use_slot = opt.reuseWorkers && !opt.runFn &&
+                                          exp->warmup == 0;
+                    if (use_slot)
+                        slot = slots.acquire(exp->cfg, exp->mix);
                     try {
-                        out.result = run_one(*exp, i);
+                        out.result =
+                            run_one(*exp, i, use_slot ? &slot : nullptr);
                         out.status = RunStatus::Ok;
                         out.error.clear();
                         if (journal)
                             journal->append(fps[i], out.result);
                         settled = true;
+                        if (use_slot)
+                            slots.release(std::move(slot));
                     } catch (const LivelockError &err) {
                         // Deterministic by construction: the same seed
                         // spins through the same window. Never retried.
@@ -624,36 +745,161 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
                 }
                 if (settled)
                     break;
-                out.error = msg;
-                if (!prev_error.empty() && msg == prev_error) {
-                    // Same seed, same failure, twice: a deterministic
-                    // bug, not transient flakiness.
-                    out.status = RunStatus::Quarantined;
+                if (!retryable(out, prev_error, msg))
                     break;
-                }
-                prev_error = msg;
-                if (out.attempts > opt.retries || expired()) {
-                    out.status = RunStatus::Failed;
-                    break;
-                }
             }
         }
 
-        if (progress) {
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        notify(i, dt.count());
+    };
+
+    // Batched process isolation: consecutive submission-order slices of
+    // runsPerChild runs share ONE forked child, which builds a single
+    // worker-local Simulator lazily and reuses it across the batch over
+    // the framed pipe protocol (runBatchInChild). A crash settles or
+    // retries only the run it is attributed to; completed frames survive,
+    // and the unstarted remainder is re-dispatched in a fresh child
+    // without being charged an attempt.
+    auto run_batch = [&](const std::vector<std::size_t> &members) {
+        std::vector<std::size_t> pending;
+        std::unordered_map<std::size_t, std::string> prev_errors;
+        for (std::size_t i : members) {
+            RunOutcome &out = report.outcomes[i];
+            if (auto it = replay.find(fps[i]); it != replay.end()) {
+                out.status = RunStatus::Ok;
+                out.result = it->second;
+                out.fromJournal = true;
+                notify(i, 0.0);
+            } else {
+                pending.push_back(i);
+            }
+        }
+
+        while (!pending.empty()) {
+            if (expired()) {
+                for (std::size_t i : pending) {
+                    RunOutcome &out = report.outcomes[i];
+                    if (out.attempts == 0) {
+                        out.status = RunStatus::TimedOut;
+                        out.error = "not started: campaign cancelled or "
+                                    "past its soft timeout";
+                    } else {
+                        out.status = RunStatus::Failed;
+                    }
+                    notify(i, 0.0);
+                }
+                break;
+            }
+
+            // Back off before a retry child, keyed to the head retried
+            // run so replays of the campaign sleep identically.
+            {
+                const RunOutcome &head = report.outcomes[pending.front()];
+                if (head.attempts > 0 && opt.backoffSeconds > 0.0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(retryBackoffSeconds(
+                            head.attempts, head.seed, opt.backoffSeconds)));
+            }
+
+            ChildLimits lim;
+            // The supervisor scales the wall deadline by the batch size;
+            // RLIMIT_CPU has no per-run re-arm, so scale it here.
+            lim.hardTimeoutSeconds = opt.hardTimeoutSeconds;
+            lim.cpuSeconds = opt.childCpuSeconds
+                                 ? opt.childCpuSeconds * pending.size()
+                                 : 0;
+            lim.memoryBytes = opt.childMemoryBytes;
+            lim.cancel = opt.cancel;
+
+            auto t0 = std::chrono::steady_clock::now();
+            const std::vector<std::size_t> snapshot = pending;
+            // The slot lives in the child after fork(); the parent never
+            // constructs the simulator. shared_ptr keeps the lambda
+            // copyable for std::function.
+            auto child_slot =
+                std::make_shared<std::unique_ptr<Simulator>>();
+            ChildBatchOutcome bo = runBatchInChild(
+                snapshot.size(),
+                [&, child_slot](std::size_t k) {
+                    return run_one(exps[snapshot[k]], snapshot[k],
+                                   child_slot.get());
+                },
+                lim);
             std::chrono::duration<double> dt =
                 std::chrono::steady_clock::now() - t0;
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            CampaignProgress p{i,
-                               exps.size(),
-                               ++completed,
-                               dt.count(),
-                               &exps[i],
-                               out.status == RunStatus::Ok ? &out.result
-                                                           : nullptr,
-                               &out};
-            progress(p);
+
+            // Attribute a death to the in-flight run; a child that died
+            // without a started-but-unframed run (fork failure, death
+            // between runs) charges the first unreported run so every
+            // dispatch makes progress toward the retry bound.
+            std::size_t attributed = ChildBatchOutcome::npos;
+            if (bo.childDied && !bo.cancelled) {
+                attributed = bo.inFlight;
+                if (attributed == ChildBatchOutcome::npos)
+                    for (std::size_t k = 0; k < snapshot.size(); ++k)
+                        if (!bo.reported[k]) {
+                            attributed = k;
+                            break;
+                        }
+            }
+
+            std::size_t processed = 0;
+            for (std::size_t k = 0; k < snapshot.size(); ++k)
+                if (bo.reported[k] || k == attributed)
+                    ++processed;
+            const double share =
+                dt.count() / static_cast<double>(processed ? processed : 1);
+
+            std::vector<std::size_t> next;
+            for (std::size_t k = 0; k < snapshot.size(); ++k) {
+                const std::size_t i = snapshot[k];
+                RunOutcome &out = report.outcomes[i];
+                if (!bo.reported[k] && k != attributed) {
+                    // Unstarted (or torn past the crash point): not an
+                    // attempt; re-dispatch. A cancelled batch drains on
+                    // the next loop's expired() check.
+                    next.push_back(i);
+                    continue;
+                }
+                ++out.attempts;
+                out.crash = CrashKind::None;
+                ChildOutcome co;
+                if (bo.reported[k]) {
+                    co = std::move(bo.runs[k]);
+                } else {
+                    co.kind = ChildOutcome::Kind::Crash;
+                    co.crash = bo.crash;
+                    co.message = bo.crashMessage;
+                }
+                std::string msg;
+                if (applyChild(std::move(co), i, out, msg)) {
+                    notify(i, share);
+                } else if (!retryable(out, prev_errors[i], msg)) {
+                    notify(i, share);
+                } else {
+                    next.push_back(i);
+                }
+            }
+            pending = std::move(next);
         }
-    });
+    };
+
+    if (opt.isolate == IsolateMode::Process && opt.runsPerChild > 1) {
+        std::vector<std::vector<std::size_t>> batches;
+        for (std::size_t i = 0; i < exps.size(); i += opt.runsPerChild) {
+            std::vector<std::size_t> b;
+            for (std::size_t j = i;
+                 j < exps.size() && j < i + opt.runsPerChild; ++j)
+                b.push_back(j);
+            batches.push_back(std::move(b));
+        }
+        pool.forEach(batches.size(),
+                     [&](std::size_t bi) { run_batch(batches[bi]); });
+    } else {
+        pool.forEach(exps.size(), [&](std::size_t i) { run_single(i); });
+    }
 
     for (const auto &kv : warmups)
         if (!kv.second.path.empty())

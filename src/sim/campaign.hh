@@ -248,6 +248,30 @@ struct CampaignOptions
      */
     IsolateMode isolate = IsolateMode::Thread;
     /**
+     * Reuse worker-local Simulators across runs whose timing shape
+     * matches (Simulator::canResetTo): instead of constructing and
+     * destroying one Simulator per run, each worker resets one in place
+     * — allocation-free — and pays construction once. Applies to
+     * warmup-free runs in thread mode and inside batched children
+     * (@ref runsPerChild); results are bit-identical either way
+     * (reset() ≡ fresh construction, tests/test_campaign.cc proves it
+     * differentially). A run that fails discards its worker's instance,
+     * so no state crosses from a broken run into a healthy one.
+     */
+    bool reuseWorkers = true;
+    /**
+     * Process mode: dispatch this many consecutive runs per forked
+     * child over the framed `run v3` pipe protocol, amortizing the
+     * fork + construction cost while keeping the sandbox. Each run's
+     * result frames out as it completes, so runs finished before a
+     * crash survive it; a death is attributed to the in-flight run and
+     * only that run plus the unstarted remainder re-dispatch. The
+     * hard-timeout and CPU budgets scale with the batch size. 1 (the
+     * default) is the historical child-per-run behaviour; values > 1
+     * require process isolation.
+     */
+    unsigned runsPerChild = 1;
+    /**
      * Process mode: SIGKILL a child past this wall-clock deadline — a
      * *hard* timeout that needs no cooperation from the run. 0 = none.
      */

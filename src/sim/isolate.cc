@@ -11,8 +11,11 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <new>
 #include <sstream>
+#include <utility>
 
 #include "base/rng.hh"
 #include "sim/errors.hh"
@@ -87,18 +90,9 @@ writeAll(int fd, const std::string &buf)
     }
 }
 
-/**
- * Child-side main: sandbox, run, report, _exit. Never returns and never
- * lets an exception escape — a throw out of here would unwind into the
- * forked copy of the parent's stack.
- *
- * The report travels as `<tag>\n<payload>`: tag "ok" carries a `run v3`
- * wire record (hexfloat + CRC, so the parent gets the bit-exact
- * SimResult), every other tag carries the failure message.
- */
-[[noreturn]] void
-childMain(const std::function<SimResult()> &fn, const ChildLimits &limits,
-          int fd)
+/** Child-side sandbox: core dumps off, rlimits, die-with-supervisor. */
+void
+sandboxChild(const ChildLimits &limits)
 {
 #ifdef __linux__
     // Die with the supervisor: no orphaned simulations if the parent is
@@ -121,35 +115,188 @@ childMain(const std::function<SimResult()> &fn, const ChildLimits &limits,
         r.rlim_max = static_cast<rlim_t>(limits.memoryBytes);
         ::setrlimit(RLIMIT_AS, &r);
     }
+}
 
-    std::string tag, payload;
+/**
+ * Execute one run behind the child's exception boundary and encode the
+ * result as a (tag, payload) pair — the unit both wire formats ship.
+ * Tag "ok" carries a `run v3` journal record (hexfloat-exact + CRC);
+ * every other tag carries the failure message.
+ */
+std::pair<std::string, std::string>
+runOneTagged(const std::function<SimResult()> &fn)
+{
     try {
-        SimResult result = fn();
-        tag = "ok";
-        payload = serializeRun(0, result);
+        return {"ok", serializeRun(0, fn())};
     } catch (const CancelledError &e) {
-        tag = "cancelled";
-        payload = e.what();
+        return {"cancelled", e.what()};
     } catch (const LivelockError &e) {
-        tag = "livelock";
-        payload = e.what();
+        return {"livelock", e.what()};
     } catch (const std::bad_alloc &) {
-        tag = "oom";
-        payload = "allocation failed under the child memory cap "
-                  "(std::bad_alloc)";
+        return {"oom", "allocation failed under the child memory cap "
+                       "(std::bad_alloc)"};
     } catch (const std::exception &e) {
-        tag = "error";
-        payload = e.what();
+        return {"error", e.what()};
     } catch (...) {
-        tag = "error";
-        payload = "unknown exception in isolated child";
+        return {"error", "unknown exception in isolated child"};
     }
+}
 
+/** Decode one (tag, payload) report back into a ChildOutcome. */
+ChildOutcome
+decodeTagged(const std::string &tag, std::string &&payload)
+{
+    ChildOutcome out;
+    if (tag == "ok") {
+        std::uint64_t fp = 0;
+        if (parseRun(payload, fp, out.result)) {
+            out.kind = ChildOutcome::Kind::Result;
+            return out;
+        }
+        // Corrupted wire record (torn pipe write, bit flip): treat as
+        // a crash so the retry machinery gets a second attempt.
+        out.kind = ChildOutcome::Kind::Crash;
+        out.crash = CrashKind::ExitCode;
+        out.message = "child result failed the wire-format CRC check";
+        return out;
+    }
+    out.message = std::move(payload);
+    if (tag == "livelock") {
+        out.kind = ChildOutcome::Kind::Livelock;
+        return out;
+    }
+    if (tag == "cancelled") {
+        out.kind = ChildOutcome::Kind::Cancelled;
+        return out;
+    }
+    if (tag == "oom") {
+        out.kind = ChildOutcome::Kind::Crash;
+        out.crash = CrashKind::Oom;
+        return out;
+    }
+    out.kind = ChildOutcome::Kind::Error;
+    if (tag != "error")
+        out.message = "unrecognized child protocol tag '" + tag + "'";
+    return out;
+}
+
+/**
+ * Child-side main: sandbox, run, report, _exit. Never returns and never
+ * lets an exception escape — a throw out of here would unwind into the
+ * forked copy of the parent's stack. The report travels as
+ * `<tag>\n<payload>`.
+ */
+[[noreturn]] void
+childMain(const std::function<SimResult()> &fn, const ChildLimits &limits,
+          int fd)
+{
+    sandboxChild(limits);
+    auto [tag, payload] = runOneTagged(fn);
     writeAll(fd, tag + "\n" + payload);
     ::close(fd);
     // _exit, not exit: the child must not run the parent's atexit
     // handlers or flush duplicated stdio buffers.
     ::_exit(0);
+}
+
+/**
+ * Batched child main: the framed `run v3`-over-pipe protocol. Before
+ * each run the child announces `start <k>\n` — the breadcrumb the
+ * supervisor uses to attribute a death — and after it writes a
+ * self-delimiting `<tag> <k> <len>\n<payload>` frame. Frames land on
+ * the pipe as runs complete, so everything finished before a crash is
+ * already with the supervisor.
+ */
+[[noreturn]] void
+childBatchMain(std::size_t n, const std::function<SimResult(std::size_t)> &fn,
+               const ChildLimits &limits, int fd)
+{
+    sandboxChild(limits);
+    for (std::size_t k = 0; k < n; ++k) {
+        char marker[32];
+        std::snprintf(marker, sizeof(marker), "start %zu\n", k);
+        writeAll(fd, marker);
+
+        auto [tag, payload] = runOneTagged([&] { return fn(k); });
+        char head[64];
+        std::snprintf(head, sizeof(head), "%s %zu %zu\n", tag.c_str(), k,
+                      payload.size());
+        writeAll(fd, head + payload);
+    }
+    ::close(fd);
+    ::_exit(0);
+}
+
+/** What the supervision loop hands back for classification. */
+struct Supervised
+{
+    std::string buf;         ///< everything the child wrote before EOF
+    int status = 0;          ///< waitpid status
+    bool supervisorKilled = false;
+    bool cancelKilled = false;
+};
+
+/**
+ * Drain the child's pipe until EOF, enforcing the wall-clock deadline
+ * and the cancel flag with SIGKILL, then reap. Shared by the single-run
+ * and batched supervisors.
+ */
+Supervised
+superviseChild(pid_t pid, int rfd, const ChildLimits &limits,
+               double deadline_seconds)
+{
+    Supervised sup;
+    using clock = std::chrono::steady_clock;
+    const bool have_deadline = deadline_seconds > 0.0;
+    const auto deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(
+                               have_deadline ? deadline_seconds : 0.0));
+
+    for (bool eof = false; !eof;) {
+        struct pollfd pfd;
+        pfd.fd = rfd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        // Finite poll granularity only when there is something to watch
+        // besides the pipe; otherwise block until the child speaks/dies.
+        int timeout_ms = (have_deadline || limits.cancel) &&
+                                 !sup.supervisorKilled
+                             ? 50
+                             : -1;
+        int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // poll failure: fall through to reap + classify
+        }
+        if (rc > 0) {
+            char tmp[4096];
+            ssize_t n = ::read(rfd, tmp, sizeof tmp);
+            if (n > 0)
+                sup.buf.append(tmp, static_cast<std::size_t>(n));
+            else if (n == 0)
+                eof = true;
+            else if (errno != EINTR)
+                break;
+        }
+        if (!sup.supervisorKilled) {
+            if (limits.cancel &&
+                limits.cancel->load(std::memory_order_relaxed)) {
+                ::kill(pid, SIGKILL);
+                sup.supervisorKilled = sup.cancelKilled = true;
+            } else if (have_deadline && clock::now() >= deadline) {
+                ::kill(pid, SIGKILL);
+                sup.supervisorKilled = true;
+            }
+        }
+    }
+    ::close(rfd);
+
+    while (::waitpid(pid, &sup.status, 0) < 0 && errno == EINTR) {
+    }
+    unregisterChild(pid);
+    return sup;
 }
 
 } // namespace
@@ -275,106 +422,117 @@ runInChild(const std::function<SimResult()> &fn, const ChildLimits &limits)
     ::close(fds[1]);
     registerChild(pid);
 
-    using clock = std::chrono::steady_clock;
-    const bool have_deadline = limits.hardTimeoutSeconds > 0.0;
-    const auto deadline =
-        clock::now() + std::chrono::duration_cast<clock::duration>(
-                           std::chrono::duration<double>(
-                               have_deadline ? limits.hardTimeoutSeconds
-                                             : 0.0));
+    Supervised sup =
+        superviseChild(pid, fds[0], limits, limits.hardTimeoutSeconds);
 
-    std::string buf;
-    bool supervisor_killed = false;
-    bool cancel_killed = false;
-    for (bool eof = false; !eof;) {
-        struct pollfd pfd;
-        pfd.fd = fds[0];
-        pfd.events = POLLIN;
-        pfd.revents = 0;
-        // Finite poll granularity only when there is something to watch
-        // besides the pipe; otherwise block until the child speaks/dies.
-        int timeout_ms =
-            (have_deadline || limits.cancel) && !supervisor_killed ? 50 : -1;
-        int rc = ::poll(&pfd, 1, timeout_ms);
-        if (rc < 0) {
-            if (errno == EINTR)
-                continue;
-            break; // poll failure: fall through to reap + classify
-        }
-        if (rc > 0) {
-            char tmp[4096];
-            ssize_t n = ::read(fds[0], tmp, sizeof tmp);
-            if (n > 0)
-                buf.append(tmp, static_cast<std::size_t>(n));
-            else if (n == 0)
-                eof = true;
-            else if (errno != EINTR)
-                break;
-        }
-        if (!supervisor_killed) {
-            if (limits.cancel &&
-                limits.cancel->load(std::memory_order_relaxed)) {
-                ::kill(pid, SIGKILL);
-                supervisor_killed = cancel_killed = true;
-            } else if (have_deadline && clock::now() >= deadline) {
-                ::kill(pid, SIGKILL);
-                supervisor_killed = true;
-            }
-        }
-    }
-    ::close(fds[0]);
-
-    int status = 0;
-    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    unregisterChild(pid);
-
-    if (WIFEXITED(status) && WEXITSTATUS(status) == 0 && !buf.empty()) {
-        auto nl = buf.find('\n');
-        std::string tag = buf.substr(0, nl);
-        std::string payload =
-            nl == std::string::npos ? std::string() : buf.substr(nl + 1);
-        if (tag == "ok") {
-            std::uint64_t fp = 0;
-            if (parseRun(payload, fp, out.result)) {
-                out.kind = ChildOutcome::Kind::Result;
-                return out;
-            }
-            // Corrupted wire record (torn pipe write, bit flip): treat as
-            // a crash so the retry machinery gets a second attempt.
-            out.kind = ChildOutcome::Kind::Crash;
-            out.crash = CrashKind::ExitCode;
-            out.message = "child result failed the wire-format CRC check";
-            return out;
-        }
-        out.message = std::move(payload);
-        if (tag == "livelock") {
-            out.kind = ChildOutcome::Kind::Livelock;
-            return out;
-        }
-        if (tag == "cancelled") {
-            out.kind = ChildOutcome::Kind::Cancelled;
-            return out;
-        }
-        if (tag == "oom") {
-            out.kind = ChildOutcome::Kind::Crash;
-            out.crash = CrashKind::Oom;
-            return out;
-        }
-        out.kind = ChildOutcome::Kind::Error;
-        if (tag != "error")
-            out.message = "unrecognized child protocol tag '" + tag + "'";
-        return out;
+    if (WIFEXITED(sup.status) && WEXITSTATUS(sup.status) == 0 &&
+        !sup.buf.empty()) {
+        auto nl = sup.buf.find('\n');
+        std::string tag = sup.buf.substr(0, nl);
+        std::string payload = nl == std::string::npos
+                                  ? std::string()
+                                  : sup.buf.substr(nl + 1);
+        return decodeTagged(tag, std::move(payload));
     }
 
-    if (cancel_killed) {
+    if (sup.cancelKilled) {
         out.kind = ChildOutcome::Kind::Cancelled;
         out.message = "child killed by supervisor: campaign cancelled";
         return out;
     }
     out.kind = ChildOutcome::Kind::Crash;
-    out.crash = classifyWaitStatus(status, supervisor_killed);
-    out.message = describeChildDeath(status, supervisor_killed);
+    out.crash = classifyWaitStatus(sup.status, sup.supervisorKilled);
+    out.message = describeChildDeath(sup.status, sup.supervisorKilled);
+    return out;
+}
+
+ChildBatchOutcome
+runBatchInChild(std::size_t n, const std::function<SimResult(std::size_t)> &fn,
+                const ChildLimits &limits)
+{
+    ChildBatchOutcome out;
+    out.runs.resize(n);
+    out.reported.assign(n, 0);
+    if (n == 0)
+        return out;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        out.childDied = true;
+        out.crash = CrashKind::ExitCode;
+        out.crashMessage = "pipe() failed for isolated child";
+        return out;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        out.childDied = true;
+        out.crash = CrashKind::ExitCode;
+        out.crashMessage = "fork() failed for isolated child";
+        return out;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        childBatchMain(n, fn, limits, fds[1]); // never returns
+    }
+    ::close(fds[1]);
+    registerChild(pid);
+
+    // The supervisor cannot observe per-run boundaries reliably enough
+    // to re-arm a per-run deadline (frames can sit in the pipe buffer),
+    // so the hard wall-clock budget scales with the batch size.
+    Supervised sup = superviseChild(
+        pid, fds[0], limits,
+        limits.hardTimeoutSeconds * static_cast<double>(n));
+
+    // Parse whatever frames made it out. Runs execute in order, so the
+    // last `start` without a completed frame is the in-flight run; a
+    // torn trailing frame counts as in-flight too (its payload cannot
+    // be trusted without the full CRC-covered record).
+    std::size_t pos = 0;
+    std::size_t started = ChildBatchOutcome::npos;
+    while (pos < sup.buf.size()) {
+        std::size_t nl = sup.buf.find('\n', pos);
+        if (nl == std::string::npos)
+            break; // torn marker/header line
+        std::string line = sup.buf.substr(pos, nl - pos);
+        if (line.compare(0, 6, "start ") == 0) {
+            char *end = nullptr;
+            unsigned long long k = std::strtoull(line.c_str() + 6, &end, 10);
+            if (!end || *end != '\0' || k >= n)
+                break; // corrupted marker: stop trusting the stream
+            started = static_cast<std::size_t>(k);
+            pos = nl + 1;
+            continue;
+        }
+        // "<tag> <k> <len>" header.
+        std::istringstream hdr(line);
+        std::string tag;
+        std::size_t k = 0, len = 0;
+        if (!(hdr >> tag >> k >> len) || k >= n)
+            break;
+        if (nl + 1 + len > sup.buf.size())
+            break; // torn payload
+        out.runs[k] = decodeTagged(tag, sup.buf.substr(nl + 1, len));
+        out.reported[k] = 1;
+        if (k == started)
+            started = ChildBatchOutcome::npos;
+        pos = nl + 1 + len;
+    }
+    out.inFlight = started;
+
+    if (out.allReported())
+        return out; // clean batch; the child's exit status is moot
+
+    out.childDied = true;
+    if (sup.cancelKilled) {
+        out.cancelled = true;
+        out.crashMessage = "child killed by supervisor: campaign cancelled";
+        return out;
+    }
+    out.crash = classifyWaitStatus(sup.status, sup.supervisorKilled);
+    out.crashMessage = describeChildDeath(sup.status, sup.supervisorKilled);
     return out;
 }
 

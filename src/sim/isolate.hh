@@ -25,9 +25,11 @@
 #define SMTAVF_SIM_ISOLATE_HH
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "metrics/metrics.hh"
 
@@ -143,6 +145,68 @@ struct ChildOutcome
  */
 ChildOutcome runInChild(const std::function<SimResult()> &fn,
                         const ChildLimits &limits);
+
+/**
+ * Outcome of one batched child execution (runBatchInChild). A batch
+ * amortizes the fork/construction cost of process isolation over
+ * several runs: the child executes fn(0..n-1) sequentially — reusing
+ * one worker-local Simulator across shape-compatible runs — and frames
+ * each run's result on the pipe as it completes, so every run finished
+ * *before* a crash survives the crash.
+ */
+struct ChildBatchOutcome
+{
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Per-run outcomes; consult reported[k] before runs[k]. */
+    std::vector<ChildOutcome> runs;
+    /** reported[k]: run k's frame arrived complete (CRC-checkable). */
+    std::vector<char> reported;
+
+    /**
+     * The run the child had started but never framed when it died —
+     * the one its death is attributed to. npos when the child died
+     * between runs (or never started one): the death then belongs to
+     * the batch infrastructure, not a particular run.
+     */
+    std::size_t inFlight = npos;
+
+    /** True when some run never reported (crash, kill, torn pipe). */
+    bool childDied = false;
+    /** The supervisor killed the child because the cancel flag flipped. */
+    bool cancelled = false;
+    /** How the child died (valid when childDied && !cancelled). */
+    CrashKind crash = CrashKind::None;
+    std::string crashMessage;
+
+    bool
+    allReported() const
+    {
+        for (char r : reported)
+            if (!r)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Run fn(0), ..., fn(n-1) sequentially in ONE forked, sandboxed child.
+ *
+ * Same sandbox as runInChild (core dumps off, rlimits, PR_SET_PDEATHSIG),
+ * with the wall-clock and CPU budgets scaled by n — the supervisor
+ * cannot see per-run boundaries precisely enough to re-arm a per-run
+ * deadline, so the deadline is per batch. The wire protocol is framed:
+ * the child writes `start <k>\n` before each run and
+ * `<tag> <k> <len>\n<payload>` after it (tags as in runInChild; an "ok"
+ * payload is the CRC'd `run v3` record, so results stay bit-exact). The
+ * supervisor parses whatever frames arrived before EOF, attributes a
+ * death to the started-but-unframed run, and leaves later runs
+ * unreported so the caller can re-dispatch just the remainder.
+ */
+ChildBatchOutcome runBatchInChild(std::size_t n,
+                                  const std::function<SimResult(std::size_t)>
+                                      &fn,
+                                  const ChildLimits &limits);
 
 /**
  * SIGKILL every child currently being supervised by runInChild() in this

@@ -32,13 +32,21 @@ fnv1a(const std::string &text)
     return h;
 }
 
-/** Exact (bit-preserving) textual form of a double. */
-std::string
-hexDouble(double v)
+/** Append the exact (bit-preserving) textual form of a double. */
+void
+appendHexDouble(std::string &out, double v)
 {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", v);
-    return buf;
+    out.append(buf, static_cast<std::size_t>(
+                        std::snprintf(buf, sizeof(buf), "%a", v)));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    out.append(buf, static_cast<std::size_t>(
+                        std::snprintf(buf, sizeof(buf), "%" PRIu64, v)));
 }
 
 /** Parse a hexfloat (or any strtod-acceptable) token completely. */
@@ -223,7 +231,7 @@ fpProtection(std::ostringstream &os, const MachineConfig &c)
 } // namespace
 
 std::uint32_t
-crc32c(const std::string &text)
+crc32c(const char *data, std::size_t size)
 {
     // Reflected CRC-32C table, built once (Castagnoli polynomial
     // 0x1EDC6F41, reflected 0x82F63B78 — the iSCSI/SSE4.2 CRC).
@@ -238,9 +246,17 @@ crc32c(const std::string &text)
         return t;
     }();
     std::uint32_t crc = 0xffffffffu;
-    for (unsigned char byte : text)
+    for (std::size_t i = 0; i < size; ++i) {
+        auto byte = static_cast<unsigned char>(data[i]);
         crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+    }
     return crc ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32c(const std::string &text)
+{
+    return crc32c(text.data(), text.size());
 }
 
 std::uint64_t
@@ -294,55 +310,87 @@ checkpointFingerprint(const MachineConfig &cfg, const WorkloadMix &mix,
     return fnv1a(os.str());
 }
 
-std::string
-serializeRun(std::uint64_t fingerprint, const SimResult &r)
+void
+serializeRunTo(std::string &out, std::uint64_t fingerprint,
+               const SimResult &r)
 {
-    std::ostringstream os;
-    char fp[32];
-    std::snprintf(fp, sizeof(fp), "%016" PRIx64, fingerprint);
-    os << "fp=" << fp << " mix=" << r.mixName
-       << " policy=" << r.policyName << " cycles=" << r.cycles
-       << " committed=" << r.totalCommitted << " ipc=" << hexDouble(r.ipc);
+    // Fixed-width CRC header placeholder, patched in place once the
+    // payload is complete — the record is built directly in the caller's
+    // buffer, so repeated serialization reuses its capacity.
+    out.clear();
+    out += "run v3 crc=00000000 ";
+    const std::size_t payload_at = out.size();
 
-    os << " threads=";
+    char fp[32];
+    out.append(fp, static_cast<std::size_t>(std::snprintf(
+                       fp, sizeof(fp), "fp=%016" PRIx64, fingerprint)));
+    out += " mix=";
+    out += r.mixName;
+    out += " policy=";
+    out += r.policyName;
+    out += " cycles=";
+    appendU64(out, r.cycles);
+    out += " committed=";
+    appendU64(out, r.totalCommitted);
+    out += " ipc=";
+    appendHexDouble(out, r.ipc);
+
+    out += " threads=";
     for (std::size_t t = 0; t < r.threads.size(); ++t) {
         if (t)
-            os << ';';
-        os << r.threads[t].benchmark << ',' << r.threads[t].committed << ','
-           << hexDouble(r.threads[t].ipc);
+            out += ';';
+        out += r.threads[t].benchmark;
+        out += ',';
+        appendU64(out, r.threads[t].committed);
+        out += ',';
+        appendHexDouble(out, r.threads[t].ipc);
     }
 
     // All numHwStructs rows, zero or not, so the parser never guesses.
-    os << " avf=";
+    out += " avf=";
     const unsigned nt = r.avf.numThreads();
     for (std::size_t i = 0; i < numHwStructs; ++i) {
         auto s = static_cast<HwStruct>(i);
         if (i)
-            os << ';';
-        os << hexDouble(r.avf.avf(s)) << ':' << hexDouble(r.avf.occupancy(s))
-           << ':' << hexDouble(r.avf.residualAvf(s)) << ':';
+            out += ';';
+        appendHexDouble(out, r.avf.avf(s));
+        out += ':';
+        appendHexDouble(out, r.avf.occupancy(s));
+        out += ':';
+        appendHexDouble(out, r.avf.residualAvf(s));
+        out += ':';
         for (unsigned t = 0; t < nt; ++t) {
             if (t)
-                os << ',';
-            os << hexDouble(r.avf.threadAvf(s, static_cast<ThreadId>(t)));
+                out += ',';
+            appendHexDouble(out, r.avf.threadAvf(s, static_cast<ThreadId>(t)));
         }
     }
 
-    os << " stats=";
+    out += " stats=";
     bool first = true;
     for (const auto &[name, value] : r.stats.all()) {
         if (!first)
-            os << ';';
-        os << name << '=' << hexDouble(value);
+            out += ';';
+        out += name;
+        out += '=';
+        appendHexDouble(out, value);
         first = false;
     }
 
     // The checksum covers the payload exactly as written after the
     // "crc=XXXXXXXX " token, so any flipped byte breaks verification.
-    std::string payload = os.str();
-    char head[32];
-    std::snprintf(head, sizeof(head), "run v3 crc=%08x ", crc32c(payload));
-    return head + payload;
+    char crc_text[16];
+    std::snprintf(crc_text, sizeof(crc_text), "%08x",
+                  crc32c(out.data() + payload_at, out.size() - payload_at));
+    out.replace(payload_at - 9, 8, crc_text, 8);
+}
+
+std::string
+serializeRun(std::uint64_t fingerprint, const SimResult &r)
+{
+    std::string out;
+    serializeRunTo(out, fingerprint, r);
+    return out;
 }
 
 bool
@@ -366,7 +414,8 @@ parseRun(const std::string &line, std::uint64_t &fingerprint, SimResult &r)
             return false;
         std::size_t payload_at =
             tokens[0].size() + tokens[1].size() + tokens[2].size() + 3;
-        if (crc32c(line.substr(payload_at)) != want)
+        if (crc32c(line.data() + payload_at, line.size() - payload_at) !=
+            want)
             return false;
         base = 3;
     } else {
@@ -483,13 +532,11 @@ RunJournal::~RunJournal()
 }
 
 void
-RunJournal::writeLine(const std::string &line)
+RunJournal::writeBytes(const char *data, std::size_t size)
 {
-    std::string buf = line;
-    buf += '\n';
     std::size_t off = 0;
-    while (off < buf.size()) {
-        ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    while (off < size) {
+        ssize_t n = ::write(fd_, data + off, size - off);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -501,11 +548,24 @@ RunJournal::writeLine(const std::string &line)
 }
 
 void
+RunJournal::writeLine(const std::string &line)
+{
+    scratch_.assign(line);
+    scratch_ += '\n';
+    writeBytes(scratch_.data(), scratch_.size());
+}
+
+void
 RunJournal::append(std::uint64_t fingerprint, const SimResult &r)
 {
-    std::string line = serializeRun(fingerprint, r);
+    // Serialize straight into the retained scratch buffer and land the
+    // whole record with one O_APPEND write(2): after the first few
+    // appends have grown the buffer, the steady-state cost per record is
+    // zero allocations plus the syscall.
     std::lock_guard<std::mutex> lock(mutex_);
-    writeLine(line);
+    serializeRunTo(scratch_, fingerprint, r);
+    scratch_ += '\n';
+    writeBytes(scratch_.data(), scratch_.size());
 }
 
 void
@@ -547,9 +607,6 @@ fsckJournal(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         SMTAVF_FATAL("cannot read journal ", path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string bytes = ss.str();
 
     JournalFsck fsck;
     std::size_t line_no = 0;
@@ -558,14 +615,18 @@ fsckJournal(const std::string &path)
     // whether the damage is confined to a truncatable tail.
     std::size_t last_issue_after_valid = 0;
 
-    std::size_t pos = 0;
-    while (pos < bytes.size()) {
-        std::size_t nl = bytes.find('\n', pos);
-        bool torn_eof = nl == std::string::npos; // no trailing newline
-        std::size_t end = torn_eof ? bytes.size() : nl;
-        std::string line = bytes.substr(pos, end - pos);
+    // Streamed line by line: journals grow a record per completed run
+    // and merge-scale files reach many MB, so the audit holds one line,
+    // never the file. getline() strips the '\n'; reaching EOF while the
+    // line still extracted bytes is the no-trailing-newline (torn tail)
+    // signature.
+    std::string line;
+    std::uint64_t next_offset = 0;
+    while (std::getline(in, line)) {
+        const bool torn_eof = in.eof();
         ++line_no;
-        offset = pos;
+        offset = next_offset;
+        next_offset += line.size() + (torn_eof ? 0 : 1);
 
         if (line.empty() || line[0] == '#') {
             ++fsck.comments;
@@ -599,7 +660,8 @@ fsckJournal(const std::string &path)
                                                  tokens[2].size() + 3;
                         std::uint64_t want = 0;
                         if (parseHex64(crc_text, want) &&
-                            crc32c(line.substr(payload_at)) != want) {
+                            crc32c(line.data() + payload_at,
+                                   line.size() - payload_at) != want) {
                             issue.reason = "bad CRC (bit flip or torn "
                                            "write)";
                         }
@@ -610,7 +672,6 @@ fsckJournal(const std::string &path)
                 fsck.issues.push_back(std::move(issue));
             }
         }
-        pos = torn_eof ? bytes.size() : nl + 1;
     }
 
     // The damage is a pure tail when nothing valid follows the first bad
@@ -639,17 +700,27 @@ mergeJournals(const std::vector<std::string> &inputs,
               const std::string &out_path,
               std::vector<std::string> *corruption)
 {
-    // Keep the raw line per fingerprint: records round-trip exactly
-    // (hexfloat doubles), so re-serializing would be pointless risk. The
-    // ordered map gives byte-deterministic output independent of shard
-    // completion order.
-    std::map<std::uint64_t, std::string> records;
+    /** Where a fingerprint's winning record lives in its source file. */
+    struct Loc
+    {
+        std::size_t file;     ///< index into inputs
+        std::uint64_t offset; ///< first byte of the record line
+        std::size_t size;     ///< line length, '\n' excluded
+    };
+
+    // Pass 1 — index. Full integrity audit first: merging is the one
+    // place where a silently-dropped record poisons downstream analysis
+    // (the merged journal claims to be the whole campaign), so unlike
+    // resume — which re-simulates whatever a torn tail lost — merge
+    // refuses. Then record only (file, offset, length) per fingerprint:
+    // merging many-MB shard journals holds an index, never their
+    // contents. The ordered map gives byte-deterministic output
+    // independent of shard completion order; first occurrence wins (the
+    // determinism contract guarantees duplicates carry equal bytes).
+    std::map<std::uint64_t, Loc> records;
     std::vector<std::string> damaged;
-    for (const auto &path : inputs) {
-        // Full integrity audit first: merging is the one place where a
-        // silently-dropped record poisons downstream analysis (the merged
-        // journal claims to be the whole campaign), so unlike resume —
-        // which re-simulates whatever a torn tail lost — merge refuses.
+    for (std::size_t f = 0; f < inputs.size(); ++f) {
+        const auto &path = inputs[f];
         auto fsck = fsckJournal(path); // fatal when unreadable
         for (const auto &issue : fsck.issues) {
             std::ostringstream os;
@@ -660,16 +731,19 @@ mergeJournals(const std::vector<std::string> &inputs,
         if (!fsck.clean())
             continue;
 
-        std::ifstream in(path);
+        std::ifstream in(path, std::ios::binary);
         std::string line;
+        std::uint64_t offset = 0;
         while (std::getline(in, line)) {
+            const std::uint64_t at = offset;
+            offset += line.size() + (in.eof() ? 0 : 1);
             if (line.empty() || line[0] == '#')
                 continue;
             std::uint64_t fp = 0;
             SimResult r;
             if (!parseRun(line, fp, r))
                 continue; // unreachable: fsck was clean
-            records.emplace(fp, line); // first occurrence wins
+            records.emplace(fp, Loc{f, at, line.size()});
         }
     }
 
@@ -681,11 +755,28 @@ mergeJournals(const std::vector<std::string> &inputs,
         return 0;
     }
 
-    std::ofstream out(out_path, std::ios::trunc);
+    // Pass 2 — copy. Stream each winning record's raw bytes from its
+    // source into the output, fingerprint-sorted: raw lines round-trip
+    // exactly (hexfloat doubles), so re-serializing would be pointless
+    // risk, and v2 records keep their original format.
+    std::ofstream out(out_path, std::ios::trunc | std::ios::binary);
     if (!out)
         SMTAVF_FATAL("cannot write journal ", out_path);
-    for (const auto &[fp, line] : records)
-        out << line << '\n';
+    std::vector<std::ifstream> sources;
+    sources.reserve(inputs.size());
+    for (const auto &path : inputs)
+        sources.emplace_back(path, std::ios::binary);
+    std::string buf;
+    for (const auto &[fp, loc] : records) {
+        std::ifstream &src = sources[loc.file];
+        buf.resize(loc.size);
+        src.clear();
+        src.seekg(static_cast<std::streamoff>(loc.offset));
+        if (!src.read(buf.data(), static_cast<std::streamsize>(loc.size)))
+            SMTAVF_FATAL("journal ", inputs[loc.file],
+                         " changed while being merged");
+        out << buf << '\n';
+    }
     out.flush();
     if (!out)
         SMTAVF_FATAL("failed writing journal ", out_path);

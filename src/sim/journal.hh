@@ -55,10 +55,13 @@ namespace smtavf
 {
 
 /**
- * CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) of @p text —
- * the per-record integrity checksum of `run v3` journal lines.
+ * CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) of @p size raw
+ * bytes — the per-record integrity checksum of `run v3` journal lines.
  * crc32c("123456789") == 0xe3069283 (the standard check value).
  */
+std::uint32_t crc32c(const char *data, std::size_t size);
+
+/** Convenience overload over a whole string. */
 std::uint32_t crc32c(const std::string &text);
 
 /**
@@ -91,6 +94,18 @@ std::uint64_t checkpointFingerprint(const MachineConfig &cfg,
 
 /** Serialize one `run v3` journal record (no trailing newline). */
 std::string serializeRun(std::uint64_t fingerprint, const SimResult &r);
+
+/**
+ * Serialize one `run v3` record into @p out (cleared first, no trailing
+ * newline). This is the allocation-lean form RunJournal::append() uses:
+ * the record is built directly in the caller's buffer — the CRC header
+ * is written as a fixed-width placeholder and patched in place once the
+ * payload is complete — so a journal that appends thousands of records
+ * reuses one buffer's capacity instead of assembling each line from
+ * temporary strings.
+ */
+void serializeRunTo(std::string &out, std::uint64_t fingerprint,
+                    const SimResult &r);
 
 /**
  * Parse one journal line; returns false (outputs untouched or partially
@@ -130,10 +145,20 @@ class RunJournal
     const std::string &path() const { return path_; }
 
   private:
+    /** Copy @p line + '\n' into scratch_ and write it; caller locks. */
     void writeLine(const std::string &line);
+    /** The single O_APPEND write(2), EINTR-restarted to completion. */
+    void writeBytes(const char *data, std::size_t size);
 
     std::string path_;
     std::mutex mutex_;
+    /**
+     * Reused line-assembly buffer, guarded by mutex_. High-rate
+     * campaigns (reused workers, short runs) append often enough that
+     * per-record string assembly shows up; serializing into retained
+     * capacity makes the steady-state append cost one write(2).
+     */
+    std::string scratch_;
     int fd_ = -1;
 };
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "avf/interval_series.hh"
+#include "base/arena.hh"
 #include "avf/ledger.hh"
 #include "avf/mem_trackers.hh"
 #include "ckpt/checkpoint.hh"
@@ -70,7 +71,21 @@ struct RunControls
     std::uint64_t avfInterval = 0;
 };
 
-/** One simulation instance (single use: construct, run, discard). */
+/**
+ * One simulation instance. A Simulator is single-use per *run* —
+ * construct (or reset()), run once, read the result — but the instance
+ * itself is reusable: reset() returns it to exact post-construction
+ * state, allocation-free, whenever the next run's timing shape matches
+ * (timingShapeFingerprint in sim/journal.hh). Campaign workers exploit
+ * this to pay construction once per worker instead of once per run.
+ *
+ * All setup-time containers are carved from a private monotonic Arena
+ * (base/arena.hh): member order puts the arena and an ArenaCtorScope
+ * ahead of every sub-structure, so their constructors see the arena as
+ * the thread's current one and bump-allocate instead of hitting the
+ * global heap. The scope is released at the end of the constructor
+ * body; run-time growth (lazy scratch vectors) uses the heap as before.
+ */
 class Simulator
 {
   public:
@@ -120,6 +135,28 @@ class Simulator
      * lets campaigns share one warmup across candidates.
      */
     Checkpoint captureWarmupCheckpoint(std::uint64_t warmup_instrs);
+
+    /**
+     * True when this instance can be reset() for a run of
+     * (@p cfg, @p mix): every timing-shape field must match the
+     * construction-time one (same geometry, policy, workload, AVF model
+     * options — see timingShapeFingerprint), because reset() reuses the
+     * existing structures in place. Seed and protection may differ
+     * freely, and per-thread stream ids must not have been overridden at
+     * construction (the campaign path never does).
+     */
+    bool canResetTo(const MachineConfig &cfg, const WorkloadMix &mix) const;
+
+    /**
+     * Return to exact post-construction state for a run of
+     * (@p cfg, @p mix) — bit-identical to destroying this instance and
+     * constructing Simulator(cfg, mix), and allocation-free
+     * (tests/test_alloc_steady.cc gates it at zero heap allocations).
+     * Fatal when !canResetTo(cfg, mix). Mirrors the constructor's order:
+     * ledger, hierarchy, trackers, stream generators (re-seeded from
+     * cfg.seed), core, prewarm.
+     */
+    void reset(const MachineConfig &cfg, const WorkloadMix &mix);
 
     /** Committed-instruction count adopted from restore() (else 0). */
     std::uint64_t restoredCommitted() const { return restoredCommitted_; }
@@ -209,6 +246,15 @@ class Simulator
      */
     template <class Ar> void visitState(Ar &ar);
 
+    /**
+     * Declared first so every member below is constructed (and carves
+     * its setup-time containers) under ctorScope_ — C++ guarantees
+     * member construction in declaration order. The scope is released
+     * at the end of each constructor body.
+     */
+    Arena arena_;
+    ArenaCtorScope ctorScope_;
+
     MachineConfig cfg_;
     WorkloadMix mix_;
     std::vector<std::uint32_t> streamIds_;
@@ -218,9 +264,9 @@ class Simulator
     TlbVulnTracker dtlbTracker_;
     TlbVulnTracker itlbTracker_;
     /** Present when MachineConfig::avf.trackL2Avf (per-line granularity). */
-    std::unique_ptr<CacheVulnTracker> l2Tracker_;
-    std::vector<std::unique_ptr<StreamGenerator>> gens_;
-    std::unique_ptr<SmtCore> core_;
+    ArenaPtr<CacheVulnTracker> l2Tracker_;
+    AVec<ArenaPtr<StreamGenerator>> gens_;
+    ArenaPtr<SmtCore> core_;
     RunBaseline baseline_;
     std::uint64_t restoredCommitted_ = 0;
     bool restored_ = false;

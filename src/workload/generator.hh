@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/ring_buffer.hh"
 #include "base/rng.hh"
 #include "base/types.hh"
@@ -44,6 +45,14 @@ class StreamGenerator
      */
     StreamGenerator(const BenchmarkProfile &profile, std::uint64_t seed,
                     ThreadId tid, std::uint32_t stream_id = 0xffffffff);
+
+    /**
+     * Worker-reuse hook: re-seed and re-run the constructor's derivation
+     * in place — same draw order, so reset(s) is stream-identical to a
+     * fresh StreamGenerator(profile, s, tid, stream_id). Allocation-free
+     * (every container keeps its capacity).
+     */
+    void reset(std::uint64_t seed);
 
     /**
      * Correct-path instruction at stream index @p idx (0-based program
@@ -196,6 +205,9 @@ class StreamGenerator
         ar(in.branchTarget);
     }
 
+    /** Constructor body: everything derived from (profile, seed, sid). */
+    void init();
+
     DynInstr generateOne();
     OpClass pickOpClass();
     RegIndex pickSrc(bool fp);
@@ -206,6 +218,7 @@ class StreamGenerator
 
     BenchmarkProfile profile_;
     ThreadId tid_;
+    std::uint32_t streamId_; ///< raw ctor argument (0xffffffff = tid)
     Rng rng_;
     Rng wrongRng_;
 
@@ -234,8 +247,8 @@ class StreamGenerator
             ar(count);
         }
     };
-    std::vector<DefRing> intChains_;
-    std::vector<DefRing> fpChains_;
+    AVec<DefRing> intChains_;
+    AVec<DefRing> fpChains_;
     std::size_t curChain_ = 0;
 
     /** A static unconditional jump/call site with a stable target. */
@@ -247,11 +260,11 @@ class StreamGenerator
     };
 
     // control state
-    std::vector<BranchSite> sites_;
-    std::vector<JumpSite> jumpSites_;
+    AVec<BranchSite> sites_;
+    AVec<JumpSite> jumpSites_;
     std::size_t curSite_ = 0; ///< sticky branch site (loop behaviour)
     Addr pc_ = 0;
-    std::vector<Addr> callStack_;
+    AVec<Addr> callStack_;
 
     // Data regions: bases far apart so they never alias, plus a per-thread
     // offset so the multiprogrammed contexts have disjoint address spaces

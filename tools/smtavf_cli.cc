@@ -127,9 +127,18 @@ usage()
         "                        sandboxed child per run so crashes and\n"
         "                        runaway runs are classified, not fatal;\n"
         "                        results are bit-identical across modes\n"
+        "  --runs-per-child N    process: batch N consecutive runs into one\n"
+        "                        sandboxed child over a reused simulator;\n"
+        "                        a crash loses only the in-flight run and\n"
+        "                        the remainder is re-dispatched (default 1)\n"
+        "  --no-reuse            construct a fresh simulator per run instead\n"
+        "                        of reset()ing a worker-local one (slower;\n"
+        "                        results are bit-identical either way)\n"
         "  --hard-timeout SECS   process: SIGKILL a child past this wall\n"
-        "                        clock (works on wedged runs; 0 = off)\n"
-        "  --child-cpu SECS      process: per-child RLIMIT_CPU\n"
+        "                        clock (per run; scaled by --runs-per-child;\n"
+        "                        works on wedged runs; 0 = off)\n"
+        "  --child-cpu SECS      process: per-child RLIMIT_CPU (per run;\n"
+        "                        scaled by the batch size)\n"
         "  --child-mem MB        process: per-child RLIMIT_AS in MiB\n"
         "  --backoff SECS        exponential retry backoff base with\n"
         "                        seed-deterministic jitter (default 0)\n"
@@ -396,6 +405,13 @@ campaignMain(int argc, char **argv)
             const char *v = next();
             if (!v || !parseIsolateMode(v, opt.isolate))
                 die("--isolate wants 'thread' or 'process'");
+        } else if (arg == "--runs-per-child") {
+            opt.runsPerChild =
+                static_cast<unsigned>(parseNum("--runs-per-child", next()));
+            if (opt.runsPerChild == 0)
+                die("--runs-per-child wants a positive batch size");
+        } else if (arg == "--no-reuse") {
+            opt.reuseWorkers = false;
         } else if (arg == "--hard-timeout") {
             opt.hardTimeoutSeconds = parseSeconds("--hard-timeout", next());
         } else if (arg == "--child-cpu") {
@@ -437,6 +453,9 @@ campaignMain(int argc, char **argv)
         (opt.hardTimeoutSeconds > 0.0 || opt.childCpuSeconds > 0 ||
          opt.childMemoryBytes > 0))
         die("--hard-timeout/--child-cpu/--child-mem need --isolate process");
+    if (opt.runsPerChild > 1 && opt.isolate != IsolateMode::Process)
+        die("--runs-per-child needs --isolate process (thread mode already "
+            "reuses workers in-process)");
     if (opt.isolate == IsolateMode::Process && opt.cancelCheckCycles > 0)
         die("--cancel-check is a thread-mode knob; process children are "
             "interrupted by the supervisor");
