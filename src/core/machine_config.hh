@@ -86,6 +86,17 @@ struct MachineConfig
     FetchPolicyKind fetchPolicy = FetchPolicyKind::Icount;
 
     /**
+     * PRAT tuning (policy/prat.hh): cycles between ledger-measured
+     * residual refreshes, and the throttle cap in correct-path
+     * instructions (0 = derive the RAT default, 2x a fair IQ share).
+     * Read only when fetchPolicy == PRat; ignored — and excluded from
+     * validation and the experiment fingerprint — otherwise, so retuning
+     * an unused knob never invalidates or re-runs other policies.
+     */
+    Cycle pratEpoch = 4096;
+    std::uint32_t pratCap = 0;
+
+    /**
      * Pre-install each thread's code/hot/warm footprints into IL1/DL1/L2
      * and the TLBs before cycle 0. The paper's SimPoint regions are
      * effectively warmed by 100M+ instructions; short simulations need
@@ -204,6 +215,17 @@ struct MachineConfig
         if (livelockCycles != 0 && livelockCycles < 16)
             return concat("livelock window too small to clear the ",
                           "pipeline: ", livelockCycles, " (minimum 16)");
+        if (fetchPolicy == FetchPolicyKind::PRat) {
+            if (pratEpoch == 0)
+                return "pratEpoch must be positive (PRAT needs a refresh "
+                       "period)";
+            if (pratEpoch > (Cycle(1) << 30))
+                return concat("absurd pratEpoch: ", pratEpoch, " (limit ",
+                              Cycle(1) << 30, ")");
+            if (pratCap > (1u << 20))
+                return concat("absurd pratCap: ", pratCap, " (limit ",
+                              1u << 20, ")");
+        }
         if (auto msg = protection.validateMsg(); !msg.empty())
             return msg;
         return "";

@@ -30,6 +30,7 @@ PhysRegFile::reset()
 {
     freeInt_ = numInt_;
     freeFp_ = numFp_;
+    allocatedBy_.fill(0);
     regs_.assign(regs_.size(), Reg{});
     freeIntList_.clear();
     freeFpList_.clear();
@@ -63,6 +64,7 @@ PhysRegFile::alloc(bool fp, ThreadId tid, Cycle now)
     if (r.allocated)
         SMTAVF_PANIC("allocating an already-allocated register ", phys);
     r = {true, false, tid, now, now, now};
+    ++allocatedBy_[tid];
     return phys;
 }
 
@@ -133,6 +135,7 @@ PhysRegFile::release(RegIndex phys, Cycle now, bool producer_dead)
     if (!r.allocated)
         SMTAVF_PANIC("releasing unallocated register ", phys);
     emitIntervals(r, now, producer_dead, false);
+    --allocatedBy_[r.tid];
     r.allocated = false;
     r.written = false;
     bool fp = static_cast<std::uint32_t>(phys) >= numInt_;
@@ -152,6 +155,7 @@ PhysRegFile::releaseSquashed(RegIndex phys, Cycle now)
     if (!r.allocated)
         SMTAVF_PANIC("squash-releasing unallocated register ", phys);
     emitIntervals(r, now, false, true);
+    --allocatedBy_[r.tid];
     r.allocated = false;
     r.written = false;
     bool fp = static_cast<std::uint32_t>(phys) >= numInt_;
@@ -186,6 +190,7 @@ PhysRegFile::finalizeAll(Cycle now)
         }
         r.allocated = false;
     }
+    allocatedBy_.fill(0);
 }
 
 } // namespace smtavf

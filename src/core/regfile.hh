@@ -20,6 +20,7 @@
 #ifndef SMTAVF_CORE_REGFILE_HH
 #define SMTAVF_CORE_REGFILE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -99,6 +100,17 @@ class PhysRegFile
         return regs_.at(phys).allocated;
     }
 
+    /**
+     * Registers currently allocated by @p tid (PRAT's occupancy probe,
+     * policy/prat.hh). O(1): a counter maintained at alloc/release, not a
+     * scan — fetchOrder asks once per thread per cycle.
+     */
+    std::uint32_t
+    allocatedBy(ThreadId tid) const
+    {
+        return allocatedBy_[tid];
+    }
+
     /** The free list of one bank (int or fp), in pop order. */
     const AVec<RegIndex> &
     freeList(bool fp) const
@@ -139,6 +151,14 @@ class PhysRegFile
         ar(freeFpList_);
         ar(freeInt_);
         ar(freeFp_);
+        if constexpr (Ar::loading) {
+            // Derived, not wire state: each Reg carries tid + allocated,
+            // so the per-thread tallies recompute exactly.
+            allocatedBy_.fill(0);
+            for (const auto &r : regs_)
+                if (r.allocated)
+                    ++allocatedBy_[r.tid];
+        }
     }
 
   private:
@@ -173,6 +193,7 @@ class PhysRegFile
     AVec<Reg> regs_;
     AVec<RegIndex> freeIntList_;
     AVec<RegIndex> freeFpList_;
+    std::array<std::uint32_t, maxContexts> allocatedBy_{};
     AvfLedger &ledger_;
     bool allocUnace_;
     bool deadAware_;

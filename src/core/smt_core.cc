@@ -35,7 +35,8 @@ SmtCore::SmtCore(const MachineConfig &cfg,
         threads_.push_back(makeArena<ThreadContext>(cfg_, streams[t]));
     }
 
-    policy_ = makeFetchPolicy(cfg_.fetchPolicy, *this);
+    policy_ = makeFetchPolicy(cfg_.fetchPolicy, *this,
+                              {cfg_.pratEpoch, cfg_.pratCap});
 
     // Size the completion wheel past the worst-case completion delta:
     // DTLB walk + DL1 + L2 + DRAM for loads, plus FU latency headroom.
@@ -167,6 +168,28 @@ SmtCore::inFlightCorrectPath(ThreadId tid) const
     unsigned total = static_cast<unsigned>(th.frontQueue.size()) +
                      th.iqCount;
     return total > th.wrongPathFrontIq ? total - th.wrongPathFrontIq : 0;
+}
+
+unsigned
+SmtCore::structOccupancy(HwStruct s, ThreadId tid) const
+{
+    // PRAT's occupancy probe (policy/prat.hh): how many entries the
+    // thread holds in each structure its in-flight instructions expose.
+    // All O(1) reads of bookkeeping the pipeline maintains anyway.
+    const auto &th = *threads_.at(tid);
+    switch (s) {
+      case HwStruct::IQ:
+        return th.iqCount;
+      case HwStruct::ROB:
+        return static_cast<unsigned>(th.rob.size());
+      case HwStruct::LsqData:
+      case HwStruct::LsqTag:
+        return static_cast<unsigned>(th.lsq.size());
+      case HwStruct::RegFile:
+        return regfile_.allocatedBy(tid);
+      default:
+        return 0;
+    }
 }
 
 unsigned

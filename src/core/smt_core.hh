@@ -258,6 +258,13 @@ class SmtCore : public PolicyContext
     unsigned outstandingL1D(ThreadId tid) const override;
     unsigned outstandingL2D(ThreadId tid) const override;
     void flushAfter(ThreadId tid, SeqNum seq) override;
+    unsigned structOccupancy(HwStruct s, ThreadId tid) const override;
+    const ProtectionConfig *
+    protectionConfig() const override
+    {
+        return &cfg_.protection;
+    }
+    const AvfLedger *avfLedger() const override { return &ledger_; }
 
   private:
     /** Fetched-but-not-dispatched instruction. */

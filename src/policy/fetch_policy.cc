@@ -9,6 +9,7 @@
 #include "policy/flush.hh"
 #include "policy/icount.hh"
 #include "policy/pdg.hh"
+#include "policy/prat.hh"
 #include "policy/pstall.hh"
 #include "policy/rat.hh"
 #include "policy/round_robin.hh"
@@ -30,6 +31,7 @@ fetchPolicyName(FetchPolicyKind kind)
       case FetchPolicyKind::DWarn: return "DWarn";
       case FetchPolicyKind::PStall: return "PSTALL";
       case FetchPolicyKind::Rat: return "RAT";
+      case FetchPolicyKind::PRat: return "PRAT";
       default: return "?";
     }
 }
@@ -42,7 +44,7 @@ allFetchPolicies()
         FetchPolicyKind::Flush,      FetchPolicyKind::Stall,
         FetchPolicyKind::Dg,         FetchPolicyKind::Pdg,
         FetchPolicyKind::DWarn,      FetchPolicyKind::PStall,
-        FetchPolicyKind::Rat,
+        FetchPolicyKind::Rat,        FetchPolicyKind::PRat,
     };
     return kinds;
 }
@@ -81,7 +83,8 @@ FetchPolicy::icountOrder()
 }
 
 ArenaPtr<FetchPolicy>
-makeFetchPolicy(FetchPolicyKind kind, PolicyContext &ctx)
+makeFetchPolicy(FetchPolicyKind kind, PolicyContext &ctx,
+                const FetchPolicyTuning &tuning)
 {
     switch (kind) {
       case FetchPolicyKind::RoundRobin:
@@ -102,6 +105,8 @@ makeFetchPolicy(FetchPolicyKind kind, PolicyContext &ctx)
         return makeArena<PStallPolicy>(ctx);
       case FetchPolicyKind::Rat:
         return makeArena<RatPolicy>(ctx);
+      case FetchPolicyKind::PRat:
+        return makeArena<PRatPolicy>(ctx, tuning.pratCap, tuning.pratEpoch);
       default:
         SMTAVF_FATAL("unknown fetch policy kind");
     }

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "avf/structures.hh"
 #include "base/arena.hh"
 #include "base/types.hh"
 #include "ckpt/serializer.hh"
@@ -38,6 +39,9 @@
 
 namespace smtavf
 {
+
+struct ProtectionConfig;
+class AvfLedger;
 
 /**
  * Selector for building a policy by name/config. Beyond the paper's six
@@ -51,6 +55,10 @@ namespace smtavf
  *  - Rat: reliability-aware throttling — prioritize by (and cap) each
  *    thread's in-flight *correct-path* (ACE-candidate) population rather
  *    than its raw instruction count.
+ *  - PRat: protection-aware RAT — weight each in-flight correct-path
+ *    instruction by the residual (uncovered) fraction of the structures
+ *    the thread occupies, so throughput is never spent shading bits that
+ *    SECDED already covers (policy/prat.hh, docs/PROTECTION.md).
  */
 enum class FetchPolicyKind
 {
@@ -62,7 +70,8 @@ enum class FetchPolicyKind
     Pdg,
     DWarn,
     PStall,
-    Rat
+    Rat,
+    PRat
 };
 
 const char *fetchPolicyName(FetchPolicyKind kind);
@@ -75,6 +84,19 @@ bool parseFetchPolicy(const std::string &name, FetchPolicyKind &out);
 
 /** All selectable policy kinds, in display order. */
 const std::vector<FetchPolicyKind> &allFetchPolicies();
+
+/**
+ * Policy tuning knobs carried by MachineConfig (mirrored there as flat
+ * fields so validation and the experiment fingerprint price them
+ * individually). Only PRat reads them today.
+ */
+struct FetchPolicyTuning
+{
+    /** PRat: cycles between ledger-measured residual refreshes. */
+    Cycle pratEpoch = 4096;
+    /** PRat: throttle cap (0 = derive the RAT default, 2x fair share). */
+    unsigned pratCap = 0;
+};
 
 /** The slice of core state fetch policies may observe and act on. */
 class PolicyContext
@@ -105,6 +127,30 @@ class PolicyContext
      * seq > @p seq and rewind fetch.
      */
     virtual void flushAfter(ThreadId tid, SeqNum seq) = 0;
+
+    // The protection-aware slice, consulted by PRat only. Defaulted (not
+    // pure) so scripted test contexts and cores without an AVF overlay
+    // keep compiling; the defaults make PRat degrade to exact RAT
+    // behaviour (no occupancy -> conservative full-residual weight, no
+    // ledger -> the measured correction never engages).
+
+    /** Entries thread @p tid holds in structure @p s right now. */
+    virtual unsigned
+    structOccupancy(HwStruct s, ThreadId tid) const
+    {
+        (void)s;
+        (void)tid;
+        return 0;
+    }
+
+    /** The run's protection assignment; nullptr = nothing protected. */
+    virtual const ProtectionConfig *protectionConfig() const
+    {
+        return nullptr;
+    }
+
+    /** The live AVF ledger; nullptr = no measured-residual correction. */
+    virtual const AvfLedger *avfLedger() const { return nullptr; }
 };
 
 /** Base class of all fetch policies. */
@@ -209,10 +255,12 @@ class FetchPolicy
  * Factory covering every FetchPolicyKind. The policy object is placed in
  * the calling thread's construction arena when one is installed
  * (base/arena.hh), on the heap otherwise — either way the ArenaPtr
- * destroys it correctly.
+ * destroys it correctly. @p tuning carries the PRat knobs; other kinds
+ * ignore it.
  */
 ArenaPtr<FetchPolicy> makeFetchPolicy(FetchPolicyKind kind,
-                                      PolicyContext &ctx);
+                                      PolicyContext &ctx,
+                                      const FetchPolicyTuning &tuning = {});
 
 } // namespace smtavf
 

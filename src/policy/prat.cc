@@ -1,0 +1,139 @@
+#include "policy/prat.hh"
+
+#include <algorithm>
+
+#include "avf/ledger.hh"
+#include "protect/scheme.hh"
+
+namespace smtavf
+{
+
+namespace
+{
+
+/**
+ * Static residual fraction of a scheme, /256: the complement of the
+ * coverage numerators in protect/scheme.hh. SecdedScrub floors at the
+ * SECDED residual — the scrub sweep only helps, and the measured
+ * correction picks up whatever tail the static floor misses.
+ */
+unsigned
+schemeResidual256(ProtScheme s)
+{
+    switch (s) {
+      case ProtScheme::Parity:
+        return 256 - static_cast<unsigned>(parityCoverage256);
+      case ProtScheme::Secded:
+      case ProtScheme::SecdedScrub:
+        return 256 - static_cast<unsigned>(secdedCoverage256);
+      default:
+        return 256;
+    }
+}
+
+} // namespace
+
+PRatPolicy::PRatPolicy(PolicyContext &ctx, unsigned ace_cap, Cycle epoch)
+    : FetchPolicy(ctx), aceCap_(ace_cap), epoch_(epoch), nextRefresh_(epoch)
+{
+    if (aceCap_ == 0) {
+        // Same derivation as RatPolicy: 2x a fair share of the Table-1
+        // 96-entry IQ — identical caps are what make the all-none
+        // differential against RAT exact.
+        unsigned n = ctx.numThreads();
+        aceCap_ = n ? std::max(2 * 96 / n, 8u) : 48;
+    }
+    corr256_.fill(1);
+    deriveStaticWeights();
+}
+
+void
+PRatPolicy::deriveStaticWeights()
+{
+    const ProtectionConfig *prot = ctx_.protectionConfig();
+    for (std::size_t s = 0; s < numHwStructs; ++s)
+        resid256_[s] =
+            prot ? schemeResidual256(prot->schemeFor(static_cast<HwStruct>(s)))
+                 : 256;
+}
+
+void
+PRatPolicy::refreshCorrections()
+{
+    const AvfLedger *ledger = ctx_.avfLedger();
+    if (!ledger)
+        return;
+    unsigned n = ctx_.numThreads();
+    for (unsigned i = 0; i < n; ++i) {
+        ThreadId tid = static_cast<ThreadId>(i);
+        std::uint64_t resid = 0;
+        std::uint64_t ace = 0;
+        for (HwStruct s : kStructs) {
+            resid += ledger->residualAceBitCycles(s, tid);
+            ace += ledger->aceBitCycles(s, tid);
+        }
+        // Cumulative tallies (not deltas): early in the run they react
+        // fast, later they converge to the run's true residual ratio —
+        // exactly the stability the throttle wants. No ACE exposure yet
+        // leaves the previous correction standing.
+        if (ace > 0)
+            corr256_[tid] = std::max<std::uint64_t>(1, 256 * resid / ace);
+    }
+}
+
+unsigned
+PRatPolicy::weight256(ThreadId tid) const
+{
+    std::uint64_t weighted = 0;
+    std::uint64_t occ = 0;
+    for (HwStruct s : kStructs) {
+        std::uint64_t o = ctx_.structOccupancy(s, tid);
+        occ += o;
+        weighted += o * resid256_[static_cast<std::size_t>(s)];
+    }
+    // Nothing in flight: be conservative (full residual) — the thread is
+    // about to allocate into structures we have not priced yet. This also
+    // keeps the scripted test contexts (occupancy 0) on exact RAT keys.
+    unsigned w_occ =
+        occ ? std::max<std::uint64_t>(1, weighted / occ) : 256;
+    return std::max(w_occ, corr256_[tid]);
+}
+
+const std::vector<ThreadId> &
+PRatPolicy::fetchOrder(Cycle now)
+{
+    while (epoch_ && now >= nextRefresh_) {
+        refreshCorrections();
+        nextRefresh_ += epoch_;
+    }
+
+    unsigned n = ctx_.numThreads();
+    rank_.resize(n);
+    keys_.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        ThreadId tid = static_cast<ThreadId>(i);
+        rank_[i] = tid;
+        keys_[i] = ctx_.inFlightCorrectPath(tid);
+    }
+    stableSortByKey(rank_, keys_);
+
+    // Priority is RAT's exactly — fewest correct-path instructions first.
+    // Protection awareness lives only in the gate below: the throttle key
+    // weights each in-flight instruction by the thread's residual exposure
+    // (/256), so a thread whose occupancy sits in SECDED-covered
+    // structures gates at up to 256x RAT's cap while an unprotected
+    // thread gates exactly where RAT would. cp <= IQ capacity (~112) and
+    // w256 <= 256, so cp*w256 stays far below the unsigned key range.
+    order_.clear();
+    for (ThreadId tid : rank_) {
+        if (keys_[tid] * weight256(tid) < aceCap_ * 256u)
+            order_.push_back(tid);
+        else
+            ++throttledThreadCycles_;
+    }
+    if (order_.empty())
+        return rank_; // never silence the whole front end
+    return order_;
+}
+
+} // namespace smtavf

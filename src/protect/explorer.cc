@@ -520,9 +520,13 @@ ProtectionExplorer::exploreBeam(CampaignRunner &pool,
     // Shared warmup: simulate the warmup prefix exactly once, up front,
     // and let every runTolerant() batch (baseline, each generation)
     // restore the capture. The checkpoint fingerprint excludes the
-    // protection assignment, so one capture serves the whole search.
+    // protection assignment, so one capture serves the whole search —
+    // except under PRAT, whose throttle makes protection timing-
+    // affecting: a capture would fit only its own candidate, so fall
+    // back to per-run warmup (correct, just slower) and say so once.
     Checkpoint warm_ck;
-    if (opt.warmup > 0 && opt.sharedWarmup && !opt.runFn) {
+    const bool prat = base_.fetchPolicy == FetchPolicyKind::PRat;
+    if (opt.warmup > 0 && opt.sharedWarmup && !opt.runFn && !prat) {
         Simulator warm(base_, mix_);
         warm_ck = warm.captureWarmupCheckpoint(opt.warmup);
         copt.sharedWarmup = true;
@@ -553,6 +557,11 @@ ProtectionExplorer::exploreBeam(CampaignRunner &pool,
     result.mixName = base_run.mixName;
     result.policyName = base_run.policyName;
     result.priority = rankedHotspots(base_, base_run.avf);
+    if (prat && opt.warmup > 0 && opt.sharedWarmup)
+        result.warnings.push_back(
+            "PRAT throttling is protection-sensitive: warmup checkpoints "
+            "cannot be shared across candidates; each evaluation warms up "
+            "individually");
 
     std::vector<HwStruct> search(
         result.priority.begin(),
@@ -651,12 +660,19 @@ ProtectionExplorer::exploreBeam(CampaignRunner &pool,
             optimistic.energyOverhead = cost.energyOverhead;
             optimistic.ipc = result.points[0].ipc;
 
+            // The optimistic bound derives every candidate's best-case
+            // residual SER from the *baseline* run's raw AVF — sound only
+            // while protection cannot change what a run executes. Under
+            // PRAT it can (the throttle reads the assignment), so the
+            // bound proves nothing and pruning is disabled: every
+            // candidate is evaluated for real.
             bool pruned = false;
-            for (const auto &p : result.points)
-                if (dominates(p, optimistic)) {
-                    pruned = true;
-                    break;
-                }
+            if (!prat)
+                for (const auto &p : result.points)
+                    if (dominates(p, optimistic)) {
+                        pruned = true;
+                        break;
+                    }
             if (pruned) {
                 ++result.prunedCount;
                 result.trace.push_back(

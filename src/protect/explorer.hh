@@ -244,7 +244,10 @@ class ProtectionExplorer
      * baseline report's raw AVF and each scheme's coverage ceiling
      * (parity can cover at most 224/256 of exposure, SECDED 255/256,
      * scrubbing everything). The true residual of the candidate is never
-     * below this, which is what makes cost-model pruning safe.
+     * below this, which is what makes cost-model pruning safe — given
+     * the premise that raw AVF is candidate-invariant. PRAT breaks that
+     * premise (its throttle reads the assignment), so exploreBeam
+     * disables pruning entirely under PRAT.
      */
     static double
     optimisticResidualSer(const AvfReport &baseline,

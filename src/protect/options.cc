@@ -52,6 +52,7 @@ parseProtectCli(const std::vector<std::string> &args, ProtectCliOptions &out,
                 std::string &err)
 {
     bool beam_width_set = false, generations_set = false, budget_set = false;
+    bool prat_epoch_set = false, prat_cap_set = false;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         auto next = [&]() -> const char * {
@@ -104,6 +105,23 @@ parseProtectCli(const std::vector<std::string> &args, ProtectCliOptions &out,
                 err = "--scrub-interval must be in [1, 2^30] cycles";
                 return false;
             }
+        } else if (arg == "--prat-epoch") {
+            if (!parseNum(arg, next(), out.pratEpoch, err))
+                return false;
+            if (out.pratEpoch == 0 ||
+                out.pratEpoch > (std::uint64_t{1} << 30)) {
+                err = "--prat-epoch must be in [1, 2^30] cycles";
+                return false;
+            }
+            prat_epoch_set = true;
+        } else if (arg == "--prat-cap") {
+            if (!parseNum(arg, next(), out.pratCap, err))
+                return false;
+            if (out.pratCap > (std::uint64_t{1} << 20)) {
+                err = "--prat-cap must be at most 2^20 instructions";
+                return false;
+            }
+            prat_cap_set = true;
         } else if (arg == "--explore") {
             out.explore = true;
             out.exploreMode = ExploreMode::Prefix;
@@ -193,6 +211,15 @@ parseProtectCli(const std::vector<std::string> &args, ProtectCliOptions &out,
     if (out.sharedWarmup && out.warmup == 0) {
         err = "--shared-warmup needs --warmup N to share";
         return false;
+    }
+    if (prat_epoch_set || prat_cap_set) {
+        FetchPolicyKind kind;
+        if (!parseFetchPolicy(out.policyName, kind) ||
+            kind != FetchPolicyKind::PRat) {
+            err = "--prat-epoch/--prat-cap tune the PRAT throttle; they "
+                  "need --policy PRAT";
+            return false;
+        }
     }
     return true;
 }

@@ -32,6 +32,9 @@ struct ProtectCliOptions
     std::string assignSpec;  ///< --assign specs, comma-joined
     std::uint64_t scrubInterval = 10000;
 
+    std::uint64_t pratEpoch = 4096; ///< --prat-epoch (PRAT only)
+    std::uint64_t pratCap = 0;      ///< --prat-cap, 0 = RAT default
+
     bool explore = false;
     ExploreMode exploreMode = ExploreMode::Prefix;
     unsigned depth = 4;          ///< prefix depth / beam structure cap

@@ -472,7 +472,9 @@ runTolerant(CampaignRunner &pool, const std::vector<Experiment> &exps,
     // re-simulating it. Groups are keyed by the warmup checkpoint
     // fingerprint, so two experiments share a capture exactly when their
     // warmup-relevant state (workload, machine, seed, warmup length —
-    // protection excluded) is identical. A group whose members are all
+    // protection excluded, except under PRAT where the throttle makes
+    // the assignment timing-affecting and the fingerprint folds it in,
+    // splitting the groups) is identical. A group whose members are all
     // satisfied by the resume journal is never captured.
     const bool share = opt.sharedWarmup && !opt.runFn;
     std::unordered_map<std::uint64_t, WarmupGroup> warmups;

@@ -149,6 +149,14 @@ fpWorkload(std::ostringstream &os, const MachineConfig &c,
     for (const auto &b : mix.benchmarks)
         fpField(os, "bench", b);
     fpField(os, "policy", fetchPolicyName(c.fetchPolicy));
+    // The PRAT knobs steer its throttle decisions (result-affecting), but
+    // only when PRAT is the active policy — gated so retuning them never
+    // orphans journals of other policies, and so every pre-PRAT journal
+    // fingerprints byte-identically.
+    if (c.fetchPolicy == FetchPolicyKind::PRat) {
+        fpField(os, "pratEpoch", c.pratEpoch);
+        fpField(os, "pratCap", c.pratCap);
+    }
     fpField(os, "seed", c.seed);
 }
 
@@ -304,8 +312,11 @@ checkpointFingerprint(const MachineConfig &cfg, const WorkloadMix &mix,
     // warmup-boundary capture resets the ledger tallies it would have
     // split — so a warmup checkpoint is byte-reusable across candidate
     // schemes and its fingerprint must not depend on them. A mid-run
-    // checkpoint carries accumulated split tallies and is not.
-    if (!warmup_boundary)
+    // checkpoint carries accumulated split tallies and is not. PRAT is
+    // the one exception on both counts: its throttle reads the
+    // assignment, making protection timing-affecting, so even a
+    // warmup-boundary capture is protection-specific under PRAT.
+    if (!warmup_boundary || cfg.fetchPolicy == FetchPolicyKind::PRat)
         fpProtection(os, cfg);
     return fnv1a(os.str());
 }

@@ -84,8 +84,11 @@ std::uint64_t experimentFingerprint(const Experiment &e);
  * protection is an accounting overlay that never perturbs timing, and a
  * warmup checkpoint (captured with ledger tallies reset) is valid for
  * every candidate scheme — which is exactly what lets the explorer share
- * one warmup across its whole search. Simulator::restore() verifies this
- * value against its own configuration and rejects mismatches.
+ * one warmup across its whole search. Exception: under PRAT the throttle
+ * reads the assignment (protection becomes timing-affecting), so PRAT
+ * warmup checkpoints stay protection-specific. Simulator::restore()
+ * verifies this value against its own configuration and rejects
+ * mismatches.
  */
 std::uint64_t checkpointFingerprint(const MachineConfig &cfg,
                                     const WorkloadMix &mix,

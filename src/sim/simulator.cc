@@ -154,7 +154,13 @@ sameTimingShape(const MachineConfig &a, const MachineConfig &b)
            a.avf.regAllocWindowUnace == b.avf.regAllocWindowUnace &&
            a.avf.trackL2Avf == b.avf.trackL2Avf &&
            a.avfSampleCycles == b.avfSampleCycles &&
-           a.recordCommitTrace == b.recordCommitTrace;
+           a.recordCommitTrace == b.recordCommitTrace &&
+           // PRAT's throttle knobs steer timing; protection may still
+           // differ — SmtCore::reset() installs the new config before
+           // resetting the policy, so PRAT re-derives its weights from
+           // the new assignment.
+           (a.fetchPolicy != FetchPolicyKind::PRat ||
+            (a.pratEpoch == b.pratEpoch && a.pratCap == b.pratCap));
 }
 
 } // namespace

@@ -26,9 +26,12 @@
 #include <string>
 #include <vector>
 
+#include "avf/ledger.hh"
 #include "base/logging.hh"
 #include "ckpt/checkpoint.hh"
 #include "ckpt/serializer.hh"
+#include "policy/prat.hh"
+#include "protect/scheme.hh"
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
@@ -334,6 +337,119 @@ TEST(CheckpointRestore, WarmupCheckpointIsProtectionAgnostic)
     {
         Simulator sim(protected_cfg, e.mix);
         EXPECT_THROW(sim.restore(mid), CheckpointError);
+    }
+}
+
+TEST(CheckpointRestore, PRatWarmupCheckpointBindsProtection)
+{
+    // The PRAT counterpart of WarmupCheckpointIsProtectionAgnostic: the
+    // weight PRAT gates on reads the protection assignment, so under
+    // PRAT the assignment is timing-affecting and even a *warmup*
+    // checkpoint folds it into the fingerprint. A core with a different
+    // assignment must refuse the restore that an ICOUNT core accepts.
+    Experiment e = testExperiment("2ctx-mix-A", FetchPolicyKind::PRat);
+    e.cfg.pratCap = 12;
+    std::string err;
+    ASSERT_TRUE(parseAssignment("iq=secded,rob=secded", e.cfg.protection,
+                                err))
+        << err;
+
+    Simulator capture(e.cfg, e.mix);
+    Checkpoint warm = capture.captureWarmupCheckpoint(kHalf);
+    EXPECT_TRUE(warm.warmupBoundary);
+
+    // Same machine, nothing protected: rejected.
+    {
+        MachineConfig cfg = e.cfg;
+        cfg.protection = ProtectionConfig{};
+        Simulator sim(cfg, e.mix);
+        EXPECT_THROW(sim.restore(warm), CheckpointError);
+    }
+    // Same machine, weaker scheme on the same structures: rejected.
+    {
+        MachineConfig cfg = e.cfg;
+        ASSERT_TRUE(
+            parseAssignment("iq=parity,rob=parity", cfg.protection, err))
+            << err;
+        Simulator sim(cfg, e.mix);
+        EXPECT_THROW(sim.restore(warm), CheckpointError);
+    }
+    // Identical assignment restores fine.
+    {
+        Simulator sim(e.cfg, e.mix);
+        EXPECT_NO_THROW(sim.restore(warm));
+    }
+}
+
+/** Scripted PolicyContext driving a PRatPolicy off-core. */
+class PRatScriptContext : public PolicyContext
+{
+  public:
+    unsigned numThreads() const override { return 2; }
+    unsigned inFlightCount(ThreadId tid) const override { return cp[tid]; }
+    unsigned
+    inFlightCorrectPath(ThreadId tid) const override
+    {
+        return cp[tid];
+    }
+    unsigned outstandingL1D(ThreadId) const override { return 0; }
+    unsigned outstandingL2D(ThreadId) const override { return 0; }
+    void flushAfter(ThreadId, SeqNum) override {}
+    const ProtectionConfig *
+    protectionConfig() const override
+    {
+        return &protection;
+    }
+    const AvfLedger *avfLedger() const override { return ledger; }
+
+    unsigned cp[maxContexts]{};
+    ProtectionConfig protection;
+    const AvfLedger *ledger = nullptr;
+};
+
+TEST(Serializer, PRatAccumulatorsRoundTrip)
+{
+    // The measured corrections, the absolute refresh schedule and the
+    // duty-cycle tally are PRAT's only mutable state beyond what the
+    // restoring core re-derives; a policy restored mid-epoch must keep
+    // gating exactly like the one that saved.
+    AvfLedger ledger(2);
+    ledger.setStructureBits(HwStruct::RegFile, 1u << 16);
+    // Unprotected residency: residual == ACE, so thread 0's measured
+    // correction snaps to the full 256/256 at the first refresh while
+    // thread 1 (no intervals) stays at the floor of 1.
+    ledger.addInterval(HwStruct::RegFile, 0, 64, 0, 1000, true);
+
+    PRatScriptContext ctx;
+    ctx.ledger = &ledger;
+
+    PRatPolicy a(ctx, 12, 16);
+    for (Cycle now = 1; now <= 64; ++now) {
+        ctx.cp[0] = static_cast<unsigned>((now * 7) % 50);
+        ctx.cp[1] = static_cast<unsigned>((now * 3) % 20);
+        a.fetchOrder(now);
+    }
+    ASSERT_EQ(a.corr256(0), 256u); // the refresh actually landed
+    ASSERT_EQ(a.corr256(1), 1u);
+    ASSERT_GT(a.throttledThreadCycles(), 0u);
+
+    Serializer ser;
+    a.saveState(ser);
+
+    PRatPolicy b(ctx, 12, 16);
+    Deserializer des(ser.buffer());
+    b.loadState(des);
+    EXPECT_TRUE(des.exhausted());
+
+    EXPECT_EQ(b.corr256(0), a.corr256(0));
+    EXPECT_EQ(b.corr256(1), a.corr256(1));
+    EXPECT_EQ(b.throttledThreadCycles(), a.throttledThreadCycles());
+
+    // Continued decisions are bit-identical, across further refreshes.
+    for (Cycle now = 65; now <= 192; ++now) {
+        ctx.cp[0] = static_cast<unsigned>((now * 11) % 60);
+        ctx.cp[1] = static_cast<unsigned>((now * 5) % 40);
+        EXPECT_EQ(a.fetchOrder(now), b.fetchOrder(now)) << "cycle " << now;
     }
 }
 

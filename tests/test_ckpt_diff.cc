@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hh"
+#include "protect/scheme.hh"
 #include "sim/campaign.hh"
 #include "sim/journal.hh"
 #include "sim/simulator.hh"
@@ -32,11 +33,17 @@ struct MatrixCase
 {
     const char *mix;
     FetchPolicyKind policy;
+    /** Protection assignment spec (nullptr = unprotected). */
+    const char *assign = nullptr;
+    /** PRAT exposure cap (0 = derived default); only read under PRat. */
+    std::uint32_t pratCap = 0;
 };
 
 // 2/4/8 contexts under ICOUNT, the same spread under FLUSH: the two
 // policies differ in squash behaviour, which is exactly the state a
-// buggy serialize() hook would lose.
+// buggy serialize() hook would lose. The PRAT rows run *protected*:
+// PRAT's measured corrections and refresh schedule are checkpoint state
+// (policy/prat.hh saveState), and protection is what arms them.
 const MatrixCase kMatrix[] = {
     {"2ctx-mix-A", FetchPolicyKind::Icount},
     {"4ctx-mix-A", FetchPolicyKind::Icount},
@@ -44,15 +51,32 @@ const MatrixCase kMatrix[] = {
     {"2ctx-mem-A", FetchPolicyKind::Flush},
     {"4ctx-cpu-A", FetchPolicyKind::Flush},
     {"8ctx-mix-B", FetchPolicyKind::Flush},
+    {"2ctx-mix-A", FetchPolicyKind::PRat, "iq=secded,rob=secded", 12},
+    {"4ctx-mem-A", FetchPolicyKind::PRat, "iq=parity,rob=secded", 24},
 };
 
 constexpr std::uint64_t kBudget = 40'000;
 constexpr std::uint64_t kCapture = 20'000;
 
+/** Matrix row -> runnable Experiment (protection and caps applied). */
+Experiment
+matrixExperiment(const MatrixCase &c)
+{
+    Experiment e = makeExperiment(findMix(c.mix), c.policy, kBudget);
+    e.cfg.pratCap = c.pratCap;
+    if (c.assign) {
+        std::string err;
+        EXPECT_TRUE(parseAssignment(c.assign, e.cfg.protection, err))
+            << err;
+        e.label += std::string("/") + c.assign;
+    }
+    return e;
+}
+
 TEST(CkptDifferential, RestoreMatchesContinuedRunAcrossMatrix)
 {
     for (const auto &c : kMatrix) {
-        Experiment e = makeExperiment(findMix(c.mix), c.policy, kBudget);
+        Experiment e = matrixExperiment(c);
         SCOPED_TRACE(e.label);
 
         Checkpoint ck;
@@ -79,7 +103,7 @@ warmupMatrix()
 {
     std::vector<Experiment> exps;
     for (const auto &c : kMatrix) {
-        Experiment e = makeExperiment(findMix(c.mix), c.policy, kBudget);
+        Experiment e = matrixExperiment(c);
         e.warmup = kCapture;
         exps.push_back(e);
     }

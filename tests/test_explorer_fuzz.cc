@@ -19,6 +19,7 @@
 
 #include "base/rng.hh"
 #include "protect/options.hh"
+#include "sim/experiment.hh"
 
 namespace smtavf
 {
@@ -92,6 +93,43 @@ TEST(ProtectCliFuzz, ZeroAndRangeViolationsAreRejected)
     // --generations 0 is legal: seeds only, no expansion.
     auto g0 = expectAccept({"--explore=beam", "--generations", "0"});
     EXPECT_EQ(g0.generations, 0u);
+}
+
+TEST(ProtectCliFuzz, PratFlagsRejectMalformedAndMisboundValues)
+{
+    // Malformed numbers, never truncated.
+    for (const char *bad : {"", "x", "12x", "-3", "3.5",
+                            "99999999999999999999999"}) {
+        SCOPED_TRACE(std::string("value '") + bad + "'");
+        expectReject({"--policy", "PRAT", "--prat-epoch", bad},
+                     "--prat-epoch");
+        expectReject({"--policy", "PRAT", "--prat-cap", bad}, "--prat-cap");
+    }
+    expectReject({"--policy", "PRAT", "--prat-epoch"}, "--prat-epoch");
+    expectReject({"--policy", "PRAT", "--prat-cap"}, "--prat-cap");
+    // A zero epoch would never refresh the measured correction.
+    expectReject({"--policy", "PRAT", "--prat-epoch", "0"}, "--prat-epoch");
+    expectReject({"--policy", "PRAT", "--prat-epoch", "1073741825"},
+                 "--prat-epoch");
+    expectReject({"--policy", "PRAT", "--prat-cap", "1048577"},
+                 "--prat-cap");
+    // Inclusive ceilings parse; cap 0 = the derived RAT default.
+    auto ok = expectAccept({"--policy", "PRAT", "--prat-epoch",
+                            "1073741824", "--prat-cap", "1048576"});
+    EXPECT_EQ(ok.pratEpoch, std::uint64_t{1} << 30);
+    EXPECT_EQ(ok.pratCap, std::uint64_t{1} << 20);
+    auto defaults = expectAccept({"--policy", "PRAT", "--prat-cap", "0"});
+    EXPECT_EQ(defaults.pratCap, 0u);
+
+    // The PRAT knobs bind to the PRAT policy; order must not matter.
+    expectReject({"--prat-epoch", "512"}, "--policy PRAT");
+    expectReject({"--prat-cap", "12"}, "--policy PRAT");
+    expectReject({"--policy", "RAT", "--prat-epoch", "512"},
+                 "--policy PRAT");
+    expectReject({"--prat-cap", "12", "--policy", "ICOUNT"},
+                 "--policy PRAT");
+    expectReject({"--policy", "bogus", "--prat-epoch", "512"},
+                 "--policy PRAT");
 }
 
 TEST(ProtectCliFuzz, UnknownModesAndFlagsAreRejected)
@@ -168,7 +206,8 @@ TEST(ProtectCliFuzz, RandomTokenSoupNeverCrashesOrLiesAboutConsistency)
         "--csv", "--json", "4ctx-mix-A", "ICOUNT", "parity",
         "iq=secded+scrub@5000", "0", "1", "4", "10000", "1073741824",
         "1073741825", "-1", "12x", "", "99999999999999999999999",
-        "b.journal", "--frobnicate", "--explore=", "protect"};
+        "b.journal", "--frobnicate", "--explore=", "protect",
+        "--prat-epoch", "--prat-cap", "PRAT", "RAT", "4096", "1048577"};
 
     Rng rng(0x5ee0u);
     unsigned accepted = 0, rejected = 0;
@@ -207,6 +246,21 @@ TEST(ProtectCliFuzz, RandomTokenSoupNeverCrashesOrLiesAboutConsistency)
         EXPECT_LE(out.scrubInterval, std::uint64_t{1} << 30);
         EXPECT_GE(out.beamWidth, 1u);
         EXPECT_GE(out.depth, 1u);
+        EXPECT_GE(out.pratEpoch, 1u);
+        EXPECT_LE(out.pratEpoch, std::uint64_t{1} << 30);
+        EXPECT_LE(out.pratCap, std::uint64_t{1} << 20);
+        // Anything the parser accepts must survive the downstream
+        // MachineConfig validation the CLI applies next — the parser
+        // never launders a config validateMsg would kill.
+        FetchPolicyKind kind;
+        if (parseFetchPolicy(out.policyName, kind)) {
+            MachineConfig cfg = table1Config(2);
+            cfg.fetchPolicy = kind;
+            cfg.pratEpoch = out.pratEpoch;
+            cfg.pratCap = static_cast<std::uint32_t>(out.pratCap);
+            EXPECT_EQ(cfg.validateMsg(), "")
+                << "iter " << iter << " accepted an invalid config";
+        }
     }
     // The soup must actually exercise both outcomes.
     EXPECT_GT(accepted, 100u);

@@ -12,6 +12,7 @@
 #include "policy/flush.hh"
 #include "policy/icount.hh"
 #include "policy/pdg.hh"
+#include "policy/prat.hh"
 #include "policy/pstall.hh"
 #include "policy/rat.hh"
 #include "policy/round_robin.hh"
@@ -326,6 +327,37 @@ TEST(RatPolicyTest, FallsBackWhenAllAboveCap)
     EXPECT_EQ(p.fetchOrder(0).size(), 2u);
 }
 
+// PRAT against the default PolicyContext surface (no protection, no
+// occupancy, no ledger): every weight is the conservative 256/256, so
+// it behaves exactly like RAT. The deeper protection-aware properties
+// live in tests/test_policy_properties.cc.
+TEST(PRatPolicyTest, UnprotectedContextMatchesRatSemantics)
+{
+    FakeContext ctx(2);
+    ctx.icount = {50, 10};
+    PRatPolicy p(ctx, 30);
+    EXPECT_EQ(p.aceCap(), 30u);
+    EXPECT_EQ(p.fetchOrder(0), (std::vector<ThreadId>{1}));
+    EXPECT_EQ(p.throttledThreadCycles(), 1u);
+}
+
+TEST(PRatPolicyTest, DefaultCapMatchesRatDerivation)
+{
+    FakeContext ctx(4);
+    PRatPolicy p(ctx);
+    RatPolicy r(ctx);
+    EXPECT_EQ(p.aceCap(), r.aceCap());
+    EXPECT_EQ(p.epoch(), 4096u);
+}
+
+TEST(PRatPolicyTest, FallsBackWhenAllAboveCap)
+{
+    FakeContext ctx(2);
+    ctx.icount = {50, 60};
+    PRatPolicy p(ctx, 30);
+    EXPECT_EQ(p.fetchOrder(0).size(), 2u);
+}
+
 TEST(FactoryTest, BuildsEveryKindWithMatchingName)
 {
     FakeContext ctx(2);
@@ -333,7 +365,7 @@ TEST(FactoryTest, BuildsEveryKindWithMatchingName)
                       FetchPolicyKind::Flush, FetchPolicyKind::Stall,
                       FetchPolicyKind::Dg, FetchPolicyKind::Pdg,
                       FetchPolicyKind::DWarn, FetchPolicyKind::PStall,
-                      FetchPolicyKind::Rat}) {
+                      FetchPolicyKind::Rat, FetchPolicyKind::PRat}) {
         auto p = makeFetchPolicy(kind, ctx);
         ASSERT_NE(p, nullptr);
         EXPECT_STREQ(p->name(), fetchPolicyName(kind));

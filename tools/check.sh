@@ -21,6 +21,10 @@ presets=${*:-"release asan tsan coverage chaos ckpt"}
 # stay exercised; the gate fails the build when src/protect/ line
 # coverage drops below this floor (measured 95.6% at gate introduction).
 coverage_gate=94
+# The fetch-policy layer gets its own (slightly lower) floor: the PRAT
+# differential/property suite plus the policy unit tests must keep the
+# throttling arithmetic exercised end to end.
+policy_coverage_gate=90
 
 for preset in $presets; do
     build="$repo/build-$preset"
@@ -169,13 +173,14 @@ for preset in $presets; do
         trap - EXIT
     elif [ "$preset" = coverage ]; then
         # An unoptimized instrumented full suite would be slow for no
-        # extra signal: the gate prices src/protect/ only, so run the
-        # tests that exercise that surface.
+        # extra signal: the gates price src/protect/ and src/policy/
+        # only, so run the tests that exercise those surfaces.
         (cd "$build" && ctest --output-on-failure -j "$jobs" -R \
-            'ProtScheme|ProtectionConfig|ProtectedRun|CostModel|Coverage|Explorer|BeamProperties|ProtectCliFuzz|CampaignCsv')
+            'ProtScheme|ProtectionConfig|ProtectedRun|CostModel|Coverage|Explorer|BeamProperties|ProtectCliFuzz|CampaignCsv|PolicyProperties|PolicyTest|FactoryTest')
         echo "==> [$preset] gate"
-        python3 "$repo/tools/coverage_gate.py" "$build" src/protect/ \
-            "$coverage_gate"
+        python3 "$repo/tools/coverage_gate.py" "$build" \
+            src/protect/ "$coverage_gate" \
+            src/policy/ "$policy_coverage_gate"
     else
         (cd "$build" && ctest --output-on-failure -j "$jobs")
     fi
@@ -195,7 +200,9 @@ for preset in $presets; do
         echo "==> [$preset] cli flag smoke"
         for bad in '--explore=bogus' '--beam-width 4' '--resume' \
                    '--explore=beam --beam-width 0' '--scrub-interval 0' \
-                   '--explore --scheme parity'; do
+                   '--explore --scheme parity' \
+                   '--policy PRAT --prat-epoch 0' \
+                   '--prat-cap 12'; do
             set +e
             # shellcheck disable=SC2086  # word splitting is the point
             "$build/tools/smtavf_cli" protect $bad >/dev/null 2>&1

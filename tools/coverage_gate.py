@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
 """Line-coverage gate on gcov's JSON output, no gcovr required.
 
-Usage: coverage_gate.py BUILD_DIR SOURCE_PREFIX MIN_PERCENT
+Usage: coverage_gate.py BUILD_DIR SOURCE_PREFIX MIN_PERCENT \
+                        [SOURCE_PREFIX MIN_PERCENT ...]
 
 Walks BUILD_DIR for .gcda files left behind by a --coverage test run
 (CMake option SMTAVF_COVERAGE, driven by `tools/check.sh coverage`),
 asks gcov for JSON intermediate output, and aggregates executable-line
-coverage over every source file whose repo-relative path starts with
+coverage over every source file whose repo-relative path starts with a
 SOURCE_PREFIX. A line is covered when any translation unit executed it,
 so headers shared across TUs are priced once, at their best count.
 
-Exits 1 with a per-file table when aggregate coverage is below
-MIN_PERCENT, 2 on usage/tooling errors.
+Each (SOURCE_PREFIX, MIN_PERCENT) pair gates independently; the .gcda
+walk runs once for all of them. Exits 1 with a per-file table when any
+prefix's aggregate coverage is below its MIN_PERCENT, 2 on
+usage/tooling errors.
 """
 
 import gzip
@@ -47,46 +50,18 @@ def gcov_json(gcda, scratch):
         os.remove(path)
 
 
-def main(argv):
-    if len(argv) != 4:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    build_dir, prefix, min_percent = argv[1], argv[2], float(argv[3])
-    repo = os.path.dirname(os.path.dirname(os.path.abspath(argv[0])))
-
-    # line_hits[(file, line)] = max execution count over all TUs.
-    line_hits = {}
-    gcda_count = 0
-    with tempfile.TemporaryDirectory() as scratch:
-        for gcda in find_gcda(build_dir):
-            gcda_count += 1
-            for blob in gcov_json(gcda, scratch):
-                for f in blob.get("files", []):
-                    path = f["file"]
-                    if not os.path.isabs(path):
-                        path = os.path.join(build_dir, path)
-                    rel = os.path.relpath(os.path.realpath(path), repo)
-                    if not rel.startswith(prefix):
-                        continue
-                    for line in f.get("lines", []):
-                        key = (rel, line["line_number"])
-                        count = line["count"]
-                        line_hits[key] = max(
-                            line_hits.get(key, 0), count)
-    if gcda_count == 0:
-        print(f"coverage_gate: no .gcda under {build_dir} — "
-              "was the build configured with -DSMTAVF_COVERAGE=ON "
-              "and the tests run?", file=sys.stderr)
-        return 2
-    if not line_hits:
-        print(f"coverage_gate: no executable lines under {prefix}",
-              file=sys.stderr)
-        return 2
-
+def gate(prefix, min_percent, line_hits):
+    """Apply one (prefix, floor) pair; return True when it holds."""
     per_file = {}
     for (rel, _line), count in line_hits.items():
+        if not rel.startswith(prefix):
+            continue
         covered, total = per_file.get(rel, (0, 0))
         per_file[rel] = (covered + (1 if count > 0 else 0), total + 1)
+    if not per_file:
+        print(f"coverage_gate: no executable lines under {prefix}",
+              file=sys.stderr)
+        return False
 
     covered = sum(c for c, _t in per_file.values())
     total = sum(t for _c, t in per_file.values())
@@ -104,8 +79,53 @@ def main(argv):
               "new code under "
               f"{prefix} needs tests (or an agreed gate change)",
               file=sys.stderr)
-        return 1
-    return 0
+        return False
+    return True
+
+
+def main(argv):
+    if len(argv) < 4 or len(argv) % 2 != 0:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    build_dir = argv[1]
+    try:
+        gates = [(argv[i], float(argv[i + 1]))
+                 for i in range(2, len(argv), 2)]
+    except ValueError:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(argv[0])))
+    prefixes = tuple(p for p, _m in gates)
+
+    # line_hits[(file, line)] = max execution count over all TUs.
+    line_hits = {}
+    gcda_count = 0
+    with tempfile.TemporaryDirectory() as scratch:
+        for gcda in find_gcda(build_dir):
+            gcda_count += 1
+            for blob in gcov_json(gcda, scratch):
+                for f in blob.get("files", []):
+                    path = f["file"]
+                    if not os.path.isabs(path):
+                        path = os.path.join(build_dir, path)
+                    rel = os.path.relpath(os.path.realpath(path), repo)
+                    if not rel.startswith(prefixes):
+                        continue
+                    for line in f.get("lines", []):
+                        key = (rel, line["line_number"])
+                        count = line["count"]
+                        line_hits[key] = max(
+                            line_hits.get(key, 0), count)
+    if gcda_count == 0:
+        print(f"coverage_gate: no .gcda under {build_dir} — "
+              "was the build configured with -DSMTAVF_COVERAGE=ON "
+              "and the tests run?", file=sys.stderr)
+        return 2
+
+    ok = True
+    for prefix, min_percent in gates:
+        ok = gate(prefix, min_percent, line_hits) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@
  * completed but some runs did not produce results. 130 on forced SIGINT.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -78,7 +79,11 @@ usage()
         "       smtavf_cli journal fsck [--repair] FILE\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
         "  --policy NAME         fetch policy: RR ICOUNT FLUSH STALL DG\n"
-        "                        PDG DWarn PSTALL RAT (default ICOUNT)\n"
+        "                        PDG DWarn PSTALL RAT PRAT (default ICOUNT)\n"
+        "  --prat-epoch N        PRAT: cycles between ledger residual\n"
+        "                        refreshes (default 4096)\n"
+        "  --prat-cap N          PRAT: throttle cap in correct-path\n"
+        "                        instructions (default: the RAT cap)\n"
         "  --instructions N      total committed-instruction budget\n"
         "  --seed N              simulation seed (default 1)\n"
         "  --replicas N          run N seeds and report mean +/- std\n"
@@ -113,6 +118,8 @@ usage()
         "  --contexts N          restrict to N-context mixes\n"
         "  --policy NAME|all     fetch policy per run (default ICOUNT;\n"
         "                        'all' crosses mixes with every policy)\n"
+        "  --prat-epoch N        PRAT refresh period (see run options)\n"
+        "  --prat-cap N          PRAT throttle cap (see run options)\n"
         "  --instructions N      per-run committed-instruction budget\n"
         "  --master-seed N       derive run i's seed as splitSeed(N, i)\n"
         "  --retries N           extra attempts per failing run (default 1)\n"
@@ -166,6 +173,8 @@ usage()
         "protect options (docs/PROTECTION.md):\n"
         "  --mix NAME            workload mix (default 4ctx-mix-A)\n"
         "  --policy NAME         fetch policy (default ICOUNT)\n"
+        "  --prat-epoch N        PRAT refresh period (needs --policy PRAT)\n"
+        "  --prat-cap N          PRAT throttle cap (needs --policy PRAT)\n"
         "  --instructions N      committed-instruction budget per run\n"
         "  --seed N              simulation seed (default 1)\n"
         "  --scheme NAME         uniform scheme for every structure:\n"
@@ -357,6 +366,9 @@ campaignMain(int argc, char **argv)
     unsigned shard = 0;
     unsigned nshards = 0; // 0 = no sharding requested
     std::uint64_t warmup = 0;
+    std::uint64_t prat_epoch = 4096;
+    std::uint64_t prat_cap = 0;
+    bool prat_epoch_set = false, prat_cap_set = false;
     CampaignOptions opt;
 
     for (int i = 2; i < argc; ++i) {
@@ -384,6 +396,16 @@ campaignMain(int argc, char **argv)
             if (!v)
                 die("--policy needs a value");
             policy_name = v;
+        } else if (arg == "--prat-epoch") {
+            prat_epoch = parseNum("--prat-epoch", next());
+            if (prat_epoch == 0 || prat_epoch > (std::uint64_t{1} << 30))
+                die("--prat-epoch must be in [1, 2^30] cycles");
+            prat_epoch_set = true;
+        } else if (arg == "--prat-cap") {
+            prat_cap = parseNum("--prat-cap", next());
+            if (prat_cap > (std::uint64_t{1} << 20))
+                die("--prat-cap must be at most 2^20 instructions");
+            prat_cap_set = true;
         } else if (arg == "--instructions") {
             instructions = parseNum("--instructions", next());
         } else if (arg == "--master-seed") {
@@ -487,12 +509,22 @@ campaignMain(int argc, char **argv)
     if (mixes.empty())
         die("no mixes selected");
 
+    if ((prat_epoch_set || prat_cap_set) &&
+        std::find(policies.begin(), policies.end(),
+                  FetchPolicyKind::PRat) == policies.end())
+        die("--prat-epoch/--prat-cap tune the PRAT throttle; they need "
+            "--policy PRAT (or --policy all)");
+
     std::vector<Experiment> exps;
     for (const auto &mix : mixes)
         for (auto policy : policies)
             exps.push_back(makeExperiment(mix, policy, instructions));
-    for (auto &e : exps)
+    for (auto &e : exps) {
         e.warmup = warmup;
+        // Inert (and fingerprint-excluded) unless the run's policy is PRAT.
+        e.cfg.pratEpoch = prat_epoch;
+        e.cfg.pratCap = static_cast<std::uint32_t>(prat_cap);
+    }
     if (use_master_seed)
         deriveSeeds(exps, master_seed);
     // Shard after seed derivation: a run's seed depends on its index in
@@ -604,6 +636,8 @@ protectMain(int argc, char **argv)
     auto cfg = table1Config(mix.contexts);
     cfg.fetchPolicy = policy;
     cfg.seed = po.seed;
+    cfg.pratEpoch = po.pratEpoch;
+    cfg.pratCap = static_cast<std::uint32_t>(po.pratCap);
 
     ProtectionConfig prot;
     prot.scrubInterval = po.scrubInterval;
@@ -744,6 +778,9 @@ singleMain(int argc, char **argv)
     bool timeline_csv = false;
     AvfOptions avf;
     bool prewarm = true;
+    std::uint64_t prat_epoch = 4096;
+    std::uint64_t prat_cap = 0;
+    bool prat_epoch_set = false, prat_cap_set = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -775,6 +812,16 @@ singleMain(int argc, char **argv)
             if (!v)
                 die("--policy needs a value");
             policy_name = v;
+        } else if (arg == "--prat-epoch") {
+            prat_epoch = parseNum("--prat-epoch", next());
+            if (prat_epoch == 0 || prat_epoch > (std::uint64_t{1} << 30))
+                die("--prat-epoch must be in [1, 2^30] cycles");
+            prat_epoch_set = true;
+        } else if (arg == "--prat-cap") {
+            prat_cap = parseNum("--prat-cap", next());
+            if (prat_cap > (std::uint64_t{1} << 20))
+                die("--prat-cap must be at most 2^20 instructions");
+            prat_cap_set = true;
         } else if (arg == "--instructions") {
             instructions = parseNum("--instructions", next());
         } else if (arg == "--seed") {
@@ -836,10 +883,17 @@ singleMain(int argc, char **argv)
     if (!parseFetchPolicy(policy_name, policy))
         die("unknown policy: " + policy_name + " (try --list)");
 
+    if ((prat_epoch_set || prat_cap_set) &&
+        policy != FetchPolicyKind::PRat)
+        die("--prat-epoch/--prat-cap tune the PRAT throttle; they need "
+            "--policy PRAT");
+
     const auto &mix = findMix(mix_name);
     auto cfg = table1Config(mix.contexts);
     cfg.fetchPolicy = policy;
     cfg.seed = seed;
+    cfg.pratEpoch = prat_epoch;
+    cfg.pratCap = static_cast<std::uint32_t>(prat_cap);
     cfg.iqPartitioned = iq_partition;
     cfg.avf = avf;
     cfg.prewarmCaches = prewarm;
